@@ -1,0 +1,92 @@
+// Command alae-gen synthesises benchmark datasets: a genome-like text
+// and a set of homologous queries, written as FASTA. It is the
+// stand-in for downloading GRCh37 / MGSCv37 / UniParc (see DESIGN.md).
+//
+// Usage:
+//
+//	alae-gen -kind dna -n 1000000 -m 10000 -queries 10 -out data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/seq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "alae-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind    = flag.String("kind", "dna", "alphabet: dna or protein")
+		n       = flag.Int("n", 1_000_000, "text length")
+		m       = flag.Int("m", 10_000, "query length")
+		queries = flag.Int("queries", 10, "number of queries")
+		seed    = flag.Int64("seed", 42, "RNG seed")
+		subRate = flag.Float64("sub", 0.05, "substitution rate of homologous segments")
+		segLen  = flag.Int("seglen", 100, "conserved segment length")
+		segGap  = flag.Int("segevery", 2500, "conserved segment spacing")
+		repeats = flag.Float64("repeats", 0.08, "repeat fraction of the text")
+		outDir  = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	var alphabet *seq.Alphabet
+	switch *kind {
+	case "dna":
+		alphabet = seq.DNA
+	case "protein":
+		alphabet = seq.Protein
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	text := seq.RandomGenome(alphabet, seq.GenomeConfig{
+		Length: *n, GC: 0.41, RepeatFraction: *repeats, RepeatMutationRate: 0.05,
+	}, rng)
+	qs := seq.HomologousQueries(alphabet, text, *queries, *m, *segLen, *segGap,
+		seq.MutationConfig{SubstitutionRate: *subRate, IndelRate: 0.01}, rng)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	textPath := filepath.Join(*outDir, fmt.Sprintf("%s_text_%d.fa", *kind, *n))
+	if err := writeFASTA(textPath, []seq.Record{{
+		Header: fmt.Sprintf("synthetic %s text n=%d seed=%d", *kind, *n, *seed),
+		Seq:    text,
+	}}); err != nil {
+		return err
+	}
+	queryRecs := make([]seq.Record, len(qs))
+	for i, q := range qs {
+		queryRecs[i] = seq.Record{
+			Header: fmt.Sprintf("query_%03d m=%d", i, *m),
+			Seq:    q,
+		}
+	}
+	queryPath := filepath.Join(*outDir, fmt.Sprintf("%s_queries_%d.fa", *kind, *m))
+	if err := writeFASTA(queryPath, queryRecs); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d chars) and %s (%d queries)\n",
+		textPath, len(text), queryPath, len(qs))
+	return nil
+}
+
+func writeFASTA(path string, recs []seq.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return seq.WriteFASTA(f, recs, 70)
+}

@@ -1,0 +1,209 @@
+// Command alae runs local-alignment searches: it indexes a FASTA text
+// (a genome or a sequence database) and aligns every record of a FASTA
+// query file against it, printing hits and, optionally, full
+// alignments.
+//
+// Usage:
+//
+//	alae -text genome.fa -query reads.fa [flags]
+//
+// Flags select the engine (alae, alae-hybrid, bwtsw, blast, sw), the
+// scoring scheme ⟨sa,sb,sg,ss⟩ and either a raw score threshold or an
+// E-value. Exit status is non-zero on any error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/seq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "alae:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		textPath  = flag.String("text", "", "FASTA file with the text/database sequences (required)")
+		queryPath = flag.String("query", "", "FASTA file with the query sequences (required)")
+		algorithm = flag.String("algorithm", "alae", "engine: alae, alae-hybrid, bwtsw, blast, sw")
+		schemeStr = flag.String("scheme", "1,-3,-5,-2", "scoring scheme sa,sb,sg,ss")
+		threshold = flag.Int("threshold", 0, "raw score threshold H (0 = derive from -evalue)")
+		eValue    = flag.Float64("evalue", 10, "expectation value used when -threshold is 0")
+		showAlign = flag.Bool("align", false, "print the best alignment per query")
+		maxHits   = flag.Int("max-hits", 10, "hits printed per query (0 = all)")
+		stats     = flag.Bool("stats", false, "print work statistics per query")
+		saveIndex = flag.String("save-index", "", "write the built index to this file and exit")
+		loadIndex = flag.String("load-index", "", "load a previously saved index instead of -text")
+		strands   = flag.Bool("both-strands", false, "also search the reverse complement (DNA)")
+	)
+	flag.Parse()
+	if *loadIndex == "" && *textPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-text (or -load-index) is required")
+	}
+	if *saveIndex == "" && *queryPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-query is required unless only building an index with -save-index")
+	}
+
+	scheme, err := parseScheme(*schemeStr)
+	if err != nil {
+		return err
+	}
+	alg, err := parseAlgorithm(*algorithm)
+	if err != nil {
+		return err
+	}
+
+	var ix *alae.Index
+	var coll *seq.Collection
+	if *loadIndex != "" {
+		f, err := os.Open(*loadIndex)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if ix, err = alae.Load(f); err != nil {
+			return fmt.Errorf("loading %s: %w", *loadIndex, err)
+		}
+		coll = seq.NewCollection([]seq.Record{{Header: *loadIndex, Seq: ix.Text()}})
+		fmt.Printf("loaded index of %d characters from %s\n", ix.Len(), *loadIndex)
+	} else {
+		textFile, err := os.Open(*textPath)
+		if err != nil {
+			return err
+		}
+		defer textFile.Close()
+		textRecs, err := seq.ReadFASTA(textFile)
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", *textPath, err)
+		}
+		if len(textRecs) == 0 {
+			return fmt.Errorf("%s contains no sequences", *textPath)
+		}
+		coll = seq.NewCollection(textRecs)
+		fmt.Printf("indexing %d sequence(s), %d characters\n", coll.Len(), len(coll.Text()))
+		ix = alae.NewIndex(coll.Text())
+	}
+	if *saveIndex != "" {
+		f, err := os.Create(*saveIndex)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ix.Save(f); err != nil {
+			return fmt.Errorf("saving index: %w", err)
+		}
+		fmt.Printf("index written to %s\n", *saveIndex)
+		if *queryPath == "" {
+			return nil
+		}
+	}
+
+	queryFile, err := os.Open(*queryPath)
+	if err != nil {
+		return err
+	}
+	defer queryFile.Close()
+	queryRecs, err := seq.ReadFASTA(queryFile)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *queryPath, err)
+	}
+
+	for _, rec := range queryRecs {
+		searchOpts := alae.SearchOptions{
+			Algorithm: alg,
+			Scheme:    scheme,
+			Threshold: *threshold,
+			EValue:    *eValue,
+		}
+		res, err := ix.Search(rec.Seq, searchOpts)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", rec.Header, err)
+		}
+		if *strands {
+			sh, err := ix.SearchBothStrands(rec.Seq, searchOpts)
+			if err != nil {
+				return fmt.Errorf("query %s (both strands): %w", rec.Header, err)
+			}
+			reverse := 0
+			for _, h := range sh {
+				if h.Strand == alae.Reverse {
+					reverse++
+				}
+			}
+			fmt.Printf("query %s: %d reverse-strand hit(s)\n", rec.Header, reverse)
+		}
+		fmt.Printf("query %s: %d hit(s) at H=%d [%v]\n",
+			rec.Header, len(res.Hits), res.Threshold, res.Algorithm)
+		printed := 0
+		var best alae.Hit
+		for _, h := range res.Hits {
+			if h.Score > best.Score {
+				best = h
+			}
+			if *maxHits == 0 || printed < *maxHits {
+				member, local, ok := coll.Locate(h.TEnd, h.TEnd+1)
+				where := fmt.Sprintf("pos %d", h.TEnd)
+				if ok {
+					where = fmt.Sprintf("%s:%d", coll.Name(member), local)
+				}
+				fmt.Printf("  text %s  query end %d  score %d\n", where, h.QEnd, h.Score)
+				printed++
+			}
+		}
+		if printed < len(res.Hits) {
+			fmt.Printf("  ... %d more\n", len(res.Hits)-printed)
+		}
+		if *showAlign && best.Score > 0 {
+			a, err := ix.Align(rec.Seq, scheme, best)
+			if err != nil {
+				return err
+			}
+			fmt.Println(ix.FormatAlignment(a, rec.Seq, 60))
+		}
+		if *stats {
+			fmt.Printf("  stats: %+v\n", res.Stats)
+		}
+	}
+	return nil
+}
+
+func parseScheme(s string) (alae.Scheme, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return alae.Scheme{}, fmt.Errorf("scheme %q: want sa,sb,sg,ss", s)
+	}
+	var vals [4]int
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &vals[i]); err != nil {
+			return alae.Scheme{}, fmt.Errorf("scheme %q: %w", s, err)
+		}
+	}
+	sch := alae.Scheme{Match: vals[0], Mismatch: vals[1], GapOpen: vals[2], GapExtend: vals[3]}
+	return sch, sch.Validate()
+}
+
+func parseAlgorithm(s string) (alae.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "alae":
+		return alae.ALAE, nil
+	case "alae-hybrid", "hybrid":
+		return alae.ALAEHybrid, nil
+	case "bwtsw", "bwt-sw":
+		return alae.BWTSW, nil
+	case "blast":
+		return alae.BLAST, nil
+	case "sw", "smith-waterman":
+		return alae.SmithWaterman, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}

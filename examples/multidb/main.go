@@ -1,0 +1,70 @@
+// Multi-sequence database search: §2.2's "given all the sequences
+// T1..Tn in the database, we concatenate them into a single sequence
+// T" — one index over a whole collection, hits mapped back to member
+// sequences, and a comparison of all three engines on the same search.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+	"repro/internal/seq"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(23))
+
+	// Twenty database chromosomes; the query shares segments with
+	// three specific ones.
+	var recs []seq.Record
+	for i := 0; i < 20; i++ {
+		recs = append(recs, seq.Record{
+			Header: fmt.Sprintf("chr%02d", i),
+			Seq:    seq.RandomSeq(seq.DNA, 20_000, nil, rng),
+		})
+	}
+	query := seq.RandomSeq(seq.DNA, 4_000, nil, rng)
+	for k, src := range []int{2, 7, 13} {
+		seg := seq.Mutate(seq.DNA, recs[src].Seq[5_000:5_250],
+			seq.MutationConfig{SubstitutionRate: 0.05, IndelRate: 0.005}, rng)
+		copy(query[600+k*1200:], seg)
+	}
+
+	db := seq.NewCollection(recs)
+	fmt.Printf("indexing %d sequences (%d bp total)...\n", db.Len(), len(db.Text()))
+	ix := alae.NewIndex(db.Text())
+
+	for _, alg := range []alae.Algorithm{alae.ALAE, alae.BWTSW, alae.BLAST} {
+		start := time.Now()
+		res, err := ix.Search(query, alae.SearchOptions{Algorithm: alg, EValue: 1e-10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+
+		// Count hits per member sequence.
+		perMember := map[int]int{}
+		best := map[int]alae.Hit{}
+		for _, h := range res.Hits {
+			member, _, ok := db.Locate(h.TEnd, h.TEnd+1)
+			if !ok {
+				continue // alignment ends on a separator boundary
+			}
+			perMember[member]++
+			if old, seen := best[member]; !seen || h.Score > old.Score {
+				best[member] = h
+			}
+		}
+		fmt.Printf("\n%v: %d hits in %v (H=%d), matching sequences:\n",
+			alg, len(res.Hits), elapsed.Round(time.Microsecond), res.Threshold)
+		for member, count := range perMember {
+			b := best[member]
+			fmt.Printf("  %s: %4d hits, best score %d ending at %d\n",
+				db.Name(member), count, b.Score, b.TEnd)
+		}
+	}
+	fmt.Println("\nALAE and BWT-SW agree exactly; BLAST may drop weak regions.")
+}

@@ -1,0 +1,36 @@
+// Quickstart: index a small DNA text and find all local alignments of
+// a query, then print the best one — the thirty-line tour of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	text := []byte("TTGACGGTAACCGGTTACCATGATCGGGCTAAGCTAGCTTGACGGTAACC" +
+		"GGTTACCATGCCCGGGAAATTTGGGCCCAAATTTGCATGCATGCATGCAT")
+	query := []byte("GGTAACCGGTTACCATG")
+
+	ix := alae.NewIndex(text)
+	res, err := ix.Search(query, alae.SearchOptions{Threshold: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d hit(s) with score ≥ %d\n", len(res.Hits), res.Threshold)
+
+	best := res.Hits[0]
+	for _, h := range res.Hits {
+		if h.Score > best.Score {
+			best = h
+		}
+	}
+	a, err := ix.Align(query, alae.DefaultDNAScheme, best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ix.FormatAlignment(a, query, 60))
+}

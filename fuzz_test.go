@@ -1,0 +1,111 @@
+package alae
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/seq"
+)
+
+// Fuzz targets: robustness of the parsing/deserialisation surfaces and
+// a differential fuzzer pinning the exactness invariant. `go test`
+// runs them over the seed corpus; `go test -fuzz=FuzzX` explores.
+
+// FuzzReadFASTA must never panic, whatever bytes arrive.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add([]byte(">a\nACGT\n"))
+	f.Add([]byte("ACGT"))
+	f.Add([]byte(">"))
+	f.Add([]byte(">x\n>y\nAC\n\n>z"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := seq.ReadFASTA(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must round-trip.
+		var buf bytes.Buffer
+		if err := seq.WriteFASTA(&buf, recs, 60); err != nil {
+			t.Fatalf("WriteFASTA on parsed records: %v", err)
+		}
+	})
+}
+
+// FuzzLoad must reject arbitrary bytes cleanly (no panic, no runaway
+// allocation) and accept its own output.
+func FuzzLoad(f *testing.F) {
+	ix := NewIndex([]byte("ACGTACGTACGTACGT"))
+	var good bytes.Buffer
+	if err := ix.Save(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully loaded index must be usable.
+		if _, err := loaded.Search([]byte("ACGTACGT"), SearchOptions{Threshold: 4}); err != nil {
+			t.Fatalf("search on loaded index: %v", err)
+		}
+	})
+}
+
+// FuzzSearchExactness is the differential fuzzer: for any DNA-mapped
+// input, ALAE must agree with the Smith-Waterman oracle.
+func FuzzSearchExactness(f *testing.F) {
+	f.Add([]byte("GCTAGCTAGCATCG"), []byte("GCTAG"), uint8(0))
+	f.Add([]byte("AAAAAAAAAA"), []byte("AAAA"), uint8(2))
+	f.Fuzz(func(t *testing.T, text, query []byte, hOff uint8) {
+		if len(text) == 0 || len(text) > 300 || len(query) > 150 {
+			return
+		}
+		letters := "ACGT"
+		for i := range text {
+			text[i] = letters[int(text[i])%4]
+		}
+		for i := range query {
+			query[i] = letters[int(query[i])%4]
+		}
+		s := align.DefaultDNA
+		h := s.MinThreshold() + int(hOff%12)
+		ix := NewIndex(text)
+		res, err := ix.Search(query, SearchOptions{Threshold: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := align.LocalAll(text, query, s, h)
+		if !align.EqualHits(res.Hits, want) {
+			t.Fatalf("exactness violated for T=%q P=%q H=%d:\n got %v\nwant %v",
+				text, query, h, res.Hits, want)
+		}
+	})
+}
+
+// FuzzSchemeParsing exercises the CLI's scheme grammar indirectly via
+// Scheme.Validate on arbitrary integer quadruples.
+func FuzzSchemeParsing(f *testing.F) {
+	f.Add(1, -3, -5, -2)
+	f.Add(0, 0, 0, 0)
+	f.Fuzz(func(t *testing.T, sa, sb, sg, ss int) {
+		sch := Scheme{Match: sa, Mismatch: sb, GapOpen: sg, GapExtend: ss}
+		err := sch.Validate()
+		if err == nil {
+			// Valid schemes must have coherent derived quantities.
+			if sch.Q() < 1 {
+				t.Errorf("valid scheme %v has q = %d", sch, sch.Q())
+			}
+			if sch.MinThreshold() < 1 {
+				t.Errorf("valid scheme %v has floor %d", sch, sch.MinThreshold())
+			}
+			if sch.Lmax(100, 10) < 1 {
+				t.Errorf("valid scheme %v has Lmax %d", sch, sch.Lmax(100, 10))
+			}
+		}
+		_ = strings.Contains(sch.String(), ",") // String never panics
+	})
+}

@@ -1,0 +1,98 @@
+package align
+
+// LocalAll runs the full Smith-Waterman dynamic program with affine
+// gaps (Gotoh's formulation) over text × query and returns every hit:
+// each end pair (i, j) whose best local-alignment score reaches h.
+// This is the problem definition of §2.1 solved by brute force in
+// O(n·m) time and O(m) space — the oracle against which all engines
+// are verified, and the paper's slowest baseline.
+func LocalAll(text, query []byte, s Scheme, h int) []Hit {
+	c := NewCollector()
+	LocalAllInto(text, query, s, h, c)
+	return c.Hits()
+}
+
+// LocalAllInto is LocalAll accumulating into an existing collector.
+// It returns the number of DP cells computed (n·m).
+func LocalAllInto(text, query []byte, s Scheme, h int, c *Collector) int {
+	n, m := len(text), len(query)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	const negInf = int(-1) << 40
+	// Rolling rows: hRow[j] = H(i-1, j), fCol[j] = F(i-1→i, j).
+	hRow := make([]int, m+1)
+	fCol := make([]int, m+1)
+	for j := range fCol {
+		fCol[j] = negInf
+	}
+	open := s.GapOpen + s.GapExtend
+	for i := 1; i <= n; i++ {
+		tc := text[i-1]
+		diag := hRow[0] // H(i-1, 0) = 0
+		hRow[0] = 0
+		e := negInf
+		for j := 1; j <= m; j++ {
+			e = max(e+s.GapExtend, hRow[j-1]+open) // uses H(i, j-1) already in hRow
+			f := max(fCol[j]+s.GapExtend, hRow[j]+open)
+			fCol[j] = f
+			hv := diag
+			if tc == query[j-1] {
+				hv += s.Match
+			} else {
+				hv += s.Mismatch
+			}
+			hv = max(hv, e, f, 0)
+			diag = hRow[j]
+			hRow[j] = hv
+			if hv >= h {
+				c.Add(i-1, j-1, hv)
+			}
+		}
+	}
+	return n * m
+}
+
+// LocalMatrix returns the full H, Ga (gap-in-query, vertical) and Gb
+// (gap-in-text, horizontal) matrices with 1-based indexing, matching
+// the recurrences of §2.2 but with the local zero floor on H. Intended
+// for small inputs and tests only.
+func LocalMatrix(text, query []byte, s Scheme) (h, ga, gb [][]int) {
+	n, m := len(text), len(query)
+	const negInf = int(-1) << 40
+	h = make([][]int, n+1)
+	ga = make([][]int, n+1)
+	gb = make([][]int, n+1)
+	for i := 0; i <= n; i++ {
+		h[i] = make([]int, m+1)
+		ga[i] = make([]int, m+1)
+		gb[i] = make([]int, m+1)
+		for j := 0; j <= m; j++ {
+			ga[i][j], gb[i][j] = negInf, negInf
+		}
+	}
+	open := s.GapOpen + s.GapExtend
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			ga[i][j] = max(ga[i-1][j]+s.GapExtend, h[i-1][j]+open)
+			gb[i][j] = max(gb[i][j-1]+s.GapExtend, h[i][j-1]+open)
+			h[i][j] = max(0, h[i-1][j-1]+s.Delta(text[i-1], query[j-1]), ga[i][j], gb[i][j])
+		}
+	}
+	return h, ga, gb
+}
+
+// BestLocal returns the single best local alignment score and its end
+// pair. found is false when no alignment has a positive score.
+func BestLocal(text, query []byte, s Scheme) (hit Hit, found bool) {
+	c := NewCollector()
+	LocalAllInto(text, query, s, 1, c)
+	best := Hit{Score: 0}
+	for _, h := range c.Hits() {
+		if h.Score > best.Score {
+			best = h
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,77 @@
+package align
+
+import "sort"
+
+// Hit is one local-alignment result: the paper's A(i, j) restricted to
+// scores at or above the threshold. TEnd and QEnd are 0-based
+// *inclusive* end positions in the text and the query; Score is the
+// best score over all alignments of substrings ending exactly there.
+type Hit struct {
+	TEnd  int
+	QEnd  int
+	Score int
+}
+
+// Collector deduplicates hits by end-position pair, keeping the
+// maximum score, which is exactly the max-merge over matrices that
+// Algorithm 1 (BASIC) performs in lines 6-10.
+type Collector struct {
+	byEnd map[uint64]int32
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{byEnd: make(map[uint64]int32)}
+}
+
+func key(tEnd, qEnd int) uint64 { return uint64(uint32(tEnd))<<32 | uint64(uint32(qEnd)) }
+
+// Add records a hit, keeping the best score per end pair.
+func (c *Collector) Add(tEnd, qEnd, score int) {
+	k := key(tEnd, qEnd)
+	if old, ok := c.byEnd[k]; !ok || int32(score) > old {
+		c.byEnd[k] = int32(score)
+	}
+}
+
+// Len returns the number of distinct end pairs recorded.
+func (c *Collector) Len() int { return len(c.byEnd) }
+
+// Hits returns all recorded hits sorted by (TEnd, QEnd).
+func (c *Collector) Hits() []Hit {
+	out := make([]Hit, 0, len(c.byEnd))
+	for k, s := range c.byEnd {
+		out = append(out, Hit{TEnd: int(k >> 32), QEnd: int(uint32(k)), Score: int(s)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TEnd != out[j].TEnd {
+			return out[i].TEnd < out[j].TEnd
+		}
+		return out[i].QEnd < out[j].QEnd
+	})
+	return out
+}
+
+// SortHits sorts a hit slice by (TEnd, QEnd), the canonical order used
+// when comparing engines.
+func SortHits(hs []Hit) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].TEnd != hs[j].TEnd {
+			return hs[i].TEnd < hs[j].TEnd
+		}
+		return hs[i].QEnd < hs[j].QEnd
+	})
+}
+
+// EqualHits reports whether two sorted hit slices are identical.
+func EqualHits(a, b []Hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

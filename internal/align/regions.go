@@ -1,0 +1,71 @@
+package align
+
+import "sort"
+
+// Region is a cluster of nearby hits summarised by its best one.
+// Exact engines report every qualifying end pair, so a single
+// conserved stretch produces hundreds of hits on overlapping end
+// positions; MergeRegions collapses them into the distinct alignment
+// regions a user actually wants to look at.
+type Region struct {
+	Best  Hit // the highest-scoring hit of the cluster
+	Count int // number of raw hits merged into this region
+}
+
+// MergeRegions clusters hits whose end positions lie within slack of
+// an already-clustered hit (in both coordinates) and returns one
+// region per cluster, ordered by descending best score. Hits are
+// processed in descending score order so each region is anchored at
+// its best hit.
+func MergeRegions(hits []Hit, slack int) []Region {
+	if len(hits) == 0 {
+		return nil
+	}
+	sorted := append([]Hit(nil), hits...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Score > sorted[b].Score })
+	var regions []Region
+	for _, h := range sorted {
+		merged := false
+		for i := range regions {
+			b := regions[i].Best
+			if abs(b.TEnd-h.TEnd) <= slack+abs(b.QEnd-h.QEnd) &&
+				abs(b.TEnd-h.TEnd-(b.QEnd-h.QEnd)) <= slack {
+				// Same diagonal neighbourhood: same alignment region.
+				regions[i].Count++
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			regions = append(regions, Region{Best: h, Count: 1})
+		}
+	}
+	return regions
+}
+
+// TopK returns the k highest-scoring hits (all of them when k ≤ 0 or
+// k ≥ len), ordered by descending score with (TEnd, QEnd) as the
+// tiebreak for determinism.
+func TopK(hits []Hit, k int) []Hit {
+	sorted := append([]Hit(nil), hits...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Score != sorted[b].Score {
+			return sorted[a].Score > sorted[b].Score
+		}
+		if sorted[a].TEnd != sorted[b].TEnd {
+			return sorted[a].TEnd < sorted[b].TEnd
+		}
+		return sorted[a].QEnd < sorted[b].QEnd
+	})
+	if k > 0 && k < len(sorted) {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMergeRegionsCollapsesOneAlignment(t *testing.T) {
+	// Hits along one alignment band: consecutive diagonal end pairs.
+	var hits []Hit
+	for i := 0; i < 50; i++ {
+		hits = append(hits, Hit{TEnd: 100 + i, QEnd: 200 + i, Score: 10 + i})
+	}
+	regions := MergeRegions(hits, 100)
+	if len(regions) != 1 {
+		t.Fatalf("one alignment became %d regions", len(regions))
+	}
+	if regions[0].Best.Score != 59 || regions[0].Count != 50 {
+		t.Errorf("region %+v, want best 59 over 50 hits", regions[0])
+	}
+}
+
+func TestMergeRegionsKeepsDistinctAlignments(t *testing.T) {
+	hits := []Hit{
+		{TEnd: 100, QEnd: 200, Score: 30},
+		{TEnd: 5000, QEnd: 200, Score: 25}, // same query region, far text
+		{TEnd: 100, QEnd: 4200, Score: 20}, // same text region, far query
+	}
+	regions := MergeRegions(hits, 100)
+	if len(regions) != 3 {
+		t.Fatalf("distinct alignments merged: %d regions", len(regions))
+	}
+	// Ordered by descending best score.
+	for i := 1; i < len(regions); i++ {
+		if regions[i].Best.Score > regions[i-1].Best.Score {
+			t.Error("regions not ordered by score")
+		}
+	}
+}
+
+func TestMergeRegionsOnRealHits(t *testing.T) {
+	// Plant two separated homologous segments; the exact hit set
+	// must collapse to exactly two regions.
+	rng := rand.New(rand.NewSource(130))
+	text := randDNA(2000, rng)
+	query := randDNA(600, rng)
+	copy(query[50:], text[300:420])
+	copy(query[400:], text[1500:1620])
+	hits := LocalAll(text, query, DefaultDNA, 30)
+	if len(hits) < 20 {
+		t.Fatalf("workload too weak: %d hits", len(hits))
+	}
+	regions := MergeRegions(hits, 150)
+	if len(regions) != 2 {
+		t.Fatalf("expected 2 regions, got %d", len(regions))
+	}
+	total := 0
+	for _, r := range regions {
+		total += r.Count
+	}
+	if total != len(hits) {
+		t.Errorf("region counts sum to %d, want %d", total, len(hits))
+	}
+}
+
+func TestMergeRegionsEmpty(t *testing.T) {
+	if MergeRegions(nil, 10) != nil {
+		t.Error("nil hits should give nil regions")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	hits := []Hit{
+		{TEnd: 1, QEnd: 1, Score: 5},
+		{TEnd: 2, QEnd: 2, Score: 9},
+		{TEnd: 3, QEnd: 3, Score: 7},
+		{TEnd: 1, QEnd: 9, Score: 9},
+	}
+	top := TopK(hits, 2)
+	if len(top) != 2 || top[0].Score != 9 || top[1].Score != 9 {
+		t.Fatalf("TopK(2) = %v", top)
+	}
+	// Deterministic tiebreak: lower TEnd first.
+	if top[0].TEnd != 1 {
+		t.Errorf("tiebreak wrong: %v", top)
+	}
+	if got := TopK(hits, 0); len(got) != 4 {
+		t.Errorf("TopK(0) should return all, got %d", len(got))
+	}
+	if got := TopK(hits, 99); len(got) != 4 {
+		t.Errorf("TopK(99) should return all, got %d", len(got))
+	}
+	// Input must not be mutated.
+	if hits[0].Score != 5 {
+		t.Error("TopK mutated its input")
+	}
+}

@@ -1,0 +1,118 @@
+// Package align defines affine-gap scoring schemes and the full
+// Smith-Waterman (Gotoh) dynamic program. The Gotoh sweep is both one
+// of the paper's baselines (§7.1, "too slow to be considered") and the
+// exactness oracle for every other engine in this repository: ALAE and
+// BWT-SW must report exactly the end-position pairs whose Gotoh cell
+// value reaches the threshold.
+package align
+
+import (
+	"fmt"
+)
+
+// Scheme is the paper's scoring scheme ⟨sa, sb, sg, ss⟩: an identical
+// mapping scores Match (> 0), a substitution Mismatch (< 0), and a gap
+// of r characters costs GapOpen + r·GapExtend (both < 0).
+type Scheme struct {
+	Match     int // sa
+	Mismatch  int // sb
+	GapOpen   int // sg
+	GapExtend int // ss
+}
+
+// Canonical schemes used throughout the paper's evaluation (§7).
+var (
+	// DefaultDNA is ⟨1,−3,−5,−2⟩, the default of both BLAST and BWT-SW.
+	DefaultDNA = Scheme{Match: 1, Mismatch: -3, GapOpen: -5, GapExtend: -2}
+	// DefaultProtein is ⟨1,−3,−11,−1⟩, used for the protein index
+	// experiments (§7.5).
+	DefaultProtein = Scheme{Match: 1, Mismatch: -3, GapOpen: -11, GapExtend: -1}
+	// Fig9Schemes are the four representative schemes of Figure 9.
+	Fig9Schemes = []Scheme{
+		{1, -3, -5, -2},
+		{1, -4, -5, -2},
+		{1, -1, -5, -2},
+		{1, -3, -2, -2},
+	}
+)
+
+// Validate reports whether the scheme is usable: positive match score
+// and strictly negative mismatch, gap-open and gap-extend scores.
+func (s Scheme) Validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("align: match score %d must be positive", s.Match)
+	}
+	if s.Mismatch >= 0 {
+		return fmt.Errorf("align: mismatch score %d must be negative", s.Mismatch)
+	}
+	if s.GapOpen >= 0 {
+		return fmt.Errorf("align: gap-open score %d must be negative", s.GapOpen)
+	}
+	if s.GapExtend >= 0 {
+		return fmt.Errorf("align: gap-extend score %d must be negative", s.GapExtend)
+	}
+	return nil
+}
+
+// Delta is δ(a, b): Match when the characters are identical, Mismatch
+// otherwise.
+func (s Scheme) Delta(a, b byte) int {
+	if a == b {
+		return s.Match
+	}
+	return s.Mismatch
+}
+
+// Q is the q-prefix length of §3.1.3 (Equation 2):
+// q = ⌊min(|sb|, |sg+ss|)/sa⌋ + 1. Any local alignment whose every
+// prefix scores positively must begin with q exact matches.
+func (s Scheme) Q() int {
+	mb := -s.Mismatch
+	mg := -(s.GapOpen + s.GapExtend)
+	return min(mb, mg)/s.Match + 1
+}
+
+// MinThreshold is the smallest threshold H for which the q-prefix
+// filtering of §3.1.3 is lossless: (q−1)·sa + 1. Below it, an
+// alignment of fewer than q exact matches could reach H without
+// containing a q-prefix match, and the fork construction would miss
+// it. The paper implicitly assumes E-value-derived thresholds, which
+// are always far above this.
+func (s Scheme) MinThreshold() int {
+	return (s.Q()-1)*s.Match + 1
+}
+
+// floorDiv is floored integer division (Go's / truncates toward zero).
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Lmax is the length upper bound of Theorem 1 (length filtering):
+// rows beyond max{m, m + ⌊(H − (sa·m + sg))/ss⌋} of any matrix are
+// meaningless for a query of length m and threshold H.
+func (s Scheme) Lmax(m, h int) int {
+	return max(m, m+floorDiv(h-(s.Match*m+s.GapOpen), s.GapExtend))
+}
+
+// MinRow is the row lower bound of Theorem 1: an entry in a row below
+// ⌈H/sa⌉ cannot itself reach the threshold (though it may feed deeper
+// rows).
+func (s Scheme) MinRow(h int) int {
+	return (h + s.Match - 1) / s.Match
+}
+
+// BWTSWCompatible reports whether the scheme satisfies the |sb| ≥ 3·|sa|
+// restriction that the BWT-SW implementation requires (§2.4); Figure 9
+// omits BWT-SW on ⟨1,−1,−5,−2⟩ for this reason.
+func (s Scheme) BWTSWCompatible() bool {
+	return -s.Mismatch >= 3*s.Match
+}
+
+// String renders the scheme in the paper's ⟨sa,sb,sg,ss⟩ notation.
+func (s Scheme) String() string {
+	return fmt.Sprintf("<%d,%d,%d,%d>", s.Match, s.Mismatch, s.GapOpen, s.GapExtend)
+}

@@ -1,0 +1,263 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is one alignment operation in a traceback.
+type Op byte
+
+const (
+	OpMatch    Op = 'M' // identical characters
+	OpMismatch Op = 'X' // substitution
+	OpDelete   Op = 'D' // text character aligned to a gap
+	OpInsert   Op = 'I' // query character aligned to a gap
+)
+
+// Alignment is a fully resolved local alignment with its operation
+// sequence. Start/End positions are 0-based inclusive.
+type Alignment struct {
+	TStart, TEnd int
+	QStart, QEnd int
+	Score        int
+	Ops          []Op
+}
+
+// Traceback reconstructs the best local alignment that ends at the
+// given hit. It recomputes the DP over a window ending at the hit,
+// growing the window until the alignment's start fits, so memory stays
+// proportional to the alignment's own footprint rather than n·m.
+func Traceback(text, query []byte, s Scheme, hit Hit) (Alignment, error) {
+	if hit.TEnd < 0 || hit.TEnd >= len(text) || hit.QEnd < 0 || hit.QEnd >= len(query) {
+		return Alignment{}, fmt.Errorf("align: hit end (%d,%d) out of range", hit.TEnd, hit.QEnd)
+	}
+	for window := 256; ; window *= 4 {
+		a, ok := tracebackWindow(text, query, s, hit, window)
+		if ok {
+			return a, nil
+		}
+		if window > len(text)+len(query) {
+			return Alignment{}, fmt.Errorf("align: no alignment of score %d ends at (%d,%d)",
+				hit.Score, hit.TEnd, hit.QEnd)
+		}
+	}
+}
+
+// direction codes packed per cell and per matrix.
+const (
+	fromZero = iota
+	fromDiag
+	fromGa // vertical gap (consumes text)
+	fromGb // horizontal gap (consumes query)
+)
+
+func tracebackWindow(text, query []byte, s Scheme, hit Hit, window int) (Alignment, bool) {
+	ti0 := max(0, hit.TEnd+1-window)
+	qj0 := max(0, hit.QEnd+1-window)
+	sub := text[ti0 : hit.TEnd+1]
+	qub := query[qj0 : hit.QEnd+1]
+	n, m := len(sub), len(qub)
+	const negInf = int(-1) << 40
+
+	h := make([][]int32, n+1)
+	dir := make([][]uint8, n+1) // two bits H-source, two bits Ga-ext, two bits Gb-ext
+	ga := make([][]int32, n+1)
+	gb := make([][]int32, n+1)
+	for i := 0; i <= n; i++ {
+		h[i] = make([]int32, m+1)
+		dir[i] = make([]uint8, m+1)
+		ga[i] = make([]int32, m+1)
+		gb[i] = make([]int32, m+1)
+		for j := 0; j <= m; j++ {
+			ga[i][j], gb[i][j] = int32(negInf>>16), int32(negInf>>16)
+		}
+	}
+	open := s.GapOpen + s.GapExtend
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			gaExt := ga[i-1][j] + int32(s.GapExtend)
+			gaOpen := h[i-1][j] + int32(open)
+			var gaFlag uint8
+			if gaExt > gaOpen {
+				ga[i][j] = gaExt
+				gaFlag = 1 << 2
+			} else {
+				ga[i][j] = gaOpen
+			}
+			gbExt := gb[i][j-1] + int32(s.GapExtend)
+			gbOpen := h[i][j-1] + int32(open)
+			var gbFlag uint8
+			if gbExt > gbOpen {
+				gb[i][j] = gbExt
+				gbFlag = 1 << 4
+			} else {
+				gb[i][j] = gbOpen
+			}
+			d := h[i-1][j-1] + int32(s.Delta(sub[i-1], qub[j-1]))
+			best, src := int32(0), uint8(fromZero)
+			if d > best {
+				best, src = d, fromDiag
+			}
+			if ga[i][j] > best {
+				best, src = ga[i][j], fromGa
+			}
+			if gb[i][j] > best {
+				best, src = gb[i][j], fromGb
+			}
+			h[i][j] = best
+			dir[i][j] = src | gaFlag | gbFlag
+		}
+	}
+	if int(h[n][m]) != hit.Score {
+		// The window clipped the alignment; caller will grow it.
+		return Alignment{}, false
+	}
+
+	var ops []Op
+	i, j := n, m
+	state := dir[i][j] & 3
+	for state != fromZero {
+		switch state {
+		case fromDiag:
+			if sub[i-1] == qub[j-1] {
+				ops = append(ops, OpMatch)
+			} else {
+				ops = append(ops, OpMismatch)
+			}
+			i, j = i-1, j-1
+			state = dir[i][j] & 3
+			if h[i][j] == 0 {
+				state = fromZero
+			}
+		case fromGa:
+			ext := dir[i][j]&(1<<2) != 0
+			ops = append(ops, OpDelete)
+			i--
+			if ext {
+				state = fromGa
+			} else {
+				state = dir[i][j] & 3
+				if h[i][j] == 0 {
+					state = fromZero
+				}
+			}
+		case fromGb:
+			ext := dir[i][j]&(1<<4) != 0
+			ops = append(ops, OpInsert)
+			j--
+			if ext {
+				state = fromGb
+			} else {
+				state = dir[i][j] & 3
+				if h[i][j] == 0 {
+					state = fromZero
+				}
+			}
+		}
+		if i == 0 || j == 0 {
+			break
+		}
+	}
+	if i == 0 && ti0 > 0 || j == 0 && qj0 > 0 {
+		// Ran into the window edge: alignment extends further left.
+		if int(h[n][m]) != hit.Score || (i == 0 && ti0 > 0) || (j == 0 && qj0 > 0) {
+			return Alignment{}, false
+		}
+	}
+	// Reverse ops.
+	for a, b := 0, len(ops)-1; a < b; a, b = a+1, b-1 {
+		ops[a], ops[b] = ops[b], ops[a]
+	}
+	return Alignment{
+		TStart: ti0 + i, TEnd: hit.TEnd,
+		QStart: qj0 + j, QEnd: hit.QEnd,
+		Score: hit.Score, Ops: ops,
+	}, true
+}
+
+// CIGAR renders the operations in a compact run-length form, with 'M'
+// covering both matches and mismatches as in SAM.
+func (a Alignment) CIGAR() string {
+	var b strings.Builder
+	i := 0
+	for i < len(a.Ops) {
+		op := a.Ops[i]
+		j := i
+		for j < len(a.Ops) && sameCigarClass(a.Ops[j], op) {
+			j++
+		}
+		cls := byte(op)
+		if op == OpMatch || op == OpMismatch {
+			cls = 'M'
+		}
+		fmt.Fprintf(&b, "%d%c", j-i, cls)
+		i = j
+	}
+	return b.String()
+}
+
+func sameCigarClass(a, b Op) bool {
+	isM := func(o Op) bool { return o == OpMatch || o == OpMismatch }
+	if isM(a) && isM(b) {
+		return true
+	}
+	return a == b
+}
+
+// Format renders a three-line human-readable alignment (text row,
+// match row, query row), wrapped at width columns.
+func (a Alignment) Format(text, query []byte, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var tRow, mRow, qRow []byte
+	ti, qi := a.TStart, a.QStart
+	for _, op := range a.Ops {
+		switch op {
+		case OpMatch:
+			tRow = append(tRow, text[ti])
+			mRow = append(mRow, '|')
+			qRow = append(qRow, query[qi])
+			ti, qi = ti+1, qi+1
+		case OpMismatch:
+			tRow = append(tRow, text[ti])
+			mRow = append(mRow, ' ')
+			qRow = append(qRow, query[qi])
+			ti, qi = ti+1, qi+1
+		case OpDelete:
+			tRow = append(tRow, text[ti])
+			mRow = append(mRow, ' ')
+			qRow = append(qRow, '-')
+			ti++
+		case OpInsert:
+			tRow = append(tRow, '-')
+			mRow = append(mRow, ' ')
+			qRow = append(qRow, query[qi])
+			qi++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "score=%d text[%d..%d] query[%d..%d] cigar=%s\n",
+		a.Score, a.TStart, a.TEnd, a.QStart, a.QEnd, a.CIGAR())
+	for off := 0; off < len(tRow); off += width {
+		end := min(off+width, len(tRow))
+		fmt.Fprintf(&b, "T %s\n  %s\nQ %s\n", tRow[off:end], mRow[off:end], qRow[off:end])
+	}
+	return b.String()
+}
+
+// Identity returns the fraction of alignment columns that are exact
+// matches.
+func (a Alignment) Identity() float64 {
+	if len(a.Ops) == 0 {
+		return 0
+	}
+	matches := 0
+	for _, op := range a.Ops {
+		if op == OpMatch {
+			matches++
+		}
+	}
+	return float64(matches) / float64(len(a.Ops))
+}

@@ -1,0 +1,89 @@
+package align
+
+// XMatrix computes the per-substring matrix M_X of §2.2 for a path
+// substring x against a query p, together with the auxiliary Ga and Gb
+// matrices, using exactly the paper's initial conditions:
+//
+//	M(0,j) = 0,  M(i,0) = sg + i·ss,  Ga(0,j) = Gb(i,0) = −∞.
+//
+// Unlike the Smith-Waterman H matrix, M has no zero floor: the text
+// side is pinned to consume exactly x[1..i]. Matrices are 1-based;
+// NegInf marks −∞ entries. Intended for small inputs, tests and the
+// BASIC reference algorithm.
+func XMatrix(x, p []byte, s Scheme) (m, ga, gb [][]int) {
+	d, q := len(x), len(p)
+	m = make([][]int, d+1)
+	ga = make([][]int, d+1)
+	gb = make([][]int, d+1)
+	for i := 0; i <= d; i++ {
+		m[i] = make([]int, q+1)
+		ga[i] = make([]int, q+1)
+		gb[i] = make([]int, q+1)
+	}
+	for j := 0; j <= q; j++ {
+		m[0][j] = 0
+		ga[0][j] = NegInf
+		gb[0][j] = NegInf
+	}
+	for i := 1; i <= d; i++ {
+		m[i][0] = s.GapOpen + i*s.GapExtend
+		ga[i][0] = NegInf
+		gb[i][0] = NegInf
+	}
+	for i := 1; i <= d; i++ {
+		for j := 1; j <= q; j++ {
+			ga[i][j] = max(addInf(ga[i-1][j], s.GapExtend), addInf(m[i-1][j], s.GapOpen+s.GapExtend))
+			gb[i][j] = max(addInf(gb[i][j-1], s.GapExtend), addInf(m[i][j-1], s.GapOpen+s.GapExtend))
+			m[i][j] = max(addInf(m[i-1][j-1], s.Delta(x[i-1], p[j-1])), ga[i][j], gb[i][j])
+		}
+	}
+	return m, ga, gb
+}
+
+// NegInf is the −∞ used by XMatrix. It is deeply negative but far from
+// integer overflow when scheme scores are added to it.
+const NegInf = int(-1) << 40
+
+// addInf adds a score to a possibly-−∞ value without drifting away
+// from NegInf over long chains.
+func addInf(v, delta int) int {
+	if v <= NegInf/2 {
+		return NegInf
+	}
+	return v + delta
+}
+
+// BasicHits implements Algorithm 1 (BASIC) literally: enumerate every
+// distinct substring of the text (conceptually, every prefix of every
+// suffix-trie path), compute its X-matrix against the query, and merge
+// scores per end pair. It is exponentially slower than everything else
+// here and exists purely as a second independent oracle for tiny
+// inputs.
+func BasicHits(text, query []byte, s Scheme, h int) []Hit {
+	c := NewCollector()
+	seen := make(map[string]bool)
+	for start := 0; start < len(text); start++ {
+		suffix := text[start:]
+		if seen[string(suffix)] {
+			continue
+		}
+		seen[string(suffix)] = true
+		m, _, _ := XMatrix(suffix, query, s)
+		// Find all occurrences of each prefix by rescanning the text;
+		// O(n^2·m) in total, fine for the tiny oracle role.
+		for i := 1; i <= len(suffix); i++ {
+			prefix := suffix[:i]
+			for j := 1; j <= len(query); j++ {
+				if m[i][j] < h {
+					continue
+				}
+				for t := 0; t+i <= len(text); t++ {
+					if string(text[t:t+i]) == string(prefix) {
+						c.Add(t+i-1, j-1, m[i][j])
+					}
+				}
+			}
+		}
+	}
+	return c.Hits()
+}

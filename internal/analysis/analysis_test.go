@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/align"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4f, want ≈%.4f", name, got, want)
+	}
+}
+
+func TestDefaultDNABoundMatchesPaper(t *testing.T) {
+	// §6: "using ALAE the number is upper bounded by 4.47·mn^0.6038"
+	// for ⟨1,−3,−5,−2⟩ on DNA.
+	b, err := Compute(align.DefaultDNA, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "exponent", b.Exponent, 0.6038, 0.0005)
+	approx(t, "coefficient", b.Coefficient, 4.47, 0.02)
+	// k2 = 4/√3 for s = 4, σ = 4.
+	approx(t, "k2", b.K2, 4/math.Sqrt(3), 1e-9)
+}
+
+func TestDNARangeMatchesAbstract(t *testing.T) {
+	// Abstract: "vary from 4.50·mn^0.520 to 9.05·mn^0.896 for random
+	// DNA sequences".
+	lo, hi := Range(4)
+	approx(t, "min exponent", lo.Exponent, 0.520, 0.002)
+	approx(t, "min coefficient", lo.Coefficient, 4.50, 0.02)
+	approx(t, "max exponent", hi.Exponent, 0.896, 0.002)
+	approx(t, "max coefficient", hi.Coefficient, 9.05, 0.02)
+	// The extremes come from ⟨1,−4,…⟩ (deep pruning) and ⟨1,−1,…⟩
+	// (shallow pruning), as §7.4 discusses.
+	if lo.Scheme.Mismatch != -4 {
+		t.Errorf("min-exponent scheme = %v, expected a (1,−4) scheme", lo.Scheme)
+	}
+	if hi.Scheme.Mismatch != -1 {
+		t.Errorf("max-exponent scheme = %v, expected the (1,−1) scheme", hi.Scheme)
+	}
+}
+
+func TestProteinRangeMatchesAbstract(t *testing.T) {
+	// Abstract: "vary from 8.28·mn^0.364 to 7.49·mn^0.723 for random
+	// proteins sequences".
+	lo, hi := Range(20)
+	approx(t, "min exponent", lo.Exponent, 0.364, 0.002)
+	approx(t, "min coefficient", lo.Coefficient, 8.28, 0.02)
+	approx(t, "max exponent", hi.Exponent, 0.723, 0.002)
+	approx(t, "max coefficient", hi.Coefficient, 7.49, 0.02)
+}
+
+func TestALAEBeatsBWTSWBoundOnDefaultScheme(t *testing.T) {
+	b, _ := Compute(align.DefaultDNA, 4)
+	if b.Exponent >= BWTSWBound.Exponent {
+		t.Errorf("ALAE exponent %.4f not below BWT-SW's %.3f", b.Exponent, BWTSWBound.Exponent)
+	}
+	if b.Coefficient >= BWTSWBound.Coefficient {
+		t.Errorf("ALAE coefficient %.2f not below BWT-SW's %.0f", b.Coefficient, BWTSWBound.Coefficient)
+	}
+	// Concretely, at n = 1e9, m = 1e6 ALAE's bound is orders of
+	// magnitude smaller.
+	alae := b.Entries(1e6, 1e9)
+	bwtsw := BWTSWBound.Coefficient * 1e6 * math.Pow(1e9, BWTSWBound.Exponent)
+	if alae >= bwtsw/10 {
+		t.Errorf("bound gap too small: ALAE %.3g vs BWT-SW %.3g", alae, bwtsw)
+	}
+}
+
+func TestComputeRejectsDegenerateInputs(t *testing.T) {
+	if _, err := Compute(align.Scheme{}, 4); err == nil {
+		t.Error("invalid scheme accepted")
+	}
+	if _, err := Compute(align.DefaultDNA, 2); err == nil {
+		t.Error("σ=2 accepted (the (σ−1)/(σ−2) factor is undefined)")
+	}
+	// For s = 1.5 on a 3-letter alphabet, k2 = 1.5·2^{2/3}/2^{−1/3} =
+	// 1.5·2 = 3 = σ exactly: the geometric series of Equation 4
+	// diverges and Compute must refuse.
+	bad := align.Scheme{Match: 2, Mismatch: -1, GapOpen: -5, GapExtend: -2}
+	if _, err := Compute(bad, 3); err == nil {
+		t.Error("diverging scheme accepted (k2 = σ expected to error)")
+	}
+}
+
+func TestGridIsSubstantial(t *testing.T) {
+	grid := BLASTGrid(4)
+	if len(grid) < 20 {
+		t.Errorf("grid has only %d valid schemes", len(grid))
+	}
+	for _, b := range grid {
+		if b.Exponent <= 0 || b.Exponent >= 1 {
+			t.Errorf("exponent %.3f out of (0,1) for %v", b.Exponent, b.Scheme)
+		}
+		if b.Coefficient <= 0 {
+			t.Errorf("non-positive coefficient for %v", b.Scheme)
+		}
+	}
+}
+
+func TestEntriesMonotonic(t *testing.T) {
+	b, _ := Compute(align.DefaultDNA, 4)
+	if b.Entries(1000, 1e6) >= b.Entries(1000, 1e8) {
+		t.Error("bound not increasing in n")
+	}
+	if b.Entries(1000, 1e6) >= b.Entries(10000, 1e6) {
+		t.Error("bound not increasing in m")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	b, _ := Compute(align.DefaultDNA, 4)
+	if s := b.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,207 @@
+// Package blast implements a BLAST-family heuristic baseline:
+// word-seeded, X-drop-extended local alignment search. It stands in
+// for NCBI BLAST in the paper's comparisons (Tables 2-3, Figure 9).
+// Like the real tool it is fast, largely insensitive to the scoring
+// scheme, and *approximate*: alignments whose text/query match
+// structure never produces a full w-character exact word are missed,
+// which is why the exact engines report more results (§7.1: "It is
+// worth mentioning that ALAE found more results than BLAST did").
+//
+// Pipeline per query: (1) look up every query w-mer in the text word
+// index; (2) ungapped X-drop extension of each seed, with per-diagonal
+// dedup; (3) for seeds whose ungapped score reaches the trigger, a
+// gapped pass over a window around the seed that reports every end
+// pair scoring at least H, making its result counts directly
+// comparable with the exact engines'.
+package blast
+
+import (
+	"repro/internal/align"
+	"repro/internal/qgram"
+)
+
+// Options tunes the heuristic.
+type Options struct {
+	// WordSize is the seed length w. Default: 11 for alphabets of at
+	// most 4 letters (blastn's default), 4 otherwise.
+	WordSize int
+	// XDrop is how far below the best-so-far score an ungapped
+	// extension may fall before stopping. Default 20·sa... scaled by
+	// the scheme in effect at search time when zero.
+	XDrop int
+	// UngappedTrigger is the ungapped score required to run the
+	// gapped pass, as a fraction of the threshold H. Default 0.5.
+	UngappedTrigger float64
+	// WindowPad is the extra margin around the ungapped segment that
+	// the gapped pass examines. Default 64.
+	WindowPad int
+}
+
+func (o *Options) fillDefaults(sigma int) {
+	if o.WordSize <= 0 {
+		if sigma <= 4 {
+			o.WordSize = 11
+		} else {
+			o.WordSize = 4
+		}
+	}
+	if o.UngappedTrigger <= 0 {
+		o.UngappedTrigger = 0.5
+	}
+	if o.WindowPad <= 0 {
+		o.WindowPad = 64
+	}
+}
+
+// Stats reports the work done by one search.
+type Stats struct {
+	Seeds             int64 // word hits examined
+	UngappedExts      int64 // ungapped extensions run
+	GappedExts        int64 // gapped windows evaluated
+	CalculatedEntries int64 // DP cells computed in gapped windows
+}
+
+// Engine is a word-indexed text ready for searches.
+type Engine struct {
+	text   []byte
+	opts   Options
+	words  map[uint64][]int32
+	packer *qgram.Packer
+	sigma  int
+}
+
+// New indexes the text's w-mers. letters is the alphabet of interest;
+// words containing other bytes are not indexed.
+func New(text []byte, letters []byte, opts Options) *Engine {
+	opts.fillDefaults(len(letters))
+	e := &Engine{text: text, opts: opts, sigma: len(letters)}
+	e.packer = qgram.NewPacker(letters, opts.WordSize)
+	if e.packer == nil {
+		// Word too wide to pack: fall back to a shorter word size.
+		for opts.WordSize > 1 && e.packer == nil {
+			opts.WordSize--
+			e.packer = qgram.NewPacker(letters, opts.WordSize)
+		}
+		e.opts = opts
+	}
+	e.words = make(map[uint64][]int32)
+	w := opts.WordSize
+	for i := 0; i+w <= len(text); i++ {
+		if key, ok := e.packer.Pack(text[i : i+w]); ok {
+			e.words[key] = append(e.words[key], int32(i))
+		}
+	}
+	return e
+}
+
+// WordSize returns the effective seed length.
+func (e *Engine) WordSize() int { return e.opts.WordSize }
+
+// Search reports end pairs with score ≥ h into c. The result is a
+// subset of what the exact engines report.
+func (e *Engine) Search(query []byte, s align.Scheme, h int, c *align.Collector) Stats {
+	var st Stats
+	w := e.opts.WordSize
+	if len(query) < w || len(e.text) == 0 {
+		return st
+	}
+	xdrop := e.opts.XDrop
+	if xdrop <= 0 {
+		xdrop = 20 * s.Match
+	}
+	trigger := int(float64(h) * e.opts.UngappedTrigger)
+	if trigger < w*s.Match {
+		trigger = w * s.Match // a bare word already scores this much
+	}
+
+	// Per-diagonal high-water mark of query positions already covered
+	// by an extension, the classic one-hit dedup.
+	covered := make(map[int32]int32)
+
+	key, ok := uint64(0), false
+	for qp := 0; qp+w <= len(query); qp++ {
+		if qp == 0 {
+			key, ok = e.packer.Pack(query[:w])
+		} else {
+			key, ok = e.packer.Next(key, query[qp+w-1])
+		}
+		if !ok {
+			// Re-sync after a foreign byte.
+			if qp+w < len(query) {
+				key, ok = e.packer.Pack(query[qp+1 : qp+1+w])
+			}
+			continue
+		}
+		for _, tp32 := range e.words[key] {
+			tp := int(tp32)
+			st.Seeds++
+			diag := int32(tp - qp)
+			if hw, seen := covered[diag]; seen && int32(qp) < hw {
+				continue
+			}
+			st.UngappedExts++
+			score, tLo, tHi, qLo, qHi := e.ungapped(query, s, tp, qp, w, xdrop)
+			covered[diag] = int32(qHi + 1)
+			if score < trigger {
+				continue
+			}
+			st.GappedExts++
+			st.CalculatedEntries += e.gapped(query, s, h, c, tLo, tHi, qLo, qHi)
+		}
+	}
+	return st
+}
+
+// ungapped extends the exact word [tp, tp+w) × [qp, qp+w) in both
+// directions without gaps under an X-drop rule, returning the best
+// segment score and its half-open spans.
+func (e *Engine) ungapped(query []byte, s align.Scheme, tp, qp, w, xdrop int) (score, tLo, tHi, qLo, qHi int) {
+	score = w * s.Match
+	tLo, tHi = tp, tp+w
+	qLo, qHi = qp, qp+w
+
+	// Right.
+	cur, best := score, score
+	bt, bq := tHi, qHi
+	for ti, qi := tHi, qHi; ti < len(e.text) && qi < len(query); ti, qi = ti+1, qi+1 {
+		cur += s.Delta(e.text[ti], query[qi])
+		if cur > best {
+			best, bt, bq = cur, ti+1, qi+1
+		}
+		if cur <= best-xdrop {
+			break
+		}
+	}
+	score, tHi, qHi = best, bt, bq
+
+	// Left.
+	cur, best = score, score
+	blt, blq := tLo, qLo
+	for ti, qi := tLo-1, qLo-1; ti >= 0 && qi >= 0; ti, qi = ti-1, qi-1 {
+		cur += s.Delta(e.text[ti], query[qi])
+		if cur > best {
+			best, blt, blq = cur, ti, qi
+		}
+		if cur <= best-xdrop {
+			break
+		}
+	}
+	return best, blt, tHi, blq, qHi
+}
+
+// gapped runs the exact affine DP over a padded window around the
+// ungapped segment and reports every end pair at or above h, with
+// coordinates shifted back to global positions. Returns cells computed.
+func (e *Engine) gapped(query []byte, s align.Scheme, h int, c *align.Collector, tLo, tHi, qLo, qHi int) int64 {
+	pad := e.opts.WindowPad
+	wtLo, wtHi := max(0, tLo-pad), min(len(e.text), tHi+pad)
+	wqLo, wqHi := max(0, qLo-pad), min(len(query), qHi+pad)
+	sub := e.text[wtLo:wtHi]
+	qsub := query[wqLo:wqHi]
+	local := align.NewCollector()
+	cells := align.LocalAllInto(sub, qsub, s, h, local)
+	for _, hit := range local.Hits() {
+		c.Add(hit.TEnd+wtLo, hit.QEnd+wqLo, hit.Score)
+	}
+	return int64(cells)
+}

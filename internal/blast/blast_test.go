@@ -1,0 +1,172 @@
+package blast
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/seq"
+)
+
+func randDNA(n int, rng *rand.Rand) []byte {
+	letters := []byte("ACGT")
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[rng.Intn(4)]
+	}
+	return out
+}
+
+func TestHitsAreSubsetOfExact(t *testing.T) {
+	// BLAST may miss results but must never invent or overscore one.
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 20; trial++ {
+		text := randDNA(400, rng)
+		query := seq.Mutate(seq.DNA, text[100:220],
+			seq.MutationConfig{SubstitutionRate: 0.05, IndelRate: 0.01}, rng)
+		h := 20
+		e := New(text, []byte("ACGT"), Options{})
+		c := align.NewCollector()
+		e.Search(query, align.DefaultDNA, h, c)
+		// Every reported end pair must be a real result; the windowed
+		// gapped pass may *under*-score a hit whose optimal alignment
+		// escapes the window, but it must never overscore one.
+		exact := make(map[[2]int]int)
+		for _, hit := range align.LocalAll(text, query, align.DefaultDNA, h) {
+			exact[[2]int{hit.TEnd, hit.QEnd}] = hit.Score
+		}
+		for _, hit := range c.Hits() {
+			best, ok := exact[[2]int{hit.TEnd, hit.QEnd}]
+			if !ok {
+				t.Fatalf("trial %d: BLAST hit %+v is not a real result", trial, hit)
+			}
+			if hit.Score > best {
+				t.Fatalf("trial %d: BLAST overscored %+v (exact %d)", trial, hit, best)
+			}
+		}
+	}
+}
+
+func TestFindsPlantedStrongAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	text := randDNA(2000, rng)
+	// A planted exact copy has w-length words everywhere: BLAST must
+	// recover its hits in full.
+	query := append(randDNA(30, rng), append(append([]byte(nil), text[500:580]...), randDNA(30, rng)...)...)
+	h := 40
+	e := New(text, []byte("ACGT"), Options{})
+	c := align.NewCollector()
+	st := e.Search(query, align.DefaultDNA, h, c)
+	if st.Seeds == 0 || st.GappedExts == 0 {
+		t.Fatalf("no seeding happened: %+v", st)
+	}
+	want := align.LocalAll(text, query, align.DefaultDNA, h)
+	if len(want) == 0 {
+		t.Fatal("planted workload produced no exact hits; test is vacuous")
+	}
+	got := c.Hits()
+	// The planted region is seed-rich; BLAST should find essentially
+	// everything the exact engines find here.
+	if len(got) < len(want)*9/10 {
+		t.Errorf("BLAST found %d of %d hits around a planted exact copy", len(got), len(want))
+	}
+}
+
+func TestMissesSeedlessAlignment(t *testing.T) {
+	// A strong alignment whose longest exact run is below the word
+	// size must be invisible to the heuristic — this is the accuracy
+	// gap the paper's exact methods close.
+	s := align.DefaultDNA
+	w := 11
+	// Build a text/query pair matching 8, mismatching 1, repeatedly.
+	var text, query []byte
+	rng := rand.New(rand.NewSource(92))
+	for k := 0; k < 30; k++ {
+		run := randDNA(8, rng)
+		text = append(text, run...)
+		query = append(query, run...)
+		text = append(text, 'A')
+		query = append(query, 'C') // forced mismatch every 9th column
+	}
+	h := 20
+	exact := align.LocalAll(text, query, s, h)
+	if len(exact) == 0 {
+		t.Fatal("construction failed to produce exact hits")
+	}
+	e := New(text, []byte("ACGT"), Options{WordSize: w})
+	c := align.NewCollector()
+	e.Search(query, s, h, c)
+	if c.Len() >= len(exact) {
+		t.Errorf("heuristic found %d of %d hits; expected it to miss seedless ones",
+			c.Len(), len(exact))
+	}
+}
+
+func TestShortQueryAndEmptyText(t *testing.T) {
+	e := New([]byte("ACGTACGTACGT"), []byte("ACGT"), Options{})
+	c := align.NewCollector()
+	if st := e.Search([]byte("ACGT"), align.DefaultDNA, 5, c); st.Seeds != 0 {
+		t.Error("query shorter than the word size should not seed")
+	}
+	e2 := New(nil, []byte("ACGT"), Options{})
+	if st := e2.Search(randDNA(50, rand.New(rand.NewSource(1))), align.DefaultDNA, 5, c); st.Seeds != 0 {
+		t.Error("empty text should not seed")
+	}
+}
+
+func TestWordSizeFallback(t *testing.T) {
+	// A huge word size over a wide alphabet cannot pack into 62 bits;
+	// the engine must shrink it rather than fail.
+	letters := []byte("ACDEFGHIKLMNPQRSTVWY")
+	e := New([]byte("ACDEFGHIKLMNPQRSTVWY"), letters, Options{WordSize: 40})
+	if e.WordSize() >= 40 {
+		t.Errorf("word size %d not reduced", e.WordSize())
+	}
+}
+
+func TestSchemeInsensitivity(t *testing.T) {
+	// Figure 9's observation: BLAST's work hardly changes across
+	// scoring schemes, because seeding ignores the scheme.
+	rng := rand.New(rand.NewSource(93))
+	text := randDNA(5000, rng)
+	query := seq.Mutate(seq.DNA, text[1000:1500],
+		seq.MutationConfig{SubstitutionRate: 0.03}, rng)
+	var seedCounts []int64
+	for _, s := range align.Fig9Schemes {
+		e := New(text, []byte("ACGT"), Options{})
+		c := align.NewCollector()
+		st := e.Search(query, s, 30, c)
+		seedCounts = append(seedCounts, st.Seeds)
+	}
+	for _, n := range seedCounts[1:] {
+		if n != seedCounts[0] {
+			t.Errorf("seed counts vary across schemes: %v", seedCounts)
+		}
+	}
+}
+
+func TestSeparatorBytesNotSeeded(t *testing.T) {
+	coll := seq.NewCollection([]seq.Record{
+		{Header: "a", Seq: []byte("ACGTACGTACGTACGT")},
+		{Header: "b", Seq: []byte("TTTTGGGGCCCCAAAA")},
+	})
+	e := New(coll.Text(), []byte("ACGT"), Options{WordSize: 4})
+	c := align.NewCollector()
+	st := e.Search([]byte("ACGTACGTACGT"), align.DefaultDNA, 8, c)
+	if st.Seeds == 0 {
+		t.Error("no seeds in collection search")
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(94))
+	text := randDNA(1_000_000, rng)
+	query := seq.Mutate(seq.DNA, text[10000:20000],
+		seq.MutationConfig{SubstitutionRate: 0.05, IndelRate: 0.005}, rng)
+	e := New(text, []byte("ACGT"), Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := align.NewCollector()
+		e.Search(query, align.DefaultDNA, 30, c)
+	}
+}

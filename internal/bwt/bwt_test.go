@@ -1,0 +1,295 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformPaperExample(t *testing.T) {
+	// §2.3: "given a text T = GCTAGC ... the BWT transformation of T'
+	// is CTGGA$C."
+	got := Transform([]byte("GCTAGC"))
+	if string(got) != "CTGGA$C" {
+		t.Errorf("Transform(GCTAGC) = %q, want CTGGA$C", got)
+	}
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	f := func(text []byte) bool {
+		// The sentinel byte must not occur in the text.
+		for i := range text {
+			if text[i] == Sentinel {
+				text[i] = 'x'
+			}
+		}
+		back, err := Inverse(Transform(text))
+		return err == nil && bytes.Equal(back, text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseRejectsGarbage(t *testing.T) {
+	if _, err := Inverse(nil); err == nil {
+		t.Error("Inverse(nil) should fail")
+	}
+	if _, err := Inverse([]byte("ABCD")); err == nil {
+		t.Error("Inverse without sentinel should fail")
+	}
+	if _, err := Inverse([]byte("A$B$")); err == nil {
+		t.Error("Inverse with two sentinels should fail")
+	}
+}
+
+// bruteCount is the oracle for Count.
+func bruteCount(text, pat []byte) int {
+	if len(pat) == 0 {
+		return len(text) + 1
+	}
+	n := 0
+	for i := 0; i+len(pat) <= len(text); i++ {
+		if bytes.Equal(text[i:i+len(pat)], pat) {
+			n++
+		}
+	}
+	return n
+}
+
+// brutePositions is the oracle for Locate.
+func brutePositions(text, pat []byte) []int {
+	var out []int
+	for i := 0; i+len(pat) <= len(text); i++ {
+		if bytes.Equal(text[i:i+len(pat)], pat) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestFMIndexPaperExample(t *testing.T) {
+	// §2.3: for T = GCTAGC, the SA range of substring GC is [4, 5]
+	// (1-based, inclusive) and its starting positions are 5 and 1
+	// (1-based), i.e. 4 and 0 in 0-based coordinates.
+	fm := New([]byte("GCTAGC"))
+	lo, hi := fm.Search([]byte("GC"))
+	if lo != 4 || hi != 6 {
+		t.Errorf("Search(GC) = [%d, %d), want [4, 6)", lo, hi)
+	}
+	pos := fm.Locate(lo, hi)
+	sort.Ints(pos)
+	if len(pos) != 2 || pos[0] != 0 || pos[1] != 4 {
+		t.Errorf("Locate(GC) = %v, want [0 4]", pos)
+	}
+}
+
+func TestFMIndexCountMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	letters := []byte("ACGT")
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = letters[rng.Intn(4)]
+		}
+		fm := NewWithOptions(text, Options{SampleRate: 4, CheckpointEvery: 16})
+		for plen := 1; plen <= 8; plen++ {
+			for k := 0; k < 10; k++ {
+				pat := make([]byte, plen)
+				for i := range pat {
+					pat[i] = letters[rng.Intn(4)]
+				}
+				if got, want := fm.Count(pat), bruteCount(text, pat); got != want {
+					t.Fatalf("Count(%q) in %q = %d, want %d", pat, text, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFMIndexLocateMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	letters := []byte("AC") // tiny alphabet = many occurrences
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = letters[rng.Intn(2)]
+		}
+		fm := NewWithOptions(text, Options{SampleRate: 7, CheckpointEvery: 32})
+		for plen := 1; plen <= 6; plen++ {
+			pat := make([]byte, plen)
+			for i := range pat {
+				pat[i] = letters[rng.Intn(2)]
+			}
+			lo, hi := fm.Search(pat)
+			got := fm.Locate(lo, hi)
+			sort.Ints(got)
+			want := brutePositions(text, pat)
+			if len(got) != len(want) {
+				t.Fatalf("Locate(%q) in %q: got %v, want %v", pat, text, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Locate(%q) in %q: got %v, want %v", pat, text, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFMIndexExtendStepwiseEqualsSearch(t *testing.T) {
+	// Backward search one character at a time (how the engines walk
+	// the emulated suffix trie) must agree with whole-pattern Search.
+	text := []byte("GCTAGCTAGCATCGATCGGGCTA")
+	fm := New(text)
+	pat := []byte("GCTA")
+	lo, hi := fm.InitRange()
+	for i := len(pat) - 1; i >= 0; i-- {
+		lo, hi = fm.Extend(lo, hi, pat[i])
+	}
+	slo, shi := fm.Search(pat)
+	if lo != slo || hi != shi {
+		t.Errorf("stepwise [%d,%d) != Search [%d,%d)", lo, hi, slo, shi)
+	}
+}
+
+func TestFMIndexAbsentByte(t *testing.T) {
+	fm := New([]byte("ACGTACGT"))
+	if fm.Count([]byte("N")) != 0 {
+		t.Error("Count of absent byte should be 0")
+	}
+	if fm.CodeOf('N') != -1 {
+		t.Error("CodeOf absent byte should be -1")
+	}
+	ilo, ihi := fm.InitRange()
+	if lo, hi := fm.Extend(ilo, ihi, 'N'); lo != hi {
+		t.Errorf("Extend with absent byte gave non-empty range [%d, %d)", lo, hi)
+	}
+}
+
+func TestFMIndexEmptyAndTiny(t *testing.T) {
+	fm := New(nil)
+	if fm.Len() != 0 || fm.Rows() != 1 {
+		t.Errorf("empty index: Len=%d Rows=%d", fm.Len(), fm.Rows())
+	}
+	if fm.Count([]byte("A")) != 0 {
+		t.Error("empty index should contain nothing")
+	}
+
+	fm = New([]byte("A"))
+	if fm.Count([]byte("A")) != 1 {
+		t.Error("single-char index lookup failed")
+	}
+	if got := fm.Locate(fm.Search([]byte("A"))); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Locate in single-char text = %v", got)
+	}
+}
+
+func TestFMIndexPositionOfEveryRow(t *testing.T) {
+	text := []byte("GCTAGCTAGCATCG")
+	fm := NewWithOptions(text, Options{SampleRate: 5})
+	// Collect positions of all rows; they must be a permutation of 0..n.
+	seen := make([]bool, fm.Rows())
+	for row := 0; row < fm.Rows(); row++ {
+		p := fm.Position(row)
+		if p < 0 || p > fm.Len() || seen[p] {
+			t.Fatalf("row %d: bad or duplicate position %d", row, p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestFMIndexProteinAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	letters := []byte("ACDEFGHIKLMNPQRSTVWY")
+	text := make([]byte, 2000)
+	for i := range text {
+		text[i] = letters[rng.Intn(len(letters))]
+	}
+	fm := New(text)
+	if fm.Sigma() != 20 {
+		t.Fatalf("Sigma = %d, want 20", fm.Sigma())
+	}
+	for trial := 0; trial < 50; trial++ {
+		start := rng.Intn(len(text) - 5)
+		pat := text[start : start+5]
+		if got, want := fm.Count(pat), bruteCount(text, pat); got != want {
+			t.Errorf("Count(%q) = %d, want %d", pat, got, want)
+		}
+	}
+}
+
+func TestFMIndexSizeAccounting(t *testing.T) {
+	text := bytes.Repeat([]byte("ACGT"), 4096)
+	fm := New(text)
+	if fm.SizeBytes() <= 0 || fm.PackedSizeBytes() <= 0 {
+		t.Fatal("sizes must be positive")
+	}
+	if fm.PackedSizeBytes() >= fm.SizeBytes() {
+		t.Errorf("packed size %d should be below raw size %d for DNA",
+			fm.PackedSizeBytes(), fm.SizeBytes())
+	}
+	if !strings.Contains(fm.String(), "FMIndex") {
+		t.Errorf("String() = %q", fm.String())
+	}
+}
+
+func TestRankBitVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 10000
+	v := newRankBitVector(n)
+	ref := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			v.Set(i)
+			ref[i] = true
+		}
+	}
+	v.Finish()
+	rank := 0
+	for i := 0; i < n; i++ {
+		if got := v.Rank(i); got != rank {
+			t.Fatalf("Rank(%d) = %d, want %d", i, got, rank)
+		}
+		if v.Get(i) != ref[i] {
+			t.Fatalf("Get(%d) = %v, want %v", i, v.Get(i), ref[i])
+		}
+		if ref[i] {
+			rank++
+		}
+	}
+}
+
+func BenchmarkFMIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	letters := []byte("ACGT")
+	text := make([]byte, 1<<20)
+	for i := range text {
+		text[i] = letters[rng.Intn(4)]
+	}
+	b.ResetTimer()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		New(text)
+	}
+}
+
+func BenchmarkFMIndexSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	letters := []byte("ACGT")
+	text := make([]byte, 1<<20)
+	for i := range text {
+		text[i] = letters[rng.Intn(4)]
+	}
+	fm := New(text)
+	pat := text[1000:1012]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fm.Search(pat)
+	}
+}

@@ -1,0 +1,298 @@
+package bwt
+
+import (
+	"fmt"
+
+	"repro/internal/sais"
+)
+
+// FMIndex is a compressed suffix array over a byte text: the BWT of
+// text+$ with checkpointed occurrence counts for O(1) backward-search
+// steps and a sampled suffix array for locating occurrences. Rows are
+// indexed over the n+1 suffixes of text+$; row 0 is always the $
+// suffix. The index is read-only after construction and safe for
+// concurrent use.
+type FMIndex struct {
+	n           int    // text length
+	sigma       int    // number of distinct bytes in the text
+	letters     []byte // distinct text bytes in sorted order
+	code        [256]int16
+	bwt         []byte  // dense codes; bwt[sentinelRow] is a placeholder
+	sentinelRow int     // row whose BWT character is $
+	c           []int32 // c[k] = 1 + #text chars with code < k ("+1" is the $ row)
+	occ         []int32 // checkpoints: occ[(row/ckpt)*sigma + k]
+	ckptEvery   int
+	sampleRate  int
+	sampleMark  *rankBitVector // rows carrying a position sample
+	samples     []int32        // sampled SA values, in row order
+}
+
+// Options tunes the space/time trade-off of the index.
+type Options struct {
+	// SampleRate is the text-position sampling interval for locate
+	// queries (smaller = faster locate, more space). Default 8.
+	SampleRate int
+	// CheckpointEvery is the occurrence-count checkpoint interval
+	// (smaller = faster rank, more space). Default 64.
+	CheckpointEvery int
+}
+
+// New builds an FM-index of text with default options.
+func New(text []byte) *FMIndex { return NewWithOptions(text, Options{}) }
+
+// NewWithOptions builds an FM-index of text.
+func NewWithOptions(text []byte, opt Options) *FMIndex {
+	if opt.SampleRate <= 0 {
+		opt.SampleRate = 8
+	}
+	if opt.CheckpointEvery <= 0 {
+		opt.CheckpointEvery = 64
+	}
+	fm := &FMIndex{
+		n:          len(text),
+		ckptEvery:  opt.CheckpointEvery,
+		sampleRate: opt.SampleRate,
+	}
+	// Dense alphabet of the text.
+	var present [256]bool
+	for _, b := range text {
+		present[b] = true
+	}
+	for i := range fm.code {
+		fm.code[i] = -1
+	}
+	for b := 0; b < 256; b++ {
+		if present[b] {
+			fm.code[b] = int16(len(fm.letters))
+			fm.letters = append(fm.letters, byte(b))
+		}
+	}
+	fm.sigma = len(fm.letters)
+
+	sa := sais.Build(text)
+	rows := fm.n + 1
+
+	// BWT over dense codes; remember where the sentinel lands.
+	fm.bwt = make([]byte, rows)
+	fm.sentinelRow = 0
+	saAt := func(row int) int32 {
+		if row == 0 {
+			return int32(fm.n)
+		}
+		return sa[row-1]
+	}
+	for row := 0; row < rows; row++ {
+		p := saAt(row)
+		if p == 0 {
+			fm.sentinelRow = row
+			fm.bwt[row] = 0 // placeholder, never counted
+			continue
+		}
+		fm.bwt[row] = byte(fm.code[text[p-1]])
+	}
+
+	// C array.
+	fm.c = make([]int32, fm.sigma+1)
+	var counts [256]int32
+	for _, b := range text {
+		counts[fm.code[b]]++
+	}
+	sum := int32(1) // the $ row precedes everything
+	for k := 0; k < fm.sigma; k++ {
+		fm.c[k] = sum
+		sum += counts[k]
+	}
+	fm.c[fm.sigma] = sum
+
+	// Occurrence checkpoints.
+	nCkpt := rows/fm.ckptEvery + 1
+	fm.occ = make([]int32, nCkpt*fm.sigma)
+	running := make([]int32, fm.sigma)
+	for row := 0; row <= rows; row++ {
+		if row%fm.ckptEvery == 0 {
+			copy(fm.occ[(row/fm.ckptEvery)*fm.sigma:], running)
+		}
+		if row < rows && row != fm.sentinelRow {
+			running[fm.bwt[row]]++
+		}
+	}
+
+	// Position samples: every SampleRate-th text position, plus 0.
+	fm.sampleMark = newRankBitVector(rows)
+	for row := 0; row < rows; row++ {
+		if p := saAt(row); p%int32(fm.sampleRate) == 0 {
+			fm.sampleMark.Set(row)
+		}
+	}
+	fm.sampleMark.Finish()
+	for row := 0; row < rows; row++ {
+		if fm.sampleMark.Get(row) {
+			fm.samples = append(fm.samples, saAt(row))
+		}
+	}
+	return fm
+}
+
+// Len returns the text length n.
+func (fm *FMIndex) Len() int { return fm.n }
+
+// Rows returns the number of suffix-array rows, n+1.
+func (fm *FMIndex) Rows() int { return fm.n + 1 }
+
+// Sigma returns the number of distinct bytes in the text.
+func (fm *FMIndex) Sigma() int { return fm.sigma }
+
+// Letters returns the distinct text bytes in sorted order.
+func (fm *FMIndex) Letters() []byte { return fm.letters }
+
+// CodeOf returns the dense code of byte b, or -1 when b does not occur
+// in the text.
+func (fm *FMIndex) CodeOf(b byte) int { return int(fm.code[b]) }
+
+// rank returns the number of occurrences of code k in bwt[0:row).
+func (fm *FMIndex) rank(k int, row int) int32 {
+	ck := row / fm.ckptEvery
+	r := fm.occ[ck*fm.sigma+k]
+	for i := ck * fm.ckptEvery; i < row; i++ {
+		if i != fm.sentinelRow && fm.bwt[i] == byte(k) {
+			r++
+		}
+	}
+	return r
+}
+
+// InitRange returns the suffix-array range of the empty pattern,
+// covering all rows.
+func (fm *FMIndex) InitRange() (lo, hi int) { return 0, fm.Rows() }
+
+// ExtendCode performs one backward-search step: given the range of a
+// pattern S it returns the range of cS, where c is the byte with dense
+// code k. An empty result is (x, x).
+func (fm *FMIndex) ExtendCode(lo, hi, k int) (int, int) {
+	return int(fm.c[k] + fm.rank(k, lo)), int(fm.c[k] + fm.rank(k, hi))
+}
+
+// Extend is ExtendCode for a raw byte. Bytes absent from the text
+// yield an empty range.
+func (fm *FMIndex) Extend(lo, hi int, b byte) (int, int) {
+	k := fm.code[b]
+	if k < 0 {
+		return lo, lo
+	}
+	return fm.ExtendCode(lo, hi, int(k))
+}
+
+// ranksAll fills counts[k] = rank(k, row) for every code k in one
+// checkpoint scan — the batched form the trie traversals use when
+// enumerating all children of a node.
+func (fm *FMIndex) ranksAll(row int, counts []int32) {
+	ck := row / fm.ckptEvery
+	copy(counts, fm.occ[ck*fm.sigma:ck*fm.sigma+fm.sigma])
+	start := ck * fm.ckptEvery
+	sent := fm.sentinelRow
+	bwt := fm.bwt
+	for i := start; i < row; i++ {
+		counts[bwt[i]]++
+	}
+	if sent >= start && sent < row {
+		counts[bwt[sent]]--
+	}
+}
+
+// ExtendAll performs the backward-search step for every character at
+// once: after the call, the range of (letter k)+S is
+// [los[k], his[k]). los and his must have length Sigma(). The cost is
+// two checkpoint scans regardless of σ, versus 2σ scans for σ
+// ExtendCode calls.
+func (fm *FMIndex) ExtendAll(lo, hi int, los, his []int32) {
+	fm.ranksAll(lo, los)
+	fm.ranksAll(hi, his)
+	for k := 0; k < fm.sigma; k++ {
+		los[k] += fm.c[k]
+		his[k] += fm.c[k]
+	}
+}
+
+// Search returns the suffix-array range [lo, hi) of pattern in the
+// text. The number of occurrences is hi-lo.
+func (fm *FMIndex) Search(pattern []byte) (lo, hi int) {
+	lo, hi = fm.InitRange()
+	for i := len(pattern) - 1; i >= 0 && lo < hi; i-- {
+		lo, hi = fm.Extend(lo, hi, pattern[i])
+	}
+	return lo, hi
+}
+
+// Count returns the number of occurrences of pattern in the text.
+func (fm *FMIndex) Count(pattern []byte) int {
+	lo, hi := fm.Search(pattern)
+	return hi - lo
+}
+
+// lf is the last-to-first mapping: the row of the suffix starting one
+// position before the suffix of the given row.
+func (fm *FMIndex) lf(row int) int {
+	if row == fm.sentinelRow {
+		return 0
+	}
+	k := int(fm.bwt[row])
+	return int(fm.c[k] + fm.rank(k, row))
+}
+
+// Position returns the text position (0-based) of the suffix at the
+// given row; row 0 (the $ suffix) yields n.
+func (fm *FMIndex) Position(row int) int {
+	steps := 0
+	for !fm.sampleMark.Get(row) {
+		row = fm.lf(row)
+		steps++
+		if steps > fm.n+1 {
+			// Unreachable on an index built by this package (the walk
+			// ends within SampleRate steps); turns a semantically
+			// corrupted loaded index into a wrong answer, not a hang.
+			return 0
+		}
+	}
+	p := int(fm.samples[fm.sampleMark.Rank(row)]) + steps
+	if p > fm.n {
+		p = 0 // only reachable through a corrupted loaded index
+	}
+	return p
+}
+
+// Locate returns the text positions of all suffixes in rows [lo, hi),
+// i.e. the starting positions of the pattern whose range is [lo, hi).
+// The positions are not sorted.
+func (fm *FMIndex) Locate(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for row := lo; row < hi; row++ {
+		out = append(out, fm.Position(row))
+	}
+	return out
+}
+
+// SizeBytes reports the actual in-memory footprint of the index
+// structures (BWT bytes, checkpoints, C array, samples). Used by the
+// Figure 11 index-size experiment.
+func (fm *FMIndex) SizeBytes() int {
+	return len(fm.bwt) + 4*len(fm.c) + 4*len(fm.occ) +
+		4*len(fm.samples) + fm.sampleMark.SizeBytes()
+}
+
+// PackedSizeBytes estimates the footprint with the BWT packed at
+// ceil(log2 sigma) bits per character, the accounting the paper uses
+// ("every character in BWT sequence can be stored using 2 bits").
+func (fm *FMIndex) PackedSizeBytes() int {
+	bitsPer := 1
+	for 1<<bitsPer < fm.sigma {
+		bitsPer++
+	}
+	packed := (len(fm.bwt)*bitsPer + 7) / 8
+	return packed + 4*len(fm.c) + 4*len(fm.occ) +
+		4*len(fm.samples) + fm.sampleMark.SizeBytes()
+}
+
+// String describes the index briefly.
+func (fm *FMIndex) String() string {
+	return fmt.Sprintf("FMIndex(n=%d, sigma=%d, sample=%d)", fm.n, fm.sigma, fm.sampleRate)
+}

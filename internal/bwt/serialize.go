@@ -1,0 +1,278 @@
+package bwt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Index serialization: a versioned little-endian binary format so an
+// index built once can be saved and reloaded instead of rebuilt — the
+// first step toward the external-memory deployment the paper lists as
+// future work ("exploit algorithms using external memory"). The
+// format stores every component of the FM-index verbatim; loading
+// performs structural validation and fails cleanly on truncated or
+// corrupted input.
+
+const (
+	serialMagic   = 0x414c4145 // "ALAE"
+	serialVersion = 1
+)
+
+// WriteTo serialises the index. It implements io.WriterTo.
+func (fm *FMIndex) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	header := []any{
+		uint32(serialMagic), uint32(serialVersion),
+		uint64(fm.n), uint32(fm.sigma), uint32(fm.sentinelRow),
+		uint32(fm.ckptEvery), uint32(fm.sampleRate),
+	}
+	if err := write(header...); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(len(fm.letters)), fm.letters); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint64(len(fm.bwt)), fm.bwt); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(len(fm.c)), fm.c); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint64(len(fm.occ)), fm.occ); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint64(len(fm.samples)), fm.samples); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint64(len(fm.sampleMark.words)), fm.sampleMark.words); err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadFMIndex deserialises an index written by WriteTo.
+func ReadFMIndex(r io.Reader) (*FMIndex, error) {
+	br := bufio.NewReader(r)
+	read := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var magic, version uint32
+	if err := read(&magic, &version); err != nil {
+		return nil, fmt.Errorf("bwt: reading index header: %w", err)
+	}
+	if magic != serialMagic {
+		return nil, fmt.Errorf("bwt: bad magic %#x; not an ALAE index", magic)
+	}
+	if version != serialVersion {
+		return nil, fmt.Errorf("bwt: unsupported index version %d (want %d)", version, serialVersion)
+	}
+	fm := &FMIndex{}
+	var n uint64
+	var sigma, sentinelRow, ckptEvery, sampleRate uint32
+	if err := read(&n, &sigma, &sentinelRow, &ckptEvery, &sampleRate); err != nil {
+		return nil, fmt.Errorf("bwt: reading index dimensions: %w", err)
+	}
+	const maxReasonable = 1 << 40
+	if n > maxReasonable || sigma > 256 || ckptEvery == 0 || sampleRate == 0 {
+		return nil, fmt.Errorf("bwt: implausible index dimensions (n=%d, σ=%d)", n, sigma)
+	}
+	fm.n = int(n)
+	fm.sigma = int(sigma)
+	fm.sentinelRow = int(sentinelRow)
+	fm.ckptEvery = int(ckptEvery)
+	fm.sampleRate = int(sampleRate)
+	if fm.sentinelRow > fm.n {
+		return nil, fmt.Errorf("bwt: sentinel row %d out of range", fm.sentinelRow)
+	}
+
+	var nLetters uint32
+	if err := read(&nLetters); err != nil {
+		return nil, err
+	}
+	if int(nLetters) != fm.sigma {
+		return nil, fmt.Errorf("bwt: letters length %d != σ %d", nLetters, fm.sigma)
+	}
+	fm.letters = make([]byte, nLetters)
+	if err := read(fm.letters); err != nil {
+		return nil, err
+	}
+	for i := range fm.code {
+		fm.code[i] = -1
+	}
+	for i, b := range fm.letters {
+		fm.code[b] = int16(i)
+	}
+
+	var nBWT uint64
+	if err := read(&nBWT); err != nil {
+		return nil, err
+	}
+	if nBWT != n+1 {
+		return nil, fmt.Errorf("bwt: BWT length %d != n+1 = %d", nBWT, n+1)
+	}
+	bwtBytes, err := ReadExact(br, nBWT)
+	if err != nil {
+		return nil, fmt.Errorf("bwt: reading BWT: %w", err)
+	}
+	fm.bwt = bwtBytes
+	for _, b := range fm.bwt {
+		if int(b) >= fm.sigma && fm.sigma > 0 {
+			return nil, fmt.Errorf("bwt: BWT code %d out of alphabet", b)
+		}
+	}
+
+	var nC uint32
+	if err := read(&nC); err != nil {
+		return nil, err
+	}
+	if int(nC) != fm.sigma+1 {
+		return nil, fmt.Errorf("bwt: C length %d != σ+1", nC)
+	}
+	fm.c = make([]int32, nC)
+	if err := read(fm.c); err != nil {
+		return nil, err
+	}
+
+	var nOcc, nSamples, nWords uint64
+	if err := read(&nOcc); err != nil {
+		return nil, err
+	}
+	wantOcc := uint64(((fm.n+1)/fm.ckptEvery + 1) * fm.sigma)
+	if nOcc != wantOcc {
+		return nil, fmt.Errorf("bwt: occ length %d != expected %d", nOcc, wantOcc)
+	}
+	if fm.occ, err = readInt32s(br, nOcc); err != nil {
+		return nil, fmt.Errorf("bwt: reading occ checkpoints: %w", err)
+	}
+	if err := read(&nSamples); err != nil {
+		return nil, err
+	}
+	if nSamples > n+1 {
+		return nil, fmt.Errorf("bwt: %d samples for %d rows", nSamples, n+1)
+	}
+	if fm.samples, err = readInt32s(br, nSamples); err != nil {
+		return nil, fmt.Errorf("bwt: reading samples: %w", err)
+	}
+	if err := read(&nWords); err != nil {
+		return nil, err
+	}
+	wantWords := uint64((fm.n + 1 + 63) / 64)
+	if nWords != wantWords {
+		return nil, fmt.Errorf("bwt: sample bitmap words %d != expected %d", nWords, wantWords)
+	}
+	wordBytes, err := ReadExact(br, nWords*8)
+	if err != nil {
+		return nil, err
+	}
+	mark := newRankBitVector(fm.n + 1)
+	for i := range mark.words {
+		mark.words[i] = binary.LittleEndian.Uint64(wordBytes[8*i:])
+	}
+	mark.Finish()
+	if got := mark.Rank(fm.n + 1); got != int(nSamples) {
+		return nil, fmt.Errorf("bwt: sample bitmap popcount %d != sample count %d", got, nSamples)
+	}
+	fm.sampleMark = mark
+	if err := fm.verifyConsistency(); err != nil {
+		return nil, err
+	}
+	return fm, nil
+}
+
+// verifyConsistency recomputes the C array and the occurrence
+// checkpoints from the loaded BWT and compares them against the
+// stored values. This is what makes a maliciously crafted index safe:
+// with C and occ provably derived from the BWT itself, every rank and
+// LF result stays in range, so no search can index out of bounds.
+// Cost is one O(n) scan, far below the cost of building the index.
+func (fm *FMIndex) verifyConsistency() error {
+	rows := fm.n + 1
+	counts := make([]int32, fm.sigma)
+	for row := 0; row < rows; row++ {
+		if row%fm.ckptEvery == 0 {
+			base := (row / fm.ckptEvery) * fm.sigma
+			for k := 0; k < fm.sigma; k++ {
+				if fm.occ[base+k] != counts[k] {
+					return fmt.Errorf("bwt: occ checkpoint %d/%d inconsistent with BWT content", row/fm.ckptEvery, k)
+				}
+			}
+		}
+		if row != fm.sentinelRow {
+			counts[fm.bwt[row]]++
+		}
+	}
+	sum := int32(1)
+	for k := 0; k < fm.sigma; k++ {
+		if fm.c[k] != sum {
+			return fmt.Errorf("bwt: C[%d] = %d inconsistent with BWT content (want %d)", k, fm.c[k], sum)
+		}
+		sum += counts[k]
+	}
+	if fm.c[fm.sigma] != sum || int(sum) != rows {
+		return fmt.Errorf("bwt: C array total %d inconsistent with %d rows", fm.c[fm.sigma], rows)
+	}
+	for _, p := range fm.samples {
+		if p < 0 || int(p) > fm.n {
+			return fmt.Errorf("bwt: sample position %d out of range", p)
+		}
+	}
+	return nil
+}
+
+// ReadExact reads exactly n bytes, growing the buffer in bounded
+// chunks so that a lying length field in a corrupted index fails with
+// an I/O error instead of exhausting memory on one giant allocation.
+func ReadExact(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 22
+	out := make([]byte, 0, min(n, chunk))
+	remaining := n
+	for remaining > 0 {
+		step := min(remaining, uint64(chunk))
+		start := len(out)
+		out = append(out, make([]byte, step)...)
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, err
+		}
+		remaining -= step
+	}
+	return out, nil
+}
+
+// readInt32s reads count little-endian int32 values via ReadExact.
+func readInt32s(r io.Reader, count uint64) ([]int32, error) {
+	raw, err := ReadExact(r, count*4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

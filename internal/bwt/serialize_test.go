@@ -1,0 +1,133 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func buildTestIndex(t *testing.T, n int, seed int64) (*FMIndex, []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	letters := []byte("ACGT")
+	text := make([]byte, n)
+	for i := range text {
+		text[i] = letters[rng.Intn(4)]
+	}
+	return New(text), text
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	fm, text := buildTestIndex(t, 5000, 120)
+	var buf bytes.Buffer
+	written, err := fm.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", written, buf.Len())
+	}
+	back, err := ReadFMIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != fm.Len() || back.Sigma() != fm.Sigma() {
+		t.Fatalf("dimensions changed: %v vs %v", back, fm)
+	}
+	// Behavioural equality: counts and locates agree on many probes.
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 200; trial++ {
+		l := 1 + rng.Intn(10)
+		start := rng.Intn(len(text) - l)
+		pat := text[start : start+l]
+		lo1, hi1 := fm.Search(pat)
+		lo2, hi2 := back.Search(pat)
+		if lo1 != lo2 || hi1 != hi2 {
+			t.Fatalf("Search(%q) differs after round trip", pat)
+		}
+		p1 := fm.Locate(lo1, min(hi1, lo1+5))
+		p2 := back.Locate(lo2, min(hi2, lo2+5))
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("Locate(%q) differs after round trip", pat)
+			}
+		}
+	}
+}
+
+func TestSerializeEmptyAndTiny(t *testing.T) {
+	for _, text := range [][]byte{nil, []byte("A"), []byte("AC")} {
+		fm := New(text)
+		var buf bytes.Buffer
+		if _, err := fm.WriteTo(&buf); err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		back, err := ReadFMIndex(&buf)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if back.Len() != len(text) {
+			t.Errorf("%q: length %d after round trip", text, back.Len())
+		}
+	}
+}
+
+func TestSerializeRejectsCorruption(t *testing.T) {
+	fm, _ := buildTestIndex(t, 1000, 122)
+	var buf bytes.Buffer
+	if _, err := fm.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at many offsets must all fail, never panic.
+	for _, cut := range []int{0, 3, 8, 20, len(good) / 2, len(good) - 1} {
+		if _, err := ReadFMIndex(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := ReadFMIndex(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := ReadFMIndex(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Implausible n (length field blown up).
+	bad = append([]byte(nil), good...)
+	for i := 8; i < 16; i++ {
+		bad[i] = 0xff
+	}
+	if _, err := ReadFMIndex(bytes.NewReader(bad)); err == nil {
+		t.Error("implausible n accepted")
+	}
+}
+
+func TestSerializeProteinAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	letters := []byte("ACDEFGHIKLMNPQRSTVWY")
+	text := make([]byte, 2000)
+	for i := range text {
+		text[i] = letters[rng.Intn(len(letters))]
+	}
+	fm := New(text)
+	var buf bytes.Buffer
+	if _, err := fm.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFMIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Sigma() != 20 {
+		t.Errorf("σ = %d after round trip", back.Sigma())
+	}
+	if back.Count(text[100:110]) != fm.Count(text[100:110]) {
+		t.Error("counts differ after round trip")
+	}
+}

@@ -1,0 +1,346 @@
+// Package bwtsw implements the BWT-SW baseline (Lam et al.,
+// Bioinformatics 2008), the exact local-alignment method that ALAE
+// improves on. BWT-SW runs the BASIC algorithm's dynamic program over
+// the suffix trie of the text, emulated on a compressed suffix array,
+// with one pruning rule: non-positive alignment scores are meaningless
+// (§2.4: "BWT-SW traverses the suffix trie in preorder and provides an
+// early-termination technique by ignoring all negative alignment
+// scores ... if the matrix indicates that there is not any substring
+// of the query pattern having a positive score when aligned with the
+// path, then BWT-SW can safely prune the subtree").
+//
+// Rows of each path matrix are kept sparse: only cells with a positive
+// best score are stored. That loses nothing because M ≥ Ga and M ≥ Gb
+// hold cell-wise (M maximises over both), so every auxiliary score of
+// a dead cell is non-positive and can only decay. Every cell
+// evaluation is counted; the paper's Table 4 charges BWT-SW 3 cost
+// units per cell (M, Ga and Gb all computed).
+package bwtsw
+
+import (
+	"repro/internal/align"
+	"repro/internal/strie"
+)
+
+// Stats reports the work done by one search.
+type Stats struct {
+	CalculatedEntries int64 // DP cells evaluated
+	NodesVisited      int64 // emulated trie nodes expanded
+	MaxDepth          int   // deepest row reached
+}
+
+// ComputationCost is the paper's §7.2 cost accounting: BWT-SW pays 3
+// units per calculated entry.
+func (st Stats) ComputationCost() int64 { return 3 * st.CalculatedEntries }
+
+// Engine searches one indexed text. It is safe for concurrent
+// searches once built.
+type Engine struct {
+	trie *strie.Trie
+}
+
+// New indexes the text and returns an engine.
+func New(text []byte) *Engine { return &Engine{trie: strie.New(text)} }
+
+// NewFromTrie wraps an existing emulated suffix trie, letting callers
+// share one index across engines.
+func NewFromTrie(t *strie.Trie) *Engine { return &Engine{trie: t} }
+
+// Trie exposes the underlying emulated suffix trie.
+func (e *Engine) Trie() *strie.Trie { return e.trie }
+
+const negInf = int32(-1) << 28
+
+// row is a sparse DP row: parallel slices of alive columns (1-based),
+// their best scores M and auxiliary vertical-gap scores Ga.
+type row struct {
+	js []int32
+	m  []int32
+	ga []int32
+}
+
+func (r *row) reset() { r.js, r.m, r.ga = r.js[:0], r.m[:0], r.ga[:0] }
+
+// Search reports every end pair (i, j) with best alignment score ≥ h
+// into c and returns work statistics. h must be at least 1; the
+// method is exact for any h ≥ 1 (BWT-SW does not need the q-prefix
+// assumption that ALAE does).
+func (e *Engine) Search(query []byte, s align.Scheme, h int, c *align.Collector) Stats {
+	var st Stats
+	m := len(query)
+	if m == 0 || e.trie.Index().Len() == 0 {
+		return st
+	}
+	if h < 1 {
+		h = 1
+	}
+	// Depth cap implied by positivity: a positive cell (i, j) needs
+	// i ≤ j + (j·sa + sg)/|ss| ≤ Lmax(m, 1) (Theorem 1 with H = 1),
+	// so this cap removes nothing BWT-SW would keep.
+	maxDepth := s.Lmax(m, 1)
+
+	d := &dfsState{
+		e: e, query: query, s: s, h: h, c: c, st: &st,
+		maxDepth: maxDepth,
+	}
+	root := e.trie.Root()
+	for _, ch := range e.trie.Letters() {
+		child, ok := e.trie.Child(root, ch)
+		if !ok {
+			continue
+		}
+		d.ensureRows(1)
+		d.firstRow(ch)
+		if len(d.rows[0].js) > 0 {
+			d.walk(child, 0)
+		}
+	}
+	return st
+}
+
+type dfsState struct {
+	e        *Engine
+	query    []byte
+	s        align.Scheme
+	h        int
+	c        *align.Collector
+	st       *Stats
+	maxDepth int
+	rows     []row   // rows[d] is the sparse row at depth d+1
+	cand     []int32 // scratch candidate-column buffer
+
+	scratch []*childScratch
+}
+
+// childScratch holds one recursion level's child-enumeration buffers.
+type childScratch struct {
+	nodes    []strie.Node
+	los, his []int32
+}
+
+func (d *dfsState) getScratch() *childScratch {
+	if n := len(d.scratch); n > 0 {
+		sc := d.scratch[n-1]
+		d.scratch = d.scratch[:n-1]
+		return sc
+	}
+	sigma := d.e.trie.Index().Sigma()
+	return &childScratch{
+		nodes: make([]strie.Node, sigma),
+		los:   make([]int32, sigma),
+		his:   make([]int32, sigma),
+	}
+}
+
+func (d *dfsState) putScratch(sc *childScratch) { d.scratch = append(d.scratch, sc) }
+
+func (d *dfsState) ensureRows(n int) {
+	for len(d.rows) < n {
+		d.rows = append(d.rows, row{})
+	}
+}
+
+// firstRow computes the depth-1 row for edge character ch from the
+// dense virtual row 0 (M(0, j) = 0 for every j).
+func (d *dfsState) firstRow(ch byte) {
+	out := &d.rows[0]
+	out.reset()
+	s := d.s
+	open := int32(s.GapOpen + s.GapExtend)
+	ext := int32(s.GapExtend)
+	gb := negInf
+	for j := 1; j <= len(d.query); j++ {
+		diag := int32(s.Delta(ch, d.query[j-1])) // M(0, j-1) = 0
+		ga := open                               // from M(0, j) = 0
+		mv := max32(diag, ga, gb)
+		d.st.CalculatedEntries++
+		if mv > 0 {
+			out.js = append(out.js, int32(j))
+			out.m = append(out.m, mv)
+			out.ga = append(out.ga, ga)
+		}
+		// Gb(1, j+1) = max(Gb(1, j)+ss, M(1, j)+sg+ss).
+		gb = carryNext(gb, mv, ext, open)
+	}
+}
+
+// walk expands the subtree under node, whose sparse row sits at
+// rows[depthIdx] (node.Depth == depthIdx+1).
+func (d *dfsState) walk(node strie.Node, depthIdx int) {
+	d.st.NodesVisited++
+	if node.Depth > d.st.MaxDepth {
+		d.st.MaxDepth = node.Depth
+	}
+	d.emit(node, depthIdx)
+	if node.Depth >= d.maxDepth {
+		return
+	}
+	d.ensureRows(depthIdx + 2)
+	if node.Hi-node.Lo == 1 && node.Depth >= 12 {
+		// Deep single-occurrence survivors are long homologous runs:
+		// read the rest of the path directly from the text instead of
+		// paying backward-search steps and locates per level.
+		d.walkLinear(node, depthIdx)
+		return
+	}
+	sc := d.getScratch()
+	d.e.trie.Children(node, sc.nodes, sc.los, sc.his)
+	for k, ch := range d.e.trie.Letters() {
+		child := sc.nodes[k]
+		if child.Lo >= child.Hi {
+			continue
+		}
+		d.nextRow(depthIdx, ch, depthIdx+1)
+		if len(d.rows[depthIdx+1].js) > 0 {
+			d.walk(child, depthIdx+1)
+		}
+	}
+	d.putScratch(sc)
+}
+
+// walkLinear advances a single-occurrence path by reading the text,
+// alternating between two row slots.
+func (d *dfsState) walkLinear(node strie.Node, depthIdx int) {
+	t := d.e.trie.Occurrences(node)[0]
+	text := d.e.trie.Text()
+	cur, next := depthIdx, depthIdx+1
+	for i := node.Depth + 1; i <= d.maxDepth; i++ {
+		pos := t + i - 1
+		if pos >= len(text) {
+			return
+		}
+		d.st.NodesVisited++
+		if i > d.st.MaxDepth {
+			d.st.MaxDepth = i
+		}
+		d.nextRow(cur, text[pos], next)
+		cur, next = next, cur
+		row := &d.rows[cur]
+		if len(row.js) == 0 {
+			return
+		}
+		for k, j := range row.js {
+			if int(row.m[k]) >= d.h {
+				d.c.Add(t+i-1, int(j)-1, int(row.m[k]))
+			}
+		}
+	}
+}
+
+// emit reports all cells at or above the threshold, expanding the
+// node's occurrence list at most once.
+func (d *dfsState) emit(node strie.Node, depthIdx int) {
+	cur := &d.rows[depthIdx]
+	var occ []int
+	for k, j := range cur.js {
+		if int(cur.m[k]) < d.h {
+			continue
+		}
+		if occ == nil {
+			occ = d.e.trie.Occurrences(node)
+		}
+		for _, t := range occ {
+			d.c.Add(t+node.Depth-1, int(j)-1, int(cur.m[k]))
+		}
+	}
+}
+
+// nextRow computes rows[outIdx] for edge character ch from the sparse
+// parent row rows[parentIdx], sweeping candidate columns in increasing
+// order and chaining the horizontal gap score Gb within the row.
+func (d *dfsState) nextRow(parentIdx int, ch byte, outIdx int) {
+	parent := &d.rows[parentIdx]
+	out := &d.rows[outIdx]
+	out.reset()
+	np := len(parent.js)
+	if np == 0 {
+		return
+	}
+	s := d.s
+	open := int32(s.GapOpen + s.GapExtend)
+	ext := int32(s.GapExtend)
+	m := int32(len(d.query))
+
+	// Candidate columns: each parent cell at pj can make the child
+	// alive at pj (via Ga) or pj+1 (via diag); Gb extensions are
+	// chained during the sweep.
+	cand := d.cand[:0]
+	for k := 0; k < np; k++ {
+		pj := parent.js[k]
+		cand = append(cand, pj)
+		if k+1 >= np || parent.js[k+1] != pj+1 {
+			if pj+1 <= m {
+				cand = append(cand, pj+1)
+			}
+		}
+	}
+	d.cand = cand
+
+	gb := negInf // Gb value applying to the column currently processed
+	ci := 0
+	pi := 0 // parent index, advanced monotonically
+	j := cand[0]
+	for j <= m {
+		// Locate parent cells at j-1 (diag) and j (Ga).
+		for pi < np && parent.js[pi] < j-1 {
+			pi++
+		}
+		diag, ga := negInf, negInf
+		k := pi
+		if k < np && parent.js[k] == j-1 {
+			diag = parent.m[k] + int32(s.Delta(ch, d.query[j-1]))
+			k++
+		}
+		if k < np && parent.js[k] == j {
+			ga = max32(parent.ga[k]+ext, parent.m[k]+open, negInf)
+		}
+		mv := max32(diag, ga, gb)
+		d.st.CalculatedEntries++
+		if mv > 0 {
+			out.js = append(out.js, j)
+			out.m = append(out.m, mv)
+			out.ga = append(out.ga, ga)
+		}
+		gb = carryNext(gb, mv, ext, open)
+
+		// Pick the next column: j+1 while the Gb carry is alive,
+		// otherwise the next candidate beyond j.
+		for ci < len(cand) && cand[ci] <= j {
+			ci++
+		}
+		if gb > 0 {
+			j++
+		} else if ci < len(cand) {
+			j = cand[ci]
+		} else {
+			break
+		}
+	}
+}
+
+// carryNext advances the horizontal gap carry from column j to j+1:
+// Gb(i, j+1) = max(Gb(i, j)+ss, M(i, j)+sg+ss), dropping to −∞ once
+// non-positive (it could never resurrect a cell).
+func carryNext(gb, mv, ext, open int32) int32 {
+	ng := negInf
+	if gb > negInf {
+		ng = gb + ext
+	}
+	if mv > 0 && mv+open > ng {
+		ng = mv + open
+	}
+	if ng <= 0 {
+		return negInf
+	}
+	return ng
+}
+
+func max32(vals ...int32) int32 {
+	best := vals[0]
+	for _, v := range vals[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,182 @@
+package bwtsw
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+)
+
+func randDNA(n int, rng *rand.Rand) []byte {
+	letters := []byte("ACGT")
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[rng.Intn(4)]
+	}
+	return out
+}
+
+// run returns the engine's sorted hits.
+func run(text, query []byte, s align.Scheme, h int) ([]align.Hit, Stats) {
+	e := New(text)
+	c := align.NewCollector()
+	st := e.Search(query, s, h, c)
+	return c.Hits(), st
+}
+
+func TestSearchMatchesGotohRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 60; trial++ {
+		text := randDNA(30+rng.Intn(150), rng)
+		query := randDNA(10+rng.Intn(80), rng)
+		h := 3 + rng.Intn(8)
+		got, _ := run(text, query, align.DefaultDNA, h)
+		want := align.LocalAll(text, query, align.DefaultDNA, h)
+		if !align.EqualHits(got, want) {
+			t.Fatalf("trial %d (T=%q P=%q H=%d):\n got %v\nwant %v",
+				trial, text, query, h, got, want)
+		}
+	}
+}
+
+func TestSearchMatchesGotohHomologous(t *testing.T) {
+	// Mutated copies exercise gapped alignments.
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 20; trial++ {
+		text := randDNA(200, rng)
+		q := append([]byte(nil), text[50:110]...)
+		q[10] = 'A'
+		q[30] = 'C'
+		q = append(q[:20], q[23:]...) // 3-char deletion
+		h := 10
+		got, _ := run(text, q, align.DefaultDNA, h)
+		want := align.LocalAll(text, q, align.DefaultDNA, h)
+		if !align.EqualHits(got, want) {
+			t.Fatalf("trial %d:\n got %v\nwant %v", trial, got, want)
+		}
+		if len(want) == 0 {
+			t.Fatalf("trial %d: workload produced no hits; test is vacuous", trial)
+		}
+	}
+}
+
+func TestSearchAllSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for _, s := range align.Fig9Schemes {
+		for trial := 0; trial < 15; trial++ {
+			text := randDNA(80+rng.Intn(80), rng)
+			query := randDNA(40, rng)
+			h := 5 + rng.Intn(5)
+			got, _ := run(text, query, s, h)
+			want := align.LocalAll(text, query, s, h)
+			if !align.EqualHits(got, want) {
+				t.Fatalf("scheme %v trial %d (T=%q P=%q H=%d):\n got %v\nwant %v",
+					s, trial, text, query, h, got, want)
+			}
+		}
+	}
+}
+
+func TestSearchProteinAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	letters := []byte("ACDEFGHIKLMNPQRSTVWY")
+	randProt := func(n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = letters[rng.Intn(len(letters))]
+		}
+		return out
+	}
+	s := align.DefaultProtein
+	for trial := 0; trial < 15; trial++ {
+		text := randProt(150)
+		query := append(randProt(10), append(append([]byte(nil), text[40:80]...), randProt(10)...)...)
+		h := 8
+		got, _ := run(text, query, s, h)
+		want := align.LocalAll(text, query, s, h)
+		if !align.EqualHits(got, want) {
+			t.Fatalf("trial %d:\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+func TestSearchRepeatRichText(t *testing.T) {
+	// Heavy repetition stresses occurrence fan-out (one trie path,
+	// many text positions).
+	rng := rand.New(rand.NewSource(84))
+	unit := randDNA(20, rng)
+	var text []byte
+	for i := 0; i < 10; i++ {
+		text = append(text, unit...)
+	}
+	query := append(append([]byte(nil), unit...), randDNA(10, rng)...)
+	h := 12
+	got, _ := run(text, query, align.DefaultDNA, h)
+	want := align.LocalAll(text, query, align.DefaultDNA, h)
+	if !align.EqualHits(got, want) {
+		t.Fatalf("repeat text:\n got %v\nwant %v", got, want)
+	}
+	if len(want) == 0 {
+		t.Fatal("vacuous repeat test")
+	}
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	e := New([]byte("ACGT"))
+	c := align.NewCollector()
+	if st := e.Search(nil, align.DefaultDNA, 5, c); st.CalculatedEntries != 0 {
+		t.Error("empty query should compute nothing")
+	}
+	// h below 1 is clamped; still exact.
+	c = align.NewCollector()
+	e.Search([]byte("ACGT"), align.DefaultDNA, 0, c)
+	want := align.LocalAll([]byte("ACGT"), []byte("ACGT"), align.DefaultDNA, 1)
+	if !align.EqualHits(c.Hits(), want) {
+		t.Errorf("h=0 clamp: got %v, want %v", c.Hits(), want)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	text := randDNA(500, rng)
+	query := randDNA(100, rng)
+	_, st := run(text, query, align.DefaultDNA, 15)
+	if st.CalculatedEntries <= 0 {
+		t.Error("no entries calculated")
+	}
+	if st.NodesVisited <= 0 {
+		t.Error("no nodes visited")
+	}
+	if st.ComputationCost() != 3*st.CalculatedEntries {
+		t.Error("cost accounting drifted from the paper's 3 units per entry")
+	}
+	// BWT-SW must compute far less than the full n·m matrix on random
+	// DNA — that is its whole point versus Smith-Waterman.
+	full := int64(len(text)) * int64(len(query))
+	if st.CalculatedEntries >= full {
+		t.Errorf("calculated %d ≥ full matrix %d: pruning is not working",
+			st.CalculatedEntries, full)
+	}
+}
+
+func TestDepthCapMatchesTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	text := randDNA(400, rng)
+	query := randDNA(30, rng)
+	_, st := run(text, query, align.DefaultDNA, 5)
+	if st.MaxDepth > align.DefaultDNA.Lmax(len(query), 1) {
+		t.Errorf("depth %d exceeded Lmax(m,1)=%d", st.MaxDepth, align.DefaultDNA.Lmax(len(query), 1))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(87))
+	text := randDNA(100000, rng)
+	query := randDNA(1000, rng)
+	e := New(text)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := align.NewCollector()
+		e.Search(query, align.DefaultDNA, 25, c)
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/strie"
+)
+
+// The DFS engine computes, per q-gram fork family, the single matrix
+// M_X of §2.2 restricted to its meaningful regions: the NGR diagonals
+// are advanced per fork (they are disjoint by construction and use the
+// one-source recurrence of Equation 3, cost 1), while all gap regions
+// of the matrix live in ONE merged sparse band per trie path — fork
+// regions overlap in M_X, and a matrix entry is a matrix entry no
+// matter how many fork areas contain it, so merging computes each at
+// most once. Every FGOE seeds the band with its cell value; the
+// horizontal extension run of §3.1.3 then falls out of the band's own
+// Gb carry. This achieves within the DFS what §4's reuse achieves for
+// the column-wise hybrid engine: duplicated entries are not
+// recalculated.
+
+// seedCell is an FGOE entering the merged band at the current row.
+type seedCell struct {
+	j int32 // 1-based query column
+	v int32 // FGOE score
+}
+
+// bandRow is one row of the merged gap-region band: sorted alive
+// columns with their best scores M and vertical-gap scores Ga.
+type bandRow struct {
+	js []int32
+	m  []int32
+	ga []int32
+}
+
+func (r *bandRow) reset() { r.js, r.m, r.ga = r.js[:0], r.m[:0], r.ga[:0] }
+
+// dfsGram builds this fork family's row-q state — per-fork NGR
+// diagonals plus the merged band holding any pre-q FGOE regions — and
+// walks the subtree. survivors are ascending 0-based query positions.
+func (ctx *searchCtx) dfsGram(node strie.Node, gram []byte, survivors []int32, occGetter func() []int) {
+	forks := make([]fork, 0, len(survivors))
+	for _, col0 := range survivors {
+		forks = append(forks, ctx.newFork(col0, gram))
+	}
+	if len(ctx.bands) == 0 {
+		ctx.bands = append(ctx.bands, bandRow{})
+	}
+	ngr := mergeForkBands(forks, &ctx.bands[0])
+	ctx.dfsEmitRowQ(node, ngr, &ctx.bands[0], occGetter)
+	if len(ngr) > 0 || len(ctx.bands[0].js) > 0 {
+		ctx.dfsWalk(node, ngr, 0)
+	}
+}
+
+// dfsEmitRowQ reports row-q hits at the gram node itself: the EMR
+// diagonal cell scores q·sa and can already reach the threshold, both
+// for forks still on the diagonal and for band cells from forks whose
+// FGOE fell inside the EMR.
+func (ctx *searchCtx) dfsEmitRowQ(node strie.Node, forks []fork, band *bandRow, occGetter func() []int) {
+	q := node.Depth
+	emit := func(j int32, score int32) {
+		for _, t := range occGetter() {
+			ctx.c.Add(t+q-1, int(j)-1, int(score))
+		}
+	}
+	for k := range forks {
+		f := &forks[k]
+		if f.phase == phaseNGR && int(f.score) >= ctx.h {
+			emit(f.col0+int32(q), f.score)
+		}
+	}
+	for k, mv := range band.m {
+		if mv > negInf && int(mv) >= ctx.h {
+			emit(band.js[k], mv)
+		}
+	}
+}
+
+// mergeForkBands folds the row-q bands of forks whose FGOE fell inside
+// the EMR (built by newFork) into one merged band, taking the maximum
+// on collisions.
+func mergeForkBands(forks []fork, out *bandRow) []fork {
+	out.reset()
+	ngr := forks[:0]
+	type cell struct{ j, m, ga int32 }
+	var cells []cell
+	for _, f := range forks {
+		switch f.phase {
+		case phaseNGR:
+			ngr = append(ngr, f)
+		case phaseGap:
+			for k, mv := range f.m {
+				if mv > negInf {
+					cells = append(cells, cell{f.lo + int32(k), mv, f.ga[k]})
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return ngr
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a].j < cells[b].j })
+	for _, c := range cells {
+		if n := len(out.js); n > 0 && out.js[n-1] == c.j {
+			if c.m > out.m[n-1] {
+				out.m[n-1] = c.m
+			}
+			if c.ga > out.ga[n-1] {
+				out.ga[n-1] = c.ga
+			}
+			continue
+		}
+		out.js = append(out.js, c.j)
+		out.m = append(out.m, c.m)
+		out.ga = append(out.ga, c.ga)
+	}
+	return ngr
+}
+
+// dfsWalk expands the subtree under node: one NGR step per live fork
+// plus one merged-band row per trie edge. bandIdx indexes the
+// per-depth band storage (node.Depth - q).
+func (ctx *searchCtx) dfsWalk(node strie.Node, forks []fork, bandIdx int) {
+	ctx.st.NodesVisited++
+	if node.Depth > ctx.st.MaxDepth {
+		ctx.st.MaxDepth = node.Depth
+	}
+	if node.Depth >= ctx.lmax {
+		return
+	}
+	for len(ctx.bands) <= bandIdx+1 {
+		ctx.bands = append(ctx.bands, bandRow{})
+	}
+	if node.Hi-node.Lo == 1 && node.Depth >= ctx.st.Q+8 {
+		// A single-occurrence node that survived this deep is almost
+		// certainly a long homologous run: the remaining path is a
+		// literal text substring, so read it directly instead of
+		// paying backward-search steps and locates per level. Shallow
+		// width-1 nodes mostly die within a level or two, where the
+		// one-off locate would cost more than it saves.
+		ctx.dfsLinear(node, forks, bandIdx)
+		return
+	}
+	sc := ctx.scratch()
+	ctx.e.trie.Children(node, sc.nodes, sc.los, sc.his)
+	for k, ch := range ctx.e.trie.Letters() {
+		child := sc.nodes[k]
+		if child.Lo >= child.Hi {
+			continue
+		}
+		i := child.Depth
+		sc.em.reset(ctx, child)
+
+		childForks := sc.forks[:0]
+		seeds := sc.seeds[:0]
+		for _, f := range forks {
+			ctx.stepNGR(&f, ch, i)
+			switch f.phase {
+			case phaseNGR:
+				if int(f.score) >= ctx.h {
+					sc.em.emit(i, f.col0+int32(i), f.score)
+				}
+				childForks = append(childForks, f)
+			case phaseGap:
+				// The FGOE cell joins the merged band; its horizontal
+				// extension run emerges from the band's Gb carry.
+				if int(f.score) >= ctx.h {
+					sc.em.emit(i, f.lo, f.score)
+				}
+				seeds = append(seeds, seedCell{j: f.lo, v: f.score})
+			}
+		}
+		sc.forks, sc.seeds = childForks, seeds
+		ctx.advanceMergedBand(&ctx.bands[bandIdx], &ctx.bands[bandIdx+1], ch, i, seeds, &sc.em)
+		if len(childForks) > 0 || len(ctx.bands[bandIdx+1].js) > 0 {
+			ctx.dfsWalk(child, childForks, bandIdx+1)
+		}
+	}
+	ctx.release(sc)
+}
+
+// dfsLinear walks a single-occurrence path by reading the text
+// directly. Rows alternate between two band slots so storage stays
+// bounded regardless of path length.
+func (ctx *searchCtx) dfsLinear(node strie.Node, forks []fork, bandIdx int) {
+	t := ctx.e.trie.Occurrences(node)[0]
+	text := ctx.e.trie.Text()
+	sc := ctx.scratch()
+	sc.em.resetLinear(ctx, t)
+	cur, next := bandIdx, bandIdx+1
+
+	liveForks := append(sc.forks[:0], forks...)
+	for i := node.Depth + 1; i <= ctx.lmax; i++ {
+		pos := t + i - 1
+		if pos >= len(text) {
+			break
+		}
+		ch := text[pos]
+		ctx.st.NodesVisited++
+		if i > ctx.st.MaxDepth {
+			ctx.st.MaxDepth = i
+		}
+		seeds := sc.seeds[:0]
+		alive := liveForks[:0]
+		for _, f := range liveForks {
+			ctx.stepNGR(&f, ch, i)
+			switch f.phase {
+			case phaseNGR:
+				if int(f.score) >= ctx.h {
+					sc.em.emit(i, f.col0+int32(i), f.score)
+				}
+				alive = append(alive, f)
+			case phaseGap:
+				if int(f.score) >= ctx.h {
+					sc.em.emit(i, f.lo, f.score)
+				}
+				seeds = append(seeds, seedCell{j: f.lo, v: f.score})
+			}
+		}
+		liveForks, sc.seeds = alive, seeds
+		ctx.advanceMergedBand(&ctx.bands[cur], &ctx.bands[next], ch, i, seeds, &sc.em)
+		cur, next = next, cur
+		if len(liveForks) == 0 && len(ctx.bands[cur].js) == 0 {
+			break
+		}
+	}
+	sc.forks = liveForks
+	ctx.release(sc)
+}
+
+// advanceMergedBand computes the merged band's next row from the
+// parent row and the new FGOE seeds, sweeping candidate columns in
+// increasing order with the in-row Gb carry, applying score filtering,
+// counting boundary/interior entries, and emitting threshold cells.
+// Seeds must be sorted by column (stepNGR visits forks in ascending
+// col0 order per gram, so they are).
+func (ctx *searchCtx) advanceMergedBand(parent, out *bandRow, ch byte, i int, seeds []seedCell, em *emitCtx) {
+	out.reset()
+	np := len(parent.js)
+	if np == 0 && len(seeds) == 0 {
+		return
+	}
+	s := ctx.s
+	open := int32(s.GapOpen + s.GapExtend)
+	ext := int32(s.GapExtend)
+	mq := int32(len(ctx.query))
+
+	// Candidate columns: parent cells contribute pj (via Ga) and pj+1
+	// (via diag); seeds contribute their own column; Gb extensions are
+	// chained during the sweep.
+	cand := ctx.cand[:0]
+	si := 0
+	pushSeedsUpTo := func(limit int32) {
+		for si < len(seeds) && seeds[si].j <= limit {
+			cand = append(cand, seeds[si].j)
+			si++
+		}
+	}
+	for k := 0; k < np; k++ {
+		pj := parent.js[k]
+		pushSeedsUpTo(pj - 1)
+		cand = append(cand, pj)
+		if k+1 >= np || parent.js[k+1] != pj+1 {
+			if pj+1 <= mq {
+				pushSeedsUpTo(pj)
+				cand = append(cand, pj+1)
+			}
+		}
+	}
+	pushSeedsUpTo(mq)
+	ctx.cand = cand
+	if len(cand) == 0 {
+		return
+	}
+
+	seedAt := func(j int32) int32 {
+		lo, hi := 0, len(seeds)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if seeds[mid].j < j {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(seeds) && seeds[lo].j == j {
+			return seeds[lo].v
+		}
+		return negInf
+	}
+
+	gb := negInf
+	ci := 0
+	pi := 0
+	j := cand[0]
+	for j <= mq {
+		for pi < np && parent.js[pi] < j-1 {
+			pi++
+		}
+		diag, ga := negInf, negInf
+		sources := 0
+		k := pi
+		if k < np && parent.js[k] == j-1 {
+			if pm := parent.m[k]; pm > negInf {
+				diag = pm + int32(s.Delta(ch, ctx.query[j-1]))
+				sources++
+			}
+			k++
+		}
+		if k < np && parent.js[k] == j {
+			pm, pga := parent.m[k], parent.ga[k]
+			if pm > negInf {
+				ga = pm + open
+				sources++
+			}
+			if pga > negInf && pga+ext > ga {
+				if ga == negInf {
+					sources++
+				}
+				ga = pga + ext
+			}
+		}
+		if gb > negInf {
+			sources++
+		}
+		sv := seedAt(j)
+		mv := diag
+		if ga > mv {
+			mv = ga
+		}
+		if gb > mv {
+			mv = gb
+		}
+		if sv > mv {
+			mv = sv
+		}
+		if sources > 0 {
+			// Seed-only cells were already counted as NGR entries by
+			// stepNGR; only sweep-computed cells are counted here.
+			if !ctx.mute {
+				if sources >= 3 {
+					ctx.st.EntriesInterior++
+				} else {
+					ctx.st.EntriesBoundary++
+				}
+			}
+		}
+		alive := mv > negInf && mv > 0 && ctx.minGainOK(mv, i, j)
+		if alive {
+			if int(mv) >= ctx.h && sv < mv {
+				// Seed cells at their own value were emitted by the
+				// NGR step; emit only improvements and sweep cells.
+				em.emit(i, j, mv)
+			}
+			out.js = append(out.js, j)
+			out.m = append(out.m, mv)
+			out.ga = append(out.ga, ga)
+		}
+		// Gb carry to column j+1.
+		ng := negInf
+		if gb > negInf {
+			ng = gb + ext
+		}
+		if alive && mv+open > ng {
+			ng = mv + open
+		}
+		if ng <= 0 {
+			ng = negInf
+		}
+		gb = ng
+
+		for ci < len(cand) && cand[ci] <= j {
+			ci++
+		}
+		if gb > negInf {
+			j++
+		} else if ci < len(cand) {
+			j = cand[ci]
+		} else {
+			break
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package core implements ALAE, the paper's contribution: exact local
+// alignment with affine gaps over a compressed suffix array, sped up
+// by a family of filters and by score reuse.
+//
+//   - Length filtering (Theorem 1) caps the rows of every matrix at
+//     Lmax and is applied as a traversal depth bound.
+//   - Score filtering (Theorem 2) kills entries that provably cannot
+//     reach the threshold H with the query columns and rows remaining.
+//   - q-prefix filtering (Theorem 3) only starts fork areas where a
+//     q-gram of the query exactly matches the text, splitting each
+//     fork into an exact-match region (assigned scores), a no-gap
+//     region (Equation 3, one-source recurrence), and a gap region
+//     entered at the first gap-open entry (FGOE).
+//   - Global filtering (§3.2) skips whole forks: q-prefix domination
+//     (Lemma 1, via the offline domination index) and optionally the
+//     online boolean matrix G (Theorem 4).
+//   - Score reuse (§4) is provided by the Hybrid engine mode, which
+//     computes gap regions column-wise (calMatrixByColumn) and copies
+//     columns between forks whose FGOEs share a row, using the
+//     common-prefix tree of Algorithm 2.
+//
+// Both engine modes produce exactly the hits of a full Smith-Waterman
+// sweep whenever H ≥ Scheme.MinThreshold(), which E-value-derived
+// thresholds always satisfy.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/align"
+	"repro/internal/domination"
+	"repro/internal/qgram"
+	"repro/internal/strie"
+)
+
+// Mode selects the search engine variant.
+type Mode int
+
+const (
+	// ModeDFS traverses the emulated suffix trie row-by-row, sharing
+	// common path prefixes (the default and fastest mode).
+	ModeDFS Mode = iota
+	// ModeHybrid is Algorithm 3: horizontal NGR passes to find FGOEs,
+	// then vertical gap-region passes with cross-fork score reuse.
+	ModeHybrid
+)
+
+// Options configures an Engine. The zero value enables every filter
+// except the space-hungry G-matrix, matching the paper's ALAE
+// configuration; individual filters can be switched off for the
+// ablation experiments.
+type Options struct {
+	Mode Mode
+
+	// DisableLengthFilter turns Theorem 1 off (the traversal is then
+	// bounded only by score positivity).
+	DisableLengthFilter bool
+	// DisableScoreFilter turns Theorem 2 off.
+	DisableScoreFilter bool
+	// DisableDomination turns the Lemma 1 global filter off.
+	DisableDomination bool
+	// EnableGMatrix turns the §3.2.1 boolean-matrix global filter on.
+	// It needs O(n·m/8) bytes per searched query in the worst case,
+	// which is why the paper develops domination as its replacement;
+	// GMatrixMaxBytes caps the allocation (default 1 GiB).
+	EnableGMatrix   bool
+	GMatrixMaxBytes int
+}
+
+// Engine is an ALAE search engine over one indexed text. Searches are
+// safe to run concurrently.
+type Engine struct {
+	trie *strie.Trie
+	opts Options
+
+	mu  sync.Mutex
+	dom map[int]*domination.Index // per q, built lazily
+}
+
+// New indexes text and returns an engine.
+func New(text []byte, opts Options) *Engine {
+	return NewFromTrie(strie.New(text), opts)
+}
+
+// NewFromTrie wraps an existing emulated suffix trie (shareable with
+// the BWT-SW engine).
+func NewFromTrie(t *strie.Trie, opts Options) *Engine {
+	if opts.GMatrixMaxBytes <= 0 {
+		opts.GMatrixMaxBytes = 1 << 30
+	}
+	return &Engine{trie: t, opts: opts, dom: make(map[int]*domination.Index)}
+}
+
+// Trie exposes the underlying emulated suffix trie.
+func (e *Engine) Trie() *strie.Trie { return e.trie }
+
+// DominationIndex returns the (lazily built) domination index for
+// gram length q, exposing its size for the Figure 11 experiment.
+func (e *Engine) DominationIndex(q int) (*domination.Index, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if idx, ok := e.dom[q]; ok {
+		return idx, nil
+	}
+	idx, err := domination.Build(e.trie.Text(), q, e.trie.Letters())
+	if err != nil {
+		return nil, err
+	}
+	e.dom[q] = idx
+	return idx, nil
+}
+
+// Search reports every end pair (i, j) whose best local-alignment
+// score reaches h into c and returns work statistics. It returns an
+// error when the scheme is invalid or h is below the scheme's
+// MinThreshold (the q-prefix filter would lose pure-match alignments
+// shorter than q; E-value-derived thresholds are always far above).
+func (e *Engine) Search(query []byte, s align.Scheme, h int, c *align.Collector) (Stats, error) {
+	if err := s.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if minH := s.MinThreshold(); h < minH {
+		return Stats{}, fmt.Errorf("core: threshold %d below the exactness floor %d for scheme %v", h, minH, s)
+	}
+	q := s.Q()
+	var st Stats
+	st.Threshold, st.Q = h, q
+	m := len(query)
+	if e.opts.DisableLengthFilter {
+		st.Lmax = s.Lmax(m, 1) // positivity bound only
+	} else {
+		st.Lmax = s.Lmax(m, h)
+	}
+	if m < q || e.trie.Index().Len() == 0 {
+		return st, nil
+	}
+
+	qidx, err := qgram.New(query, q, e.trie.Letters())
+	if err != nil {
+		return st, err
+	}
+	var dom *domination.Index
+	if !e.opts.DisableDomination {
+		if dom, err = e.DominationIndex(q); err != nil {
+			return st, err
+		}
+	}
+	var gm *gMatrix
+	if e.opts.EnableGMatrix {
+		gm, err = newGMatrix(e.trie.Index().Len(), m, e.opts.GMatrixMaxBytes)
+		if err != nil {
+			return st, err
+		}
+	}
+
+	ctx := &searchCtx{
+		e: e, query: query, s: s, h: h, c: c, st: &st,
+		lmax:  st.Lmax,
+		gOpen: -(s.GapOpen + s.GapExtend), // |sg+ss|
+		dom:   dom,
+		gm:    gm,
+	}
+	qidx.GramsSorted(func(gram []byte, cols []int32) {
+		ctx.processGram(gram, cols)
+	})
+	return st, nil
+}
+
+// searchCtx carries one search's shared state.
+type searchCtx struct {
+	e     *Engine
+	query []byte
+	s     align.Scheme
+	h     int
+	c     *align.Collector
+	st    *Stats
+	lmax  int
+	gOpen int // |sg+ss|, the FGOE crossing level
+	dom   *domination.Index
+	gm    *gMatrix
+	mute  bool // suppress gap-region entry counting (hybrid oracles)
+
+	scratchPool []*childScratch
+	bands       []bandRow // per-depth merged gap-region bands (DFS engine)
+	cand        []int32   // scratch candidate-column buffer
+}
+
+// childScratch holds one recursion level's child-enumeration buffers,
+// the per-child fork workspace and the emit state, so the hot DFS loop
+// allocates nothing per node.
+type childScratch struct {
+	nodes    []strie.Node
+	los, his []int32
+	forks    []fork
+	seeds    []seedCell
+	em       emitCtx
+}
+
+// scratch pops a buffer set sized for the trie's alphabet.
+func (ctx *searchCtx) scratch() *childScratch {
+	if n := len(ctx.scratchPool); n > 0 {
+		sc := ctx.scratchPool[n-1]
+		ctx.scratchPool = ctx.scratchPool[:n-1]
+		return sc
+	}
+	sigma := ctx.e.trie.Index().Sigma()
+	return &childScratch{
+		nodes: make([]strie.Node, sigma),
+		los:   make([]int32, sigma),
+		his:   make([]int32, sigma),
+	}
+}
+
+func (ctx *searchCtx) release(sc *childScratch) {
+	ctx.scratchPool = append(ctx.scratchPool, sc)
+}
+
+// minGainOK applies Theorem 2: can a cell at (row i, 1-based column j)
+// with the given score still reach h? The future gain is bounded by
+// sa times the matches still possible, which need both query columns
+// and rows: min(m−j, Lmax−i).
+func (ctx *searchCtx) minGainOK(score int32, i int, j int32) bool {
+	if ctx.e.opts.DisableScoreFilter {
+		return true
+	}
+	remQ := len(ctx.query) - int(j)
+	remRows := ctx.lmax - i
+	rem := min(remQ, remRows)
+	if rem < 0 {
+		rem = 0
+	}
+	return int(score)+rem*ctx.s.Match >= ctx.h
+}
+
+// processGram runs one fork family: every fork whose q-prefix is this
+// gram, over the whole subtree of the gram's trie node.
+func (ctx *searchCtx) processGram(gram []byte, cols []int32) {
+	ctx.st.ForksConsidered += int64(len(cols))
+	node, ok := ctx.e.trie.Walk(gram)
+	if !ok {
+		ctx.st.ForksAbsent += int64(len(cols))
+		return
+	}
+	var occ []int // lazily located occurrences of the gram
+	occGetter := func() []int {
+		if occ == nil {
+			occ = ctx.e.trie.Occurrences(node)
+		}
+		return occ
+	}
+
+	survivors := make([]int32, 0, len(cols))
+	for _, col0 := range cols {
+		if ctx.dom != nil && col0 > 0 && ctx.dom.Dominated(gram, ctx.query[col0-1]) {
+			ctx.st.ForksDominated++
+			continue
+		}
+		if ctx.gm != nil && ctx.gm.covered(int(col0), occGetter()) {
+			ctx.st.ForksGMatrixFiltered++
+			continue
+		}
+		survivors = append(survivors, col0)
+		ctx.st.ForksStarted++
+		ctx.st.EntriesEMR += int64(len(gram))
+		if ctx.gm != nil {
+			ctx.gm.markEMR(int(col0), len(gram), occGetter())
+		}
+	}
+	if len(survivors) == 0 {
+		return
+	}
+	switch ctx.e.opts.Mode {
+	case ModeHybrid:
+		ctx.hybridGram(node, gram, survivors)
+	default:
+		ctx.dfsGram(node, gram, survivors, occGetter)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import "repro/internal/strie"
+
+const negInf = int32(-1) << 28
+
+// forkPhase distinguishes the two lives of a fork (§3.1.3): on the
+// exact-match/no-gap diagonal, or inside the gap region entered at the
+// first gap-open entry.
+type forkPhase uint8
+
+const (
+	phaseNGR forkPhase = iota
+	phaseGap
+	phaseDead
+)
+
+// fork is the per-fork DP state carried through the trie traversal.
+// In phaseNGR only the diagonal score is live. In phaseGap the state
+// is the current row of the fork's gap-region band: columns
+// [lo, lo+len(m)) (1-based query columns) with best scores m and
+// vertical-gap scores ga; dead interior cells hold negInf.
+type fork struct {
+	col0  int32 // 0-based query position of the q-prefix match
+	phase forkPhase
+	score int32 // NGR diagonal score (phaseNGR only)
+
+	lo     int32
+	m, ga  []int32
+	fgoeAt int32 // row of the FGOE, for diagnostics and hybrid grouping
+}
+
+// emitCtx reports cells whose score reaches the threshold: each is
+// fanned out to every occurrence of the current path node. A nil
+// *emitCtx disables emission (used where it is provably impossible or
+// handled elsewhere). The occurrence list is located lazily, once per
+// node.
+type emitCtx struct {
+	ctx    *searchCtx
+	node   strie.Node
+	occ    []int
+	fixedT int // single known occurrence (linear mode); -1 when unset
+}
+
+func (e *emitCtx) reset(ctx *searchCtx, node strie.Node) {
+	e.ctx, e.node, e.occ, e.fixedT = ctx, node, nil, -1
+}
+
+// resetLinear prepares emission for a single-occurrence path starting
+// at text position t: no locate needed.
+func (e *emitCtx) resetLinear(ctx *searchCtx, t int) {
+	e.ctx, e.occ, e.fixedT = ctx, nil, t
+}
+
+// emit reports a hit at matrix row i (== e.node.Depth), 1-based query
+// column j.
+func (e *emitCtx) emit(i int, j int32, score int32) {
+	if e == nil {
+		return
+	}
+	if e.fixedT >= 0 {
+		e.ctx.c.Add(e.fixedT+i-1, int(j)-1, int(score))
+		return
+	}
+	if e.occ == nil {
+		e.occ = e.ctx.e.trie.Occurrences(e.node)
+	}
+	for _, t := range e.occ {
+		e.ctx.c.Add(t+i-1, int(j)-1, int(score))
+	}
+}
+
+// newFork creates the fork for a q-prefix match at 0-based query
+// position col0. Rows 1..q are the EMR with assigned scores i·sa
+// (counted as EntriesEMR by the caller). If the EMR diagonal already
+// crosses |sg+ss| before row q — possible when q·sa > |sg+ss|, e.g.
+// scheme ⟨4,−5,−5,−2⟩ — the fork enters its gap phase inside the EMR
+// and the band is advanced through the remaining gram rows here.
+// Emission is a no-op during those rows: any gap-region cell at row
+// i ≤ q scores at most i·sa − |sg+ss| ≤ sa < MinThreshold ≤ H.
+func (ctx *searchCtx) newFork(col0 int32, gram []byte) fork {
+	q := len(gram)
+	sa := int32(ctx.s.Match)
+	f := fork{col0: col0, phase: phaseNGR, score: int32(q) * sa}
+	if int(f.score) <= ctx.gOpen {
+		return f
+	}
+	// FGOE inside the EMR: the first row whose assigned score exceeds
+	// |sg+ss|.
+	l := ctx.gOpen/ctx.s.Match + 1
+	ctx.seedBand(&f, l, col0+int32(l), int32(l)*sa, nil)
+	for row := l + 1; row <= q && f.phase == phaseGap; row++ {
+		ctx.advanceBand(&f, gram[row-1], row, nil)
+	}
+	return f
+}
+
+// seedBand switches a fork into its gap phase at the FGOE (l, c) with
+// score v. The band's first row is the FGOE cell plus its horizontal
+// extension run — the paper's extension entry (l, πp+l) and its Gb
+// continuation: M(l, c+d) = v + sg + d·ss while alive. (The downward
+// extension entry (l+1, πp+l−1) falls out of the next advanceBand.)
+func (ctx *searchCtx) seedBand(f *fork, l int, c, v int32, emit *emitCtx) {
+	f.phase = phaseGap
+	f.fgoeAt = int32(l)
+	f.lo = c
+	f.m = append(f.m[:0], v)
+	f.ga = append(f.ga[:0], negInf)
+	if int(v) >= ctx.h {
+		emit.emit(l, c, v)
+	}
+	mq := int32(len(ctx.query))
+	open := int32(ctx.s.GapOpen + ctx.s.GapExtend)
+	ext := int32(ctx.s.GapExtend)
+	gb := v + open
+	for j := c + 1; j <= mq && gb > 0; j++ {
+		if !ctx.mute {
+			ctx.st.EntriesBoundary++
+		}
+		if !ctx.minGainOK(gb, l, j) {
+			break
+		}
+		if int(gb) >= ctx.h {
+			emit.emit(l, j, gb)
+		}
+		f.m = append(f.m, gb)
+		f.ga = append(f.ga, negInf)
+		gb += ext
+	}
+}
+
+// stepNGR advances an NGR fork by one row with edge character ch. At
+// the FGOE it marks the fork phaseGap with lo/fgoeAt set but does NOT
+// build the band: the caller must invoke seedBand (it owns the
+// emitter and the mute policy).
+func (ctx *searchCtx) stepNGR(f *fork, ch byte, i int) {
+	j := f.col0 + int32(i) // 1-based diagonal column
+	if int(j) > len(ctx.query) {
+		f.phase = phaseDead
+		return
+	}
+	ctx.st.EntriesNGR++
+	f.score += int32(ctx.s.Delta(ch, ctx.query[j-1]))
+	if f.score <= 0 || !ctx.minGainOK(f.score, i, j) {
+		f.phase = phaseDead
+		return
+	}
+	if int(f.score) > ctx.gOpen {
+		// First gap-open entry reached.
+		f.phase = phaseGap
+		f.fgoeAt = int32(i)
+		f.lo = j
+	}
+}
+
+// advanceBand computes row i of a gap-phase fork's band from row i−1
+// with edge character ch, counting entries per the paper's cost model
+// (boundary = two adjacent sources, interior = three) and emitting
+// cells at or above the threshold.
+func (ctx *searchCtx) advanceBand(f *fork, ch byte, i int, emit *emitCtx) {
+	s := ctx.s
+	open := int32(s.GapOpen + s.GapExtend)
+	ext := int32(s.GapExtend)
+	mq := int32(len(ctx.query))
+
+	inLo := f.lo
+	inHi := f.lo + int32(len(f.m)) - 1
+	var outM, outGa []int32
+	outLo := int32(0)
+	firstAlive, lastAlive := int32(-1), int32(-1)
+
+	gb := negInf
+	for j := inLo; j <= mq; j++ {
+		diag, ga := negInf, negInf
+		sources := 0
+		if k := j - 1 - inLo; k >= 0 && j-1 <= inHi && f.m[k] > negInf {
+			diag = f.m[k] + int32(s.Delta(ch, ctx.query[j-1]))
+			sources++
+		}
+		if k := j - inLo; k >= 0 && j <= inHi {
+			if f.m[k] > negInf {
+				ga = f.m[k] + open
+				sources++
+			}
+			if g := f.ga[k]; g > negInf && g+ext > ga {
+				ga = g + ext
+				if sources == 0 {
+					sources++
+				}
+			}
+		}
+		if gb > negInf {
+			sources++
+		}
+		if sources == 0 {
+			// Nothing can make this or any further cell alive.
+			if j > inHi {
+				break
+			}
+			if firstAlive >= 0 {
+				outM = append(outM, negInf)
+				outGa = append(outGa, negInf)
+			}
+			continue
+		}
+		mv := diag
+		if ga > mv {
+			mv = ga
+		}
+		if gb > mv {
+			mv = gb
+		}
+		// Cost accounting: boundary cells miss at least one of the
+		// three recurrence inputs. Hybrid mode advances bands purely
+		// as liveness oracles and counts gap-region work in its
+		// vertical phase instead (ctx.mute).
+		if !ctx.mute {
+			if sources >= 3 {
+				ctx.st.EntriesInterior++
+			} else {
+				ctx.st.EntriesBoundary++
+			}
+		}
+		alive := mv > 0 && ctx.minGainOK(mv, i, j)
+		if alive {
+			if int(mv) >= ctx.h {
+				emit.emit(i, j, mv)
+			}
+			if firstAlive < 0 {
+				firstAlive = j
+				outLo = j
+			}
+			lastAlive = j
+			outM = append(outM, mv)
+			outGa = append(outGa, ga)
+		} else if firstAlive >= 0 {
+			outM = append(outM, negInf)
+			outGa = append(outGa, negInf)
+		}
+		// Horizontal-gap carry to column j+1.
+		ng := negInf
+		if gb > negInf {
+			ng = gb + ext
+		}
+		if alive && mv+open > ng {
+			ng = mv + open
+		}
+		if ng <= 0 {
+			ng = negInf
+		}
+		gb = ng
+	}
+	if firstAlive < 0 {
+		f.phase = phaseDead
+		f.m, f.ga = f.m[:0], f.ga[:0]
+		return
+	}
+	// Trim trailing dead cells.
+	outM = outM[:lastAlive-outLo+1]
+	outGa = outGa[:lastAlive-outLo+1]
+	f.lo = outLo
+	f.m = outM
+	f.ga = outGa
+}

@@ -1,0 +1,77 @@
+package core
+
+import "fmt"
+
+// gMatrix is the online boolean matrix G of §3.2.1: G(πt, πp) = 1 when
+// an already-processed matrix established A(πt, πp).score ≥ sa. A fork
+// whose every occurrence is already covered at its starting column is
+// meaningless (Theorem 4, case 2), which the paper checks with bitwise
+// AND between a column of G and the occurrence vector z; marking is
+// the corresponding bitwise OR.
+//
+// Storage is column-major bitsets over text positions, allocated per
+// column on first touch. The paper notes this structure "requires
+// n × m space ... which is space consuming especially when both the
+// lengths of the text and the query are large" — that observation is
+// what motivates q-prefix domination — so a hard byte cap protects
+// callers.
+type gMatrix struct {
+	n       int
+	cols    [][]uint64
+	words   int
+	used    int
+	maxByte int
+}
+
+func newGMatrix(n, m, maxBytes int) (*gMatrix, error) {
+	words := (n + 63) / 64
+	// The worst case must fit under the cap up front so a search
+	// cannot die halfway through.
+	if worst := words * 8 * m; worst > maxBytes {
+		return nil, fmt.Errorf("core: G matrix needs up to %d bytes for n=%d, m=%d (cap %d); use domination filtering instead",
+			worst, n, m, maxBytes)
+	}
+	return &gMatrix{n: n, cols: make([][]uint64, m), words: words, maxByte: maxBytes}, nil
+}
+
+// covered reports whether every occurrence position is already marked
+// at 0-based query column col — the bitwise-AND test of §3.2.1.
+func (g *gMatrix) covered(col int, occ []int) bool {
+	bits := g.cols[col]
+	if bits == nil {
+		return false
+	}
+	for _, t := range occ {
+		if bits[t/64]&(1<<(uint(t)%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// markEMR records the exact-match-region diagonal of a fork being
+// processed: for each occurrence t and row i ∈ [1, q], the alignment
+// ending at (t+i−1, col+i−1) scores i·sa ≥ sa.
+func (g *gMatrix) markEMR(col, q int, occ []int) {
+	for i := 0; i < q; i++ {
+		c := col + i
+		if c >= len(g.cols) {
+			break
+		}
+		bits := g.cols[c]
+		if bits == nil {
+			bits = make([]uint64, g.words)
+			g.cols[c] = bits
+			g.used += g.words * 8
+		}
+		for _, t := range occ {
+			row := t + i
+			if row < g.n {
+				bits[row/64] |= 1 << (uint(row) % 64)
+			}
+		}
+	}
+}
+
+// SizeBytes reports the current allocation.
+func (g *gMatrix) SizeBytes() int { return g.used }

@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+func TestGMatrixCoverAndMark(t *testing.T) {
+	g, err := newGMatrix(100, 10, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := []int{5, 50, 95}
+	if g.covered(3, occ) {
+		t.Error("fresh matrix reports coverage")
+	}
+	g.markEMR(3, 4, occ) // rows t..t+3 at columns 3..6
+	if !g.covered(3, occ) {
+		t.Error("marked occurrences not covered at the start column")
+	}
+	// Column 4 is covered at rows t+1 for each occurrence, not t.
+	if g.covered(4, occ) {
+		t.Error("column 4 should not cover the unshifted occurrence rows")
+	}
+	shifted := []int{6, 51, 96}
+	if !g.covered(4, shifted) {
+		t.Error("column 4 should cover the shifted rows")
+	}
+	// Partial coverage is not coverage.
+	if g.covered(3, []int{5, 50, 96}) {
+		t.Error("an unmarked occurrence must defeat coverage")
+	}
+	if g.SizeBytes() <= 0 {
+		t.Error("no allocation recorded")
+	}
+}
+
+func TestGMatrixBoundsClamping(t *testing.T) {
+	g, err := newGMatrix(10, 3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marks past the column or row limits must be dropped silently.
+	g.markEMR(2, 5, []int{8})
+	if !g.covered(2, []int{8}) {
+		t.Error("in-range mark lost")
+	}
+}
+
+func TestGMatrixCapRejectsUpFront(t *testing.T) {
+	if _, err := newGMatrix(1<<20, 1<<20, 1024); err == nil {
+		t.Error("worst case over the cap must be rejected at construction")
+	}
+}

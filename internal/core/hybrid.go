@@ -1,0 +1,414 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cptree"
+	"repro/internal/strie"
+)
+
+// The hybrid engine is Algorithm 3 (HYBRID). The horizontal phase —
+// calMatrixByRow — advances the NGR diagonals along every trie path
+// (shared across paths by the DFS) and records each first gap-open
+// entry. Gap regions are then computed in the vertical phase —
+// calMatrixByColumn — column by column, with cross-fork reuse: forks
+// whose FGOEs share a row have equal FGOE scores (Theorem 5), so
+// columns under a common query prefix are equal (Lemma 3) and are
+// copied instead of recomputed, the duplicates being identified with
+// the common-prefix tree of Algorithm 2.
+//
+// To know exactly how deep each gap region stays alive — which rows
+// of the path the vertical phase needs — the engine also advances the
+// region's row band during the descent, as a silent liveness oracle:
+// those band entries are not counted (ctx.mute) and do not emit; all
+// gap-region accounting and emission happens in the vertical phase.
+// A region's vertical pass fires the moment its band dies (its rows
+// are then fully determined by the current path prefix) or when the
+// path itself ends; regions that stay alive across a trie branch are
+// recomputed per branch, matching the paper's "recalculate ... as we
+// are going up along the suffix trie", and the collector deduplicates
+// the re-emitted hits.
+
+// pendingFGOE is a fork that has left its no-gap diagonal and awaits
+// vertical gap-region computation.
+type pendingFGOE struct {
+	col0 int32 // fork identity: 0-based q-prefix position in P
+	row  int32 // FGOE row l
+	col  int32 // FGOE column c (1-based)
+	v    int32 // FGOE score (equal across a row group, Theorem 5)
+}
+
+// hybridGram runs one fork family in hybrid mode.
+func (ctx *searchCtx) hybridGram(node strie.Node, gram []byte, cols []int32) {
+	q := len(gram)
+	hs := &hybridState{ctx: ctx, gram: gram}
+	hs.nodes = append(hs.nodes, node) // depth q
+	hs.path = append(hs.path, gram...)
+	hs.occs = make([][]int, 1)
+
+	var ngr []fork
+	var bands []fork
+	var pendings []pendingFGOE
+	var dying []pendingFGOE
+	for _, col0 := range cols {
+		ctx.mute = true
+		f := ctx.newFork(col0, gram)
+		ctx.mute = false
+		switch f.phase {
+		case phaseNGR:
+			if int(f.score) >= ctx.h {
+				hs.emitRow(q, col0+int32(q), f.score)
+			}
+			ngr = append(ngr, f)
+		case phaseGap, phaseDead:
+			p := pendingFGOE{col0: col0, row: f.fgoeAt, col: col0 + f.fgoeAt,
+				v: f.fgoeAt * int32(ctx.s.Match)}
+			if f.phase == phaseDead {
+				dying = append(dying, p)
+			} else {
+				bands = append(bands, f)
+				pendings = append(pendings, p)
+			}
+		}
+	}
+	if len(dying) > 0 {
+		hs.verticals(q, dying)
+	}
+	hs.descend(node, ngr, bands, pendings)
+}
+
+type hybridState struct {
+	ctx   *searchCtx
+	gram  []byte
+	nodes []strie.Node // nodes[d] is the trie node at depth q+d
+	occs  [][]int      // lazily located occurrences per depth index
+	path  []byte       // X[1..depth]: path[i-1] is the row-i character
+}
+
+// occAt returns the occurrence positions of X[1..i] (row i ≥ q).
+func (hs *hybridState) occAt(i int) []int {
+	d := i - hs.nodes[0].Depth
+	if hs.occs[d] == nil {
+		hs.occs[d] = hs.ctx.e.trie.Occurrences(hs.nodes[d])
+	}
+	return hs.occs[d]
+}
+
+// emitRow reports a hit at matrix row i, 1-based query column j.
+func (hs *hybridState) emitRow(i int, j int32, score int32) {
+	for _, t := range hs.occAt(i) {
+		hs.ctx.c.Add(t+i-1, int(j)-1, int(score))
+	}
+}
+
+// descend is the horizontal phase walk. ngr are live diagonal forks;
+// bands are the silent liveness oracles of the gap regions listed in
+// pendings (parallel slices).
+func (hs *hybridState) descend(node strie.Node, ngr, bands []fork, pendings []pendingFGOE) {
+	ctx := hs.ctx
+	ctx.st.NodesVisited++
+	if node.Depth > ctx.st.MaxDepth {
+		ctx.st.MaxDepth = node.Depth
+	}
+	if len(ngr) == 0 && len(bands) == 0 {
+		return
+	}
+	if node.Depth >= ctx.lmax {
+		if len(pendings) > 0 {
+			hs.verticals(node.Depth, pendings)
+		}
+		return
+	}
+	descended := false
+	sc := ctx.scratch()
+	ctx.e.trie.Children(node, sc.nodes, sc.los, sc.his)
+	for k, ch := range ctx.e.trie.Letters() {
+		child := sc.nodes[k]
+		if child.Lo >= child.Hi {
+			continue
+		}
+		descended = true
+		i := child.Depth
+		hs.nodes = append(hs.nodes, child)
+		hs.path = append(hs.path, ch)
+		hs.occs = append(hs.occs, nil)
+
+		childNGR := make([]fork, 0, len(ngr))
+		childBands := make([]fork, 0, len(bands)+len(ngr))
+		var childPendings []pendingFGOE
+		var dying []pendingFGOE
+		for _, f := range ngr {
+			ctx.stepNGR(&f, ch, i)
+			switch f.phase {
+			case phaseNGR:
+				if int(f.score) >= ctx.h {
+					hs.emitRow(i, f.col0+int32(i), f.score)
+				}
+				childNGR = append(childNGR, f)
+			case phaseGap:
+				p := pendingFGOE{col0: f.col0, row: int32(i), col: f.lo, v: f.score}
+				ctx.mute = true
+				ctx.seedBand(&f, i, f.lo, f.score, nil)
+				ctx.mute = false
+				childBands = append(childBands, f)
+				childPendings = append(childPendings, p)
+			}
+		}
+		for k, f := range bands {
+			ctx.mute = true
+			ctx.advanceBand(&f, ch, i, nil)
+			ctx.mute = false
+			if f.phase == phaseDead {
+				dying = append(dying, pendings[k])
+				continue
+			}
+			childBands = append(childBands, f)
+			childPendings = append(childPendings, pendings[k])
+		}
+		if len(dying) > 0 {
+			// These regions' rows are fully determined by the current
+			// path prefix: compute them now, once per death point.
+			hs.verticals(i, dying)
+		}
+		if len(childNGR) > 0 || len(childBands) > 0 {
+			hs.descend(child, childNGR, childBands, childPendings)
+		}
+
+		hs.nodes = hs.nodes[:len(hs.nodes)-1]
+		hs.path = hs.path[:len(hs.path)-1]
+		hs.occs = hs.occs[:len(hs.occs)-1]
+	}
+	ctx.release(sc)
+	if !descended && len(pendings) > 0 {
+		// Trie leaf: the path cannot grow; finish the live regions.
+		hs.verticals(node.Depth, pendings)
+	}
+}
+
+// colData is one stored gap-region column: rows [loRow, loRow+len(m))
+// with best scores m and horizontal-gap scores gb (negInf marks dead
+// interior cells).
+type colData struct {
+	loRow int32
+	m, gb []int32
+}
+
+// verticals runs calMatrixByColumn for the given FGOEs over the
+// current path, grouping by FGOE row per Lemma 3 and reusing columns
+// through the common-prefix tree.
+func (hs *hybridState) verticals(depth int, pending []pendingFGOE) {
+	byRow := make(map[int32][]pendingFGOE)
+	for _, p := range pending {
+		byRow[p.row] = append(byRow[p.row], p)
+	}
+	var rows []int32
+	for r := range byRow {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+	for _, r := range rows {
+		group := byRow[r]
+		sort.Slice(group, func(a, b int) bool { return group[a].col < group[b].col })
+		hs.verticalGroup(depth, group)
+	}
+}
+
+// verticalGroup processes one same-FGOE-row group of forks in column
+// order with cross-fork column reuse.
+func (hs *hybridState) verticalGroup(depth int, group []pendingFGOE) {
+	ctx := hs.ctx
+	tree := cptree.New(ctx.query)
+	stored := make([][]colData, len(group))
+	for w, p := range group {
+		// Theorem 5: same-row FGOEs have equal scores. Reuse relies on
+		// it; compute plainly if it ever failed.
+		lcp, owner := tree.Insert(int(p.col-1), w)
+		if p.v != group[0].v {
+			lcp, owner = 0, -1
+		}
+		stored[w] = hs.verticalFork(depth, p, lcp, owner, stored)
+	}
+}
+
+// verticalFork computes (or copies) the gap region of one fork column
+// by column. lcp/owner describe how many leading columns can be copied
+// from a previously processed fork in the same group.
+func (hs *hybridState) verticalFork(depth int, p pendingFGOE, lcp, owner int, stored [][]colData) []colData {
+	ctx := hs.ctx
+	mq := int32(len(ctx.query))
+	var cols []colData
+
+	// Copy phase: Lemma 3 lets columns under the shared query prefix
+	// be taken verbatim from the owner fork.
+	if owner >= 0 {
+		own := stored[owner]
+		for d := 0; d < lcp && d < len(own); d++ {
+			j := p.col + int32(d)
+			if j > mq {
+				return cols
+			}
+			src := own[d]
+			cols = append(cols, src)
+			for k, mv := range src.m {
+				if mv > negInf {
+					ctx.st.ReusedEntries++
+					if int(mv) >= ctx.h {
+						hs.emitRow(int(src.loRow)+k, j, mv)
+					}
+				}
+			}
+		}
+		if len(own) < lcp && len(cols) == len(own) {
+			// The owner's region died within the shared prefix; ours
+			// dies at the same column (identical values).
+			return cols
+		}
+	}
+
+	// Compute phase: continue column by column until the region dies.
+	for d := len(cols); ; d++ {
+		j := p.col + int32(d)
+		if j > mq {
+			break
+		}
+		var prev *colData
+		if d > 0 {
+			prev = &cols[d-1]
+		}
+		col, any := hs.computeColumn(depth, p, j, prev)
+		if !any {
+			break
+		}
+		cols = append(cols, col)
+	}
+	return cols
+}
+
+// computeColumn evaluates one gap-region column j for fork p over the
+// current path. prev is column j−1 (nil for the FGOE column itself).
+func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev *colData) (colData, bool) {
+	ctx := hs.ctx
+	s := ctx.s
+	open := int32(s.GapOpen + s.GapExtend)
+	ext := int32(s.GapExtend)
+
+	prevAt := func(i int32) (m, gb int32) {
+		if prev == nil {
+			return negInf, negInf
+		}
+		k := i - prev.loRow
+		if k < 0 || int(k) >= len(prev.m) {
+			return negInf, negInf
+		}
+		return prev.m[k], prev.gb[k]
+	}
+
+	var outM, outGb []int32
+	loRow := p.row
+	firstAlive, lastAlive := int32(-1), int32(-1)
+	gaCarry := negInf
+	prevHi := p.row - 1
+	if prev != nil {
+		prevHi = prev.loRow + int32(len(prev.m)) - 1
+	}
+	maxRow := int32(depth)
+	if int32(ctx.lmax) < maxRow {
+		maxRow = int32(ctx.lmax)
+	}
+
+	for i := p.row; i <= maxRow; i++ {
+		if i == p.row && prev == nil {
+			// The FGOE cell itself: assigned from the horizontal
+			// phase, not recalculated.
+			outM = append(outM, p.v)
+			outGb = append(outGb, negInf)
+			firstAlive, lastAlive = i, i
+			gaCarry = p.v + open
+			if gaCarry <= 0 {
+				gaCarry = negInf
+			}
+			if int(p.v) >= ctx.h {
+				hs.emitRow(int(i), j, p.v)
+			}
+			continue
+		}
+		if i > prevHi+1 && gaCarry == negInf {
+			break // no source can reach deeper rows
+		}
+		var diag, gbv int32 = negInf, negInf
+		sources := 0
+		if pm, _ := prevAt(i - 1); pm > negInf {
+			diag = pm + int32(s.Delta(hs.path[i-1], ctx.query[j-1]))
+			sources++
+		}
+		if pm, pgb := prevAt(i); pm > negInf || pgb > negInf {
+			if pgb > negInf {
+				gbv = pgb + ext
+			}
+			if pm > negInf && pm+open > gbv {
+				gbv = pm + open
+			}
+			sources++
+		}
+		if gaCarry > negInf {
+			sources++
+		}
+		if sources == 0 {
+			if firstAlive >= 0 {
+				outM = append(outM, negInf)
+				outGb = append(outGb, negInf)
+			} else {
+				loRow = i + 1
+			}
+			continue
+		}
+		mv := diag
+		if gaCarry > mv {
+			mv = gaCarry
+		}
+		if gbv > mv {
+			mv = gbv
+		}
+		if sources >= 3 {
+			ctx.st.EntriesInterior++
+		} else {
+			ctx.st.EntriesBoundary++
+		}
+		alive := mv > 0 && ctx.minGainOK(mv, int(i), j)
+		if alive {
+			if int(mv) >= ctx.h {
+				hs.emitRow(int(i), j, mv)
+			}
+			if firstAlive < 0 {
+				firstAlive = i
+				loRow = i
+			}
+			lastAlive = i
+			outM = append(outM, mv)
+			outGb = append(outGb, gbv)
+		} else if firstAlive >= 0 {
+			outM = append(outM, negInf)
+			outGb = append(outGb, negInf)
+		} else {
+			loRow = i + 1
+		}
+		// Vertical-gap carry to row i+1.
+		ng := negInf
+		if gaCarry > negInf {
+			ng = gaCarry + ext
+		}
+		if alive && mv+open > ng {
+			ng = mv + open
+		}
+		if ng <= 0 {
+			ng = negInf
+		}
+		gaCarry = ng
+	}
+	if firstAlive < 0 {
+		return colData{}, false
+	}
+	outM = outM[:lastAlive-loRow+1]
+	outGb = outGb[:lastAlive-loRow+1]
+	return colData{loRow: loRow, m: outM, gb: outGb}, true
+}

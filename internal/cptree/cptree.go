@@ -1,0 +1,113 @@
+// Package cptree implements the common-prefix tree T_Ps of §4.2
+// (Algorithm 2, CONSTRUCTCPTREE). The hybrid engine uses it to
+// identify duplicated substrings among the fork suffixes of the query:
+// when two forks' gap regions read the same query substring from
+// equally-scored FGOEs, the later fork copies the earlier fork's
+// column scores instead of recomputing them (Lemma 2, Theorem 5,
+// Lemma 3).
+//
+// The tree is a compressed trie over the suffixes P[j_w..] of the
+// fork columns, built incrementally in fork order. Inserting a new
+// suffix reports the longest prefix it shares with any previously
+// inserted suffix and which fork owns that prefix — exactly the
+// "reuse entries in gap regions" walk of calMatrixByColumn. Edge
+// labels are (start, end) offsets into the query, so the tree is
+// linear space regardless of suffix lengths.
+package cptree
+
+import "strings"
+
+// Tree is the common-prefix tree of a query.
+type Tree struct {
+	p    []byte
+	root *node
+}
+
+type node struct {
+	children map[byte]*edge
+	terminal bool // a whole inserted suffix ends here
+}
+
+type edge struct {
+	start, end int // label = p[start:end]
+	fork       int // the fork that first created this edge
+	to         *node
+}
+
+// New returns an empty tree over query p. The paper builds one tree
+// per matrix and releases it afterwards ("TPs is only used locally");
+// callers simply drop the Tree.
+func New(p []byte) *Tree {
+	return &Tree{p: p, root: &node{children: map[byte]*edge{}}}
+}
+
+// Insert adds the suffix p[start:] on behalf of the given fork id.
+// It returns the length of the longest prefix shared with previously
+// inserted suffixes and the id of the fork owning that shared prefix
+// (owner is -1 when lcp is 0).
+func (t *Tree) Insert(start, fork int) (lcp int, owner int) {
+	owner = -1
+	u := t.root
+	pos := start
+	for pos < len(t.p) {
+		e, ok := u.children[t.p[pos]]
+		if !ok {
+			// No shared path onward: attach the remaining suffix.
+			u.children[t.p[pos]] = &edge{start: pos, end: len(t.p), fork: fork,
+				to: &node{children: map[byte]*edge{}, terminal: true}}
+			return lcp, owner
+		}
+		// Walk along the edge label while it matches.
+		d := 0
+		for d < e.end-e.start && pos+d < len(t.p) && t.p[e.start+d] == t.p[pos+d] {
+			d++
+		}
+		lcp += d
+		owner = e.fork
+		pos += d
+		if d < e.end-e.start {
+			// Mismatch (or suffix exhausted) inside the edge: split it.
+			mid := &node{children: map[byte]*edge{}}
+			mid.children[t.p[e.start+d]] = &edge{start: e.start + d, end: e.end, fork: e.fork, to: e.to}
+			e.end = e.start + d
+			e.to = mid
+			if pos < len(t.p) {
+				mid.children[t.p[pos]] = &edge{start: pos, end: len(t.p), fork: fork,
+					to: &node{children: map[byte]*edge{}, terminal: true}}
+			} else {
+				mid.terminal = true
+			}
+			return lcp, owner
+		}
+		u = e.to
+	}
+	u.terminal = true
+	return lcp, owner
+}
+
+// Paths returns every inserted suffix as spelled by the tree, sorted,
+// mirroring the final tree of the paper's Figure 6 example; used by
+// tests and debugging.
+func (t *Tree) Paths() []string {
+	var out []string
+	var walk func(u *node, prefix string)
+	walk = func(u *node, prefix string) {
+		if u.terminal && prefix != "" {
+			out = append(out, prefix)
+		}
+		for _, e := range u.children {
+			walk(e.to, prefix+string(t.p[e.start:e.end]))
+		}
+	}
+	walk(t.root, "")
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && strings.Compare(s[j], s[j-1]) < 0; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

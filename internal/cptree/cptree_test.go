@@ -1,0 +1,140 @@
+package cptree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteLCP returns the longest common prefix length of two suffixes.
+func bruteLCP(p []byte, a, b int) int {
+	l := 0
+	for a+l < len(p) && b+l < len(p) && p[a+l] == p[b+l] {
+		l++
+	}
+	return l
+}
+
+func TestFig6Example(t *testing.T) {
+	// §4.2, Figure 6: P = CACGTATACG with fork columns j = 2, 4, 6, 8
+	// (1-based), i.e. suffixes ACGTATACG, GTATACG, ATACG, ACG.
+	p := []byte("CACGTATACG")
+	tr := New(p)
+	starts := []int{1, 3, 5, 7}
+
+	lcp, owner := tr.Insert(starts[0], 0)
+	if lcp != 0 || owner != -1 {
+		t.Errorf("first insert: lcp=%d owner=%d, want 0/-1", lcp, owner)
+	}
+	lcp, _ = tr.Insert(starts[1], 1) // GTATACG shares nothing
+	if lcp != 0 {
+		t.Errorf("GTATACG lcp=%d, want 0", lcp)
+	}
+	lcp, owner = tr.Insert(starts[2], 2) // ATACG shares "A" with fork 0
+	if lcp != 1 || owner != 0 {
+		t.Errorf("ATACG: lcp=%d owner=%d, want 1/0", lcp, owner)
+	}
+	lcp, owner = tr.Insert(starts[3], 3) // ACG shares "ACG" with fork 0
+	if lcp != 3 || owner != 0 {
+		t.Errorf("ACG: lcp=%d owner=%d, want 3/0", lcp, owner)
+	}
+
+	// The final tree must spell exactly the four suffixes (Fig 6(d)).
+	got := tr.Paths()
+	want := []string{"ACG", "ACGTATACG", "ATACG", "GTATACG"}
+	if len(got) != len(want) {
+		t.Fatalf("paths = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("paths = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInsertLCPMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	letters := []byte("ACGT")
+	for trial := 0; trial < 60; trial++ {
+		n := 20 + rng.Intn(200)
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = letters[rng.Intn(4)]
+		}
+		tr := New(p)
+		var starts []int
+		for w := 0; w < 15; w++ {
+			start := rng.Intn(n)
+			lcp, owner := tr.Insert(start, w)
+			// Oracle: max LCP against all previously inserted suffixes.
+			wantLCP := 0
+			for _, prev := range starts {
+				if l := bruteLCP(p, prev, start); l > wantLCP {
+					wantLCP = l
+				}
+			}
+			if lcp != wantLCP {
+				t.Fatalf("trial %d insert %d (start %d): lcp=%d, want %d",
+					trial, w, start, lcp, wantLCP)
+			}
+			// The owner must actually share lcp characters.
+			if lcp > 0 {
+				if owner < 0 || owner >= w {
+					t.Fatalf("owner %d out of range", owner)
+				}
+				if got := bruteLCP(p, starts[owner], start); got < lcp {
+					t.Fatalf("owner %d shares only %d < %d characters", owner, got, lcp)
+				}
+			}
+			starts = append(starts, start)
+		}
+	}
+}
+
+func TestInsertDuplicateSuffix(t *testing.T) {
+	p := []byte("ACGTACGT")
+	tr := New(p)
+	tr.Insert(0, 0)
+	lcp, owner := tr.Insert(4, 1) // ACGT is a full prefix of ACGTACGT
+	if lcp != 4 || owner != 0 {
+		t.Errorf("prefix suffix: lcp=%d owner=%d, want 4/0", lcp, owner)
+	}
+	// Inserting the same start twice: full-length share.
+	lcp, _ = tr.Insert(4, 2)
+	if lcp != 4 {
+		t.Errorf("duplicate insert lcp=%d, want 4", lcp)
+	}
+}
+
+func TestEmptySuffix(t *testing.T) {
+	p := []byte("ACGT")
+	tr := New(p)
+	lcp, owner := tr.Insert(4, 0) // empty suffix
+	if lcp != 0 || owner != -1 {
+		t.Errorf("empty suffix: lcp=%d owner=%d", lcp, owner)
+	}
+	if paths := tr.Paths(); len(paths) != 0 {
+		t.Errorf("paths after empty insert = %v", paths)
+	}
+}
+
+func TestPathsSpellInsertedSuffixes(t *testing.T) {
+	p := []byte("GCTACCCCCTTTGGAA")
+	tr := New(p)
+	tr.Insert(2, 0)
+	tr.Insert(7, 1)
+	tr.Insert(12, 2)
+	want := map[string]bool{
+		string(p[2:]):  true,
+		string(p[7:]):  true,
+		string(p[12:]): true,
+	}
+	for _, path := range tr.Paths() {
+		if !want[path] {
+			t.Errorf("unexpected path %q", path)
+		}
+		delete(want, path)
+	}
+	for missing := range want {
+		t.Errorf("missing path %q", missing)
+	}
+}

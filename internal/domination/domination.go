@@ -1,0 +1,162 @@
+// Package domination implements the q-prefix domination index of
+// §3.2.2: the offline structure that lets ALAE prune whole fork areas.
+//
+// Definition 1 specialises cleanly: the fork for the q-gram
+// X = P[j..j+q−1] at query column j is dominated by
+// X' = P[j−1..j+q−2] exactly when every occurrence of X in the text is
+// immediately preceded by the character P[j−1] — then every alignment
+// found through the fork at j is found, with a strictly higher score,
+// through the fork at j−1 (one more leading match), so the fork at j
+// is meaningless (Lemma 1).
+//
+// The index therefore stores, for every distinct q-gram of the text,
+// its total occurrence count and its occurrence count per preceding
+// character; it is built in one O(n) scan, matching the paper's
+// "constructing dominations offline ... in O(n) time". A q-gram at
+// text position 0 has no predecessor, which automatically prevents it
+// from being dominated — the paper's rule that "the q-length substring
+// at position 1 could not be dominated".
+package domination
+
+import (
+	"fmt"
+
+	"repro/internal/qgram"
+)
+
+// Index is the domination index of a text for a fixed q.
+type Index struct {
+	q       int
+	letters []byte
+	packer  *qgram.Packer
+	counts  map[uint64]*gramCounts // packed path
+	strCnts map[string]*gramCounts // fallback path
+}
+
+type gramCounts struct {
+	total int32
+	prec  []int32 // by preceding-character code; index len(letters) = "no predecessor"
+}
+
+// Build scans text once and constructs the index. letters must list
+// the alphabet bytes of interest; grams containing other bytes (e.g.
+// collection separators) are not indexed and can never dominate or be
+// dominated.
+func Build(text []byte, q int, letters []byte) (*Index, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("domination: q = %d must be positive", q)
+	}
+	idx := &Index{q: q, letters: append([]byte(nil), letters...), packer: qgram.NewPacker(letters, q)}
+	codeOf := make(map[byte]int, len(letters))
+	for i, c := range letters {
+		codeOf[c] = i
+	}
+	noPred := len(letters)
+	record := func(gram []byte, pos int) {
+		var gc *gramCounts
+		if idx.packer != nil {
+			key, ok := idx.packer.Pack(gram)
+			if !ok {
+				return
+			}
+			if idx.counts == nil {
+				idx.counts = make(map[uint64]*gramCounts)
+			}
+			gc = idx.counts[key]
+			if gc == nil {
+				gc = &gramCounts{prec: make([]int32, len(letters)+1)}
+				idx.counts[key] = gc
+			}
+		} else {
+			for _, c := range gram {
+				if _, ok := codeOf[c]; !ok {
+					return
+				}
+			}
+			if idx.strCnts == nil {
+				idx.strCnts = make(map[string]*gramCounts)
+			}
+			gc = idx.strCnts[string(gram)]
+			if gc == nil {
+				gc = &gramCounts{prec: make([]int32, len(letters)+1)}
+				idx.strCnts[string(gram)] = gc
+			}
+		}
+		gc.total++
+		slot := noPred
+		if pos > 0 {
+			if c, ok := codeOf[text[pos-1]]; ok {
+				slot = c
+			}
+		}
+		gc.prec[slot]++
+	}
+	for i := 0; i+q <= len(text); i++ {
+		record(text[i:i+q], i)
+	}
+	return idx, nil
+}
+
+// Q returns the gram length.
+func (idx *Index) Q() int { return idx.q }
+
+// lookup returns the counts of gram, or nil when it does not occur.
+func (idx *Index) lookup(gram []byte) *gramCounts {
+	if idx.packer != nil {
+		key, ok := idx.packer.Pack(gram)
+		if !ok {
+			return nil
+		}
+		return idx.counts[key]
+	}
+	return idx.strCnts[string(gram)]
+}
+
+// Occurs reports whether gram occurs in the text at all — the first
+// condition of Lemma 1 (no fork without a text match).
+func (idx *Index) Occurs(gram []byte) bool {
+	return idx.lookup(gram) != nil
+}
+
+// Count returns the number of occurrences of gram in the text.
+func (idx *Index) Count(gram []byte) int {
+	if gc := idx.lookup(gram); gc != nil {
+		return int(gc.total)
+	}
+	return 0
+}
+
+// Dominated reports whether the fork for gram is dominated when the
+// query character preceding it is prev: true iff every text occurrence
+// of gram is immediately preceded by prev.
+func (idx *Index) Dominated(gram []byte, prev byte) bool {
+	gc := idx.lookup(gram)
+	if gc == nil {
+		return false // vacuous; the fork will be skipped as absent anyway
+	}
+	for i, c := range idx.letters {
+		if c == prev {
+			return gc.prec[i] == gc.total
+		}
+	}
+	return false
+}
+
+// Distinct returns the number of distinct q-grams indexed.
+func (idx *Index) Distinct() int {
+	if idx.packer != nil {
+		return len(idx.counts)
+	}
+	return len(idx.strCnts)
+}
+
+// SizeBytes reports the memory footprint of the index: the per-gram
+// counters plus map overhead. This is the "dominate index" size curve
+// of Figure 11.
+func (idx *Index) SizeBytes() int {
+	perGram := 4 + 4*(len(idx.letters)+1) // total + prec counters
+	if idx.packer != nil {
+		return len(idx.counts) * (perGram + 8 + 16)
+	}
+	return len(idx.strCnts) * (perGram + idx.q + 32)
+}

@@ -1,0 +1,172 @@
+package domination
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var dnaLetters = []byte("ACGT")
+
+// bruteDominated is the definitional oracle: every occurrence of gram
+// in text is immediately preceded by prev.
+func bruteDominated(text []byte, gram []byte, prev byte) bool {
+	q := len(gram)
+	occurrences := 0
+	for i := 0; i+q <= len(text); i++ {
+		if string(text[i:i+q]) != string(gram) {
+			continue
+		}
+		occurrences++
+		if i == 0 || text[i-1] != prev {
+			return false
+		}
+	}
+	return occurrences > 0
+}
+
+func randDNA(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = dnaLetters[rng.Intn(4)]
+	}
+	return out
+}
+
+func TestDominatedMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 40; trial++ {
+		text := randDNA(100+rng.Intn(200), int64(trial))
+		q := 2 + rng.Intn(4)
+		idx, err := Build(text, q, dnaLetters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Probe every gram present in the text plus some random ones.
+		for i := 0; i+q <= len(text); i += 3 {
+			gram := text[i : i+q]
+			for _, prev := range dnaLetters {
+				got := idx.Dominated(gram, prev)
+				want := bruteDominated(text, gram, prev)
+				if got != want {
+					t.Fatalf("Dominated(%q, %q) = %v, want %v (text %q)",
+						gram, prev, got, want, text)
+				}
+			}
+		}
+	}
+}
+
+func TestDominationChainExample(t *testing.T) {
+	// In text ACGTACGT, every occurrence of CGT is preceded by A, so
+	// the CGT fork is dominated when the query has A before it; GTA
+	// occurs once (position 2... also 6? GTA at 2 only since position
+	// 6 would need index 6..8) and is preceded by C.
+	text := []byte("ACGTACGT")
+	idx, err := Build(text, 3, dnaLetters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Dominated([]byte("CGT"), 'A') {
+		t.Error("CGT should be dominated by preceding A")
+	}
+	if idx.Dominated([]byte("CGT"), 'C') {
+		t.Error("CGT is never preceded by C")
+	}
+	// ACG occurs at 0 and 4; position 0 has no predecessor, so ACG can
+	// never be dominated — the paper's first-position rule.
+	for _, prev := range dnaLetters {
+		if idx.Dominated([]byte("ACG"), prev) {
+			t.Errorf("ACG dominated by %q despite its position-0 occurrence", prev)
+		}
+	}
+}
+
+func TestOccursAndCount(t *testing.T) {
+	text := []byte("ACGTACGT")
+	idx, _ := Build(text, 4, dnaLetters)
+	if !idx.Occurs([]byte("ACGT")) || idx.Count([]byte("ACGT")) != 2 {
+		t.Errorf("ACGT: occurs=%v count=%d", idx.Occurs([]byte("ACGT")), idx.Count([]byte("ACGT")))
+	}
+	if idx.Occurs([]byte("AAAA")) || idx.Count([]byte("AAAA")) != 0 {
+		t.Error("AAAA should be absent")
+	}
+	if idx.Dominated([]byte("AAAA"), 'A') {
+		t.Error("absent gram cannot be dominated")
+	}
+}
+
+func TestBuildRejectsBadQ(t *testing.T) {
+	if _, err := Build([]byte("ACGT"), 0, dnaLetters); err == nil {
+		t.Error("q=0 accepted")
+	}
+}
+
+func TestSeparatorGramsNotIndexed(t *testing.T) {
+	idx, err := Build([]byte("ACG#ACG"), 3, dnaLetters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Occurs([]byte("CG#")) {
+		t.Error("gram containing separator was indexed")
+	}
+	// The second ACG is preceded by '#', which is outside the
+	// alphabet: ACG must not be dominated by anything.
+	for _, prev := range dnaLetters {
+		if idx.Dominated([]byte("ACG"), prev) {
+			t.Errorf("ACG dominated by %q despite separator predecessor", prev)
+		}
+	}
+	if idx.Count([]byte("ACG")) != 2 {
+		t.Errorf("Count(ACG) = %d, want 2", idx.Count([]byte("ACG")))
+	}
+}
+
+func TestDistinctAndSize(t *testing.T) {
+	text := randDNA(5000, 99)
+	idx, _ := Build(text, 4, dnaLetters)
+	if idx.Distinct() <= 0 || idx.Distinct() > 256 {
+		t.Errorf("Distinct = %d, want within (0, 4^4]", idx.Distinct())
+	}
+	if idx.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+	// A longer DNA text saturates the 4^q gram space, so the dominate
+	// index stops growing — the behaviour behind Figure 11(a).
+	big, _ := Build(randDNA(50000, 100), 4, dnaLetters)
+	if big.Distinct() != 256 {
+		t.Errorf("50k DNA text should contain all 256 4-grams, got %d", big.Distinct())
+	}
+}
+
+func TestFallbackAlphabet(t *testing.T) {
+	// Force the string-keyed path with a wide alphabet and large q.
+	letters := make([]byte, 62)
+	for i := range letters {
+		letters[i] = byte('!' + i)
+	}
+	rng := rand.New(rand.NewSource(101))
+	text := make([]byte, 400)
+	for i := range text {
+		text[i] = letters[rng.Intn(len(letters))]
+	}
+	idx, err := Build(text, 11, letters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+11 <= len(text); i += 7 {
+		gram := text[i : i+11]
+		for _, prev := range []byte{letters[0], text[max(0, i-1)]} {
+			if got, want := idx.Dominated(gram, prev), bruteDominated(text, gram, prev); got != want {
+				t.Fatalf("fallback Dominated(%q, %q) = %v, want %v", gram, prev, got, want)
+			}
+		}
+	}
+}
+
+func TestQAccessor(t *testing.T) {
+	idx, _ := Build([]byte("ACGTACGT"), 4, dnaLetters)
+	if idx.Q() != 4 {
+		t.Errorf("Q = %d", idx.Q())
+	}
+}

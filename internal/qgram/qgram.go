@@ -1,0 +1,204 @@
+// Package qgram builds the inverted lists of q-grams of the query that
+// q-prefix filtering needs (§3.1.3 of the paper): "we decompose P into
+// a set of q-grams by sliding a window of length q over the characters
+// of P. For each q-gram in P, we generate an inverted list of its
+// start positions in P. The time complexity of building inverted lists
+// is O(m)."
+//
+// Keys are encoded as packed integers when the alphabet is small
+// enough (⌈log2 σ⌉·q ≤ 62 bits), the common case for both DNA and
+// protein q values; otherwise a string-keyed map is used.
+package qgram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index is the inverted q-gram index of a query string.
+type Index struct {
+	q       int
+	query   []byte
+	lists   map[uint64][]int32 // packed-key lists
+	strKeys map[string][]int32 // fallback for unpackable alphabets
+	packer  *Packer
+}
+
+// Packer encodes fixed-length grams over a byte alphabet into uint64
+// keys. The zero value is unusable; build one with NewPacker.
+type Packer struct {
+	q       int
+	bits    uint
+	code    [256]int16
+	letters []byte
+}
+
+// NewPacker returns a packer for q-grams over the given letters, or
+// nil when q grams of this alphabet do not fit into 62 bits.
+func NewPacker(letters []byte, q int) *Packer {
+	bits := uint(1)
+	for 1<<bits < len(letters) {
+		bits++
+	}
+	if uint(q)*bits > 62 {
+		return nil
+	}
+	p := &Packer{q: q, bits: bits, letters: append([]byte(nil), letters...)}
+	for i := range p.code {
+		p.code[i] = -1
+	}
+	for i, c := range letters {
+		p.code[c] = int16(i)
+	}
+	return p
+}
+
+// Pack encodes gram (which must have length q). ok is false when a
+// byte is outside the alphabet.
+func (p *Packer) Pack(gram []byte) (uint64, bool) {
+	var key uint64
+	for _, c := range gram {
+		v := p.code[c]
+		if v < 0 {
+			return 0, false
+		}
+		key = key<<p.bits | uint64(v)
+	}
+	return key, true
+}
+
+// Next slides the packed key one character right: drop the leading
+// character of the current gram and append c. prev must be the key of
+// the previous window.
+func (p *Packer) Next(prev uint64, c byte) (uint64, bool) {
+	v := p.code[c]
+	if v < 0 {
+		return 0, false
+	}
+	mask := uint64(1)<<(p.bits*uint(p.q)) - 1
+	return (prev<<p.bits | uint64(v)) & mask, true
+}
+
+// Q returns the gram length.
+func (p *Packer) Q() int { return p.q }
+
+// New builds the inverted index of the q-grams of query. letters is
+// the alphabet of interest (grams containing other bytes are skipped,
+// which is how separator bytes in concatenated databases are kept out
+// of the filter).
+func New(query []byte, q int, letters []byte) (*Index, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("qgram: q = %d must be positive", q)
+	}
+	idx := &Index{q: q, query: query, packer: NewPacker(letters, q)}
+	if idx.packer != nil {
+		idx.lists = make(map[uint64][]int32)
+		for i := 0; i+q <= len(query); i++ {
+			if key, ok := idx.packer.Pack(query[i : i+q]); ok {
+				idx.lists[key] = append(idx.lists[key], int32(i))
+			}
+		}
+		return idx, nil
+	}
+	idx.strKeys = make(map[string][]int32)
+	valid := func(gram []byte) bool {
+		for _, c := range gram {
+			found := false
+			for _, l := range letters {
+				if c == l {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i+q <= len(query); i++ {
+		gram := query[i : i+q]
+		if valid(gram) {
+			idx.strKeys[string(gram)] = append(idx.strKeys[string(gram)], int32(i))
+		}
+	}
+	return idx, nil
+}
+
+// Q returns the gram length of the index.
+func (idx *Index) Q() int { return idx.q }
+
+// Positions returns the 0-based starting positions of gram in the
+// query, or nil when it does not occur. The returned slice is shared;
+// callers must not modify it.
+func (idx *Index) Positions(gram []byte) []int32 {
+	if len(gram) != idx.q {
+		return nil
+	}
+	if idx.packer != nil {
+		key, ok := idx.packer.Pack(gram)
+		if !ok {
+			return nil
+		}
+		return idx.lists[key]
+	}
+	return idx.strKeys[string(gram)]
+}
+
+// Distinct returns the number of distinct q-grams indexed.
+func (idx *Index) Distinct() int {
+	if idx.packer != nil {
+		return len(idx.lists)
+	}
+	return len(idx.strKeys)
+}
+
+// Grams calls fn for every distinct gram with its sorted position
+// list, in an unspecified gram order. fn must not retain the gram
+// slice across calls.
+func (idx *Index) Grams(fn func(gram []byte, positions []int32)) {
+	buf := make([]byte, idx.q)
+	if idx.packer != nil {
+		for key, pos := range idx.lists {
+			k := key
+			for i := idx.q - 1; i >= 0; i-- {
+				buf[i] = idx.packer.letters[k&(1<<idx.packer.bits-1)]
+				k >>= idx.packer.bits
+			}
+			fn(buf, pos)
+		}
+		return
+	}
+	for gram, pos := range idx.strKeys {
+		copy(buf, gram)
+		fn(buf, pos)
+	}
+}
+
+// GramsSorted is Grams in lexicographic gram order, for deterministic
+// traversal.
+func (idx *Index) GramsSorted(fn func(gram []byte, positions []int32)) {
+	var keys []string
+	collect := func(gram []byte, _ []int32) { keys = append(keys, string(gram)) }
+	idx.Grams(collect)
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn([]byte(k), idx.Positions([]byte(k)))
+	}
+}
+
+// SizeBytes estimates the index footprint (list headers plus
+// positions), for completeness in space accounting.
+func (idx *Index) SizeBytes() int {
+	size := 0
+	if idx.packer != nil {
+		for _, l := range idx.lists {
+			size += 8 + 4*len(l) + 24
+		}
+		return size
+	}
+	for g, l := range idx.strKeys {
+		size += len(g) + 4*len(l) + 40
+	}
+	return size
+}

@@ -1,0 +1,227 @@
+package qgram
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+var dnaLetters = []byte("ACGT")
+
+// bruteGrams builds the reference inverted lists.
+func bruteGrams(query []byte, q int) map[string][]int32 {
+	out := make(map[string][]int32)
+	for i := 0; i+q <= len(query); i++ {
+		g := string(query[i : i+q])
+		out[g] = append(out[g], int32(i))
+	}
+	return out
+}
+
+func TestIndexMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		query := make([]byte, n)
+		for i := range query {
+			query[i] = dnaLetters[rng.Intn(4)]
+		}
+		q := 1 + rng.Intn(6)
+		idx, err := New(query, q, dnaLetters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteGrams(query, q)
+		if idx.Distinct() != len(want) {
+			t.Fatalf("Distinct = %d, want %d", idx.Distinct(), len(want))
+		}
+		for g, pos := range want {
+			got := idx.Positions([]byte(g))
+			if len(got) != len(pos) {
+				t.Fatalf("Positions(%q) = %v, want %v", g, got, pos)
+			}
+			for i := range pos {
+				if got[i] != pos[i] {
+					t.Fatalf("Positions(%q) = %v, want %v", g, got, pos)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexAbsentAndWrongLength(t *testing.T) {
+	idx, err := New([]byte("ACGTACGT"), 4, dnaLetters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Positions([]byte("TTTT")) != nil {
+		t.Error("absent gram returned positions")
+	}
+	if idx.Positions([]byte("ACG")) != nil {
+		t.Error("wrong-length gram returned positions")
+	}
+	if idx.Positions([]byte("ACGN")) != nil {
+		t.Error("foreign-byte gram returned positions")
+	}
+}
+
+func TestIndexSkipsSeparators(t *testing.T) {
+	idx, err := New([]byte("ACG#TACG"), 3, dnaLetters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grams overlapping '#' must not be indexed.
+	for _, g := range []string{"CG#", "G#T", "#TA"} {
+		if idx.Positions([]byte(g)) != nil {
+			t.Errorf("separator gram %q indexed", g)
+		}
+	}
+	if got := idx.Positions([]byte("ACG")); len(got) != 2 {
+		t.Errorf("Positions(ACG) = %v, want two entries", got)
+	}
+}
+
+func TestIndexRejectsBadQ(t *testing.T) {
+	if _, err := New([]byte("ACGT"), 0, dnaLetters); err == nil {
+		t.Error("q=0 accepted")
+	}
+}
+
+func TestGramsEnumeration(t *testing.T) {
+	query := []byte("ACGTACGA")
+	idx, err := New(query, 3, dnaLetters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteGrams(query, 3)
+	var seen []string
+	idx.Grams(func(gram []byte, pos []int32) {
+		seen = append(seen, string(gram))
+		ref := want[string(gram)]
+		if len(pos) != len(ref) {
+			t.Errorf("gram %q positions %v, want %v", gram, pos, ref)
+		}
+	})
+	sort.Strings(seen)
+	var wantKeys []string
+	for k := range want {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(wantKeys)
+	if len(seen) != len(wantKeys) {
+		t.Fatalf("enumerated %v, want %v", seen, wantKeys)
+	}
+	for i := range seen {
+		if seen[i] != wantKeys[i] {
+			t.Fatalf("enumerated %v, want %v", seen, wantKeys)
+		}
+	}
+	// Sorted enumeration yields lexicographic order.
+	var sortedSeen []string
+	idx.GramsSorted(func(gram []byte, _ []int32) {
+		sortedSeen = append(sortedSeen, string(gram))
+	})
+	if !sort.StringsAreSorted(sortedSeen) {
+		t.Errorf("GramsSorted not sorted: %v", sortedSeen)
+	}
+}
+
+func TestPackerRoundTripAndNext(t *testing.T) {
+	p := NewPacker(dnaLetters, 4)
+	if p == nil {
+		t.Fatal("packer unavailable for DNA q=4")
+	}
+	rng := rand.New(rand.NewSource(51))
+	prevGram := []byte("ACGT")
+	key, ok := p.Pack(prevGram)
+	if !ok {
+		t.Fatal("pack failed")
+	}
+	for step := 0; step < 100; step++ {
+		c := dnaLetters[rng.Intn(4)]
+		nextGram := append(append([]byte(nil), prevGram[1:]...), c)
+		nk, ok := p.Next(key, c)
+		if !ok {
+			t.Fatal("Next failed")
+		}
+		direct, _ := p.Pack(nextGram)
+		if nk != direct {
+			t.Fatalf("sliding key %d != direct key %d for %q", nk, direct, nextGram)
+		}
+		key, prevGram = nk, nextGram
+	}
+	if _, ok := p.Pack([]byte("ACGN")); ok {
+		t.Error("packed a foreign byte")
+	}
+	if _, ok := p.Next(key, 'N'); ok {
+		t.Error("Next accepted a foreign byte")
+	}
+}
+
+func TestPackerUnpackableFallsBack(t *testing.T) {
+	// 62-byte alphabet with q=11 exceeds 62 bits: packer must be nil
+	// and the index must fall back to string keys, still correct.
+	letters := make([]byte, 62)
+	for i := range letters {
+		letters[i] = byte('!' + i)
+	}
+	if NewPacker(letters, 11) != nil {
+		t.Fatal("packer should refuse 11 grams over 62 letters")
+	}
+	rng := rand.New(rand.NewSource(52))
+	query := make([]byte, 500)
+	for i := range query {
+		query[i] = letters[rng.Intn(len(letters))]
+	}
+	idx, err := New(query, 11, letters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteGrams(query, 11)
+	if idx.Distinct() != len(want) {
+		t.Fatalf("Distinct = %d, want %d", idx.Distinct(), len(want))
+	}
+	for g, pos := range want {
+		got := idx.Positions([]byte(g))
+		if len(got) != len(pos) {
+			t.Fatalf("fallback Positions(%q) wrong", g)
+		}
+	}
+	if idx.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestProteinPacking(t *testing.T) {
+	letters := []byte("ACDEFGHIKLMNPQRSTVWY")
+	p := NewPacker(letters, 5) // 5 bits × 5 = 25 bits, packable
+	if p == nil {
+		t.Fatal("protein q=5 should pack")
+	}
+	a, _ := p.Pack([]byte("ACDEF"))
+	b, _ := p.Pack([]byte("ACDEG"))
+	if a == b {
+		t.Error("distinct grams packed to the same key")
+	}
+}
+
+func TestIndexQueryShorterThanQ(t *testing.T) {
+	idx, err := New([]byte("AC"), 4, dnaLetters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Distinct() != 0 {
+		t.Error("short query should index nothing")
+	}
+}
+
+func TestPositionsSharedSliceContract(t *testing.T) {
+	query := bytes.Repeat([]byte("ACGT"), 10)
+	idx, _ := New(query, 4, dnaLetters)
+	p1 := idx.Positions([]byte("ACGT"))
+	p2 := idx.Positions([]byte("ACGT"))
+	if len(p1) != len(p2) || len(p1) != 10 {
+		t.Fatalf("ACGT occurs 10 times, got %d/%d", len(p1), len(p2))
+	}
+}

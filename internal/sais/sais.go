@@ -1,0 +1,216 @@
+// Package sais constructs suffix arrays in linear time with the SA-IS
+// algorithm (Nong, Zhang, Chan 2009). The suffix array is the substrate
+// under the BWT and the compressed suffix array that ALAE (and the
+// BWT-SW baseline) use to emulate the suffix trie of the text (§2.3 and
+// §5 of the paper).
+package sais
+
+// Build returns the suffix array of text: a permutation sa of
+// [0, len(text)) such that text[sa[i]:] < text[sa[i+1]:] in
+// lexicographic order. A virtual sentinel smaller than every byte is
+// assumed at the end of the text (it is not included in the result).
+func Build(text []byte) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	if n == 0 {
+		return sa
+	}
+	if n == 1 {
+		sa[0] = 0
+		return sa
+	}
+	s := make([]int32, n)
+	for i, c := range text {
+		s[i] = int32(c)
+	}
+	saisRec(s, sa, 256)
+	return sa
+}
+
+// saisRec computes the suffix array of s (whose values are in
+// [0, sigma)) into sa. A virtual sentinel -1 is assumed at s[len(s)].
+func saisRec(s []int32, sa []int32, sigma int) {
+	n := len(s)
+	if n == 1 {
+		sa[0] = 0
+		return
+	}
+	if n == 2 {
+		if s[0] < s[1] {
+			sa[0], sa[1] = 0, 1
+		} else {
+			sa[0], sa[1] = 1, 0
+		}
+		return
+	}
+
+	// Classify suffixes: true = S-type (suffix smaller than its right
+	// neighbour), false = L-type. The virtual sentinel is S-type by
+	// definition, so the last real position is L-type unless... it is
+	// compared with the sentinel, which is smaller than everything,
+	// making s[n-1] L-type always.
+	typ := make([]bool, n)
+	typ[n-1] = false
+	for i := n - 2; i >= 0; i-- {
+		switch {
+		case s[i] < s[i+1]:
+			typ[i] = true
+		case s[i] > s[i+1]:
+			typ[i] = false
+		default:
+			typ[i] = typ[i+1]
+		}
+	}
+	isLMS := func(i int) bool { return i > 0 && typ[i] && !typ[i-1] }
+
+	// Bucket sizes per character.
+	bucket := make([]int32, sigma)
+	for _, c := range s {
+		bucket[c]++
+	}
+	bucketHeads := func(b []int32) {
+		var sum int32
+		for c := 0; c < sigma; c++ {
+			b[c] = sum
+			sum += bucket[c]
+		}
+	}
+	bucketTails := func(b []int32) {
+		var sum int32
+		for c := 0; c < sigma; c++ {
+			sum += bucket[c]
+			b[c] = sum
+		}
+	}
+
+	b := make([]int32, sigma)
+	const empty = -1
+
+	// induceSort places all suffixes given the LMS suffixes already
+	// seeded in sa (everything else must be `empty`).
+	induce := func() {
+		// Left-to-right pass places L-type suffixes.
+		bucketHeads(b)
+		// The suffix following the (virtual) sentinel: position n-1 is
+		// L-type and must be seeded first.
+		if !typ[n-1] {
+			sa[b[s[n-1]]] = int32(n - 1)
+			b[s[n-1]]++
+		}
+		for i := 0; i < n; i++ {
+			j := sa[i]
+			if j <= 0 {
+				continue
+			}
+			if !typ[j-1] {
+				sa[b[s[j-1]]] = j - 1
+				b[s[j-1]]++
+			}
+		}
+		// Right-to-left pass places S-type suffixes.
+		bucketTails(b)
+		for i := n - 1; i >= 0; i-- {
+			j := sa[i]
+			if j <= 0 {
+				continue
+			}
+			if typ[j-1] {
+				b[s[j-1]]--
+				sa[b[s[j-1]]] = j - 1
+			}
+		}
+	}
+
+	// Step 1: put LMS suffixes at their bucket tails in text order and
+	// induce-sort to get LMS substrings in sorted order.
+	for i := range sa {
+		sa[i] = empty
+	}
+	bucketTails(b)
+	numLMS := 0
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			b[s[i]]--
+			sa[b[s[i]]] = int32(i)
+			numLMS++
+		}
+	}
+	induce()
+
+	if numLMS == 0 {
+		// The whole string is monotone; induce() already sorted it.
+		return
+	}
+
+	// Step 2: compact the sorted LMS suffixes and name LMS substrings.
+	sorted := make([]int32, 0, numLMS)
+	for _, j := range sa {
+		if j > 0 && isLMS(int(j)) {
+			sorted = append(sorted, j)
+		}
+	}
+	// names[i] = rank of the LMS substring starting at i.
+	names := make([]int32, n)
+	for i := range names {
+		names[i] = empty
+	}
+	var curName int32
+	names[sorted[0]] = 0
+	prev := sorted[0]
+	lmsEqual := func(a, b int32) bool {
+		// Compare the LMS substrings starting at a and b (inclusive of
+		// their terminating LMS position).
+		for d := int32(0); ; d++ {
+			ia, ib := int(a+d), int(b+d)
+			if ia >= n || ib >= n {
+				// Only the very last LMS substring touches the sentinel
+				// and it is unique, so reaching the end means inequality.
+				return false
+			}
+			aLMS, bLMS := d > 0 && isLMS(ia), d > 0 && isLMS(ib)
+			if s[ia] != s[ib] || typ[ia] != typ[ib] {
+				return false
+			}
+			if aLMS || bLMS {
+				return aLMS && bLMS
+			}
+		}
+	}
+	for _, j := range sorted[1:] {
+		if !lmsEqual(prev, j) {
+			curName++
+		}
+		names[j] = curName
+		prev = j
+	}
+
+	if int(curName)+1 < numLMS {
+		// Names are not yet unique: recurse on the reduced string.
+		reduced := make([]int32, 0, numLMS)
+		lmsPos := make([]int32, 0, numLMS)
+		for i := 1; i < n; i++ {
+			if isLMS(i) {
+				reduced = append(reduced, names[i])
+				lmsPos = append(lmsPos, int32(i))
+			}
+		}
+		subSA := make([]int32, numLMS)
+		saisRec(reduced, subSA, int(curName)+1)
+		for i, r := range subSA {
+			sorted[i] = lmsPos[r]
+		}
+	}
+	// else: `sorted` already holds the LMS suffixes in correct order.
+
+	// Step 3: seed the exactly-sorted LMS suffixes and induce the rest.
+	for i := range sa {
+		sa[i] = empty
+	}
+	bucketTails(b)
+	for i := numLMS - 1; i >= 0; i-- {
+		j := sorted[i]
+		b[s[j]]--
+		sa[b[s[j]]] = j
+	}
+	induce()
+}

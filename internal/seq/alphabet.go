@@ -1,0 +1,120 @@
+// Package seq provides the biosequence substrate for the ALAE
+// reproduction: alphabets (DNA and protein), sequence validation, FASTA
+// input/output, and seeded synthetic-data generators that stand in for
+// the genome and protein datasets used in the paper's evaluation
+// (human GRCh37, mouse MGSCv37 and UniParc, which are not redistributable
+// here; see DESIGN.md for the substitution rationale).
+package seq
+
+import "fmt"
+
+// Alphabet describes the character set of a biosequence. Characters are
+// plain ASCII bytes; Code maps a byte to a dense code in [0, Size) used
+// by the index structures.
+type Alphabet struct {
+	name    string
+	letters []byte
+	code    [256]int16 // -1 when the byte is not in the alphabet
+}
+
+// NewAlphabet builds an alphabet from the given distinct letters.
+// It panics if letters repeat, because alphabets are package-level
+// constants and a duplicate is a programming error.
+func NewAlphabet(name string, letters string) *Alphabet {
+	a := &Alphabet{name: name, letters: []byte(letters)}
+	for i := range a.code {
+		a.code[i] = -1
+	}
+	for i, c := range a.letters {
+		if a.code[c] != -1 {
+			panic(fmt.Sprintf("seq: duplicate letter %q in alphabet %s", c, name))
+		}
+		a.code[c] = int16(i)
+	}
+	return a
+}
+
+// DNA is the four-letter nucleotide alphabet (σ = 4 in the paper).
+var DNA = NewAlphabet("DNA", "ACGT")
+
+// Protein is the twenty-letter amino-acid alphabet (σ = 20 in the paper).
+var Protein = NewAlphabet("Protein", "ACDEFGHIKLMNPQRSTVWY")
+
+// Name returns the alphabet's name.
+func (a *Alphabet) Name() string { return a.name }
+
+// Size returns σ, the number of letters.
+func (a *Alphabet) Size() int { return len(a.letters) }
+
+// Letters returns the alphabet's letters in code order. The caller must
+// not modify the returned slice.
+func (a *Alphabet) Letters() []byte { return a.letters }
+
+// Code returns the dense code of c, or -1 when c is not in the alphabet.
+func (a *Alphabet) Code(c byte) int { return int(a.code[c]) }
+
+// Letter returns the letter with the given code.
+func (a *Alphabet) Letter(code int) byte { return a.letters[code] }
+
+// Contains reports whether c is a letter of the alphabet.
+func (a *Alphabet) Contains(c byte) bool { return a.code[c] >= 0 }
+
+// Validate checks that every byte of s belongs to the alphabet and
+// returns a descriptive error for the first offender.
+func (a *Alphabet) Validate(s []byte) error {
+	for i, c := range s {
+		if a.code[c] < 0 {
+			return fmt.Errorf("seq: byte %q at offset %d is not in alphabet %s", c, i, a.name)
+		}
+	}
+	return nil
+}
+
+// Encode maps s to dense codes. It returns an error when s contains a
+// byte outside the alphabet.
+func (a *Alphabet) Encode(s []byte) ([]byte, error) {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		v := a.code[c]
+		if v < 0 {
+			return nil, fmt.Errorf("seq: byte %q at offset %d is not in alphabet %s", c, i, a.name)
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// Decode maps dense codes back to letters. Codes out of range panic,
+// since they can only come from a bug in this module.
+func (a *Alphabet) Decode(codes []byte) []byte {
+	out := make([]byte, len(codes))
+	for i, v := range codes {
+		out[i] = a.letters[v]
+	}
+	return out
+}
+
+// FrequenciesOf returns the empirical letter distribution of s in code
+// order. Bytes outside the alphabet are ignored. When s is empty the
+// distribution is uniform, which is the right prior for score
+// statistics (package evalue) on unseen data.
+func (a *Alphabet) FrequenciesOf(s []byte) []float64 {
+	freqs := make([]float64, a.Size())
+	total := 0
+	for _, c := range s {
+		if v := a.code[c]; v >= 0 {
+			freqs[v]++
+			total++
+		}
+	}
+	if total == 0 {
+		for i := range freqs {
+			freqs[i] = 1 / float64(a.Size())
+		}
+		return freqs
+	}
+	for i := range freqs {
+		freqs[i] /= float64(total)
+	}
+	return freqs
+}

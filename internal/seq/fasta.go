@@ -1,0 +1,142 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Record is one FASTA record: a header line (without the leading '>')
+// and the concatenated sequence data.
+type Record struct {
+	Header string
+	Seq    []byte
+}
+
+// ReadFASTA parses FASTA records from r. Sequence lines are
+// concatenated verbatim except that ASCII whitespace is dropped and
+// lower-case letters are upshifted, matching how genome assemblies mark
+// soft-masked repeats. Data before the first header is an error.
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var recs []Record
+	var cur *Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			recs = append(recs, Record{Header: string(line[1:])})
+			cur = &recs[len(recs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seq: line %d: sequence data before first FASTA header", lineNo)
+		}
+		for _, c := range line {
+			if c >= 'a' && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			cur.Seq = append(cur.Seq, c)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading FASTA: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteFASTA writes records to w with sequence lines wrapped at width
+// columns (60 when width <= 0).
+func WriteFASTA(w io.Writer, recs []Record, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Header); err != nil {
+			return err
+		}
+		for off := 0; off < len(rec.Seq); off += width {
+			end := min(off+width, len(rec.Seq))
+			if _, err := bw.Write(rec.Seq[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Collection is a set of named sequences concatenated into one text so
+// a single index serves the whole database, exactly as §2.2 of the
+// paper prescribes ("given all the sequences T1..Tn in the database, we
+// concatenate them into a single sequence T"). A separator byte keeps
+// alignments from silently spanning two database sequences: it is not a
+// letter of any alphabet, so it can never contribute a match, and
+// Locate rejects hits that cross it.
+type Collection struct {
+	text   []byte
+	names  []string
+	starts []int // start offset of each member in text
+}
+
+// Separator is the byte placed between concatenated sequences.
+const Separator byte = '#'
+
+// NewCollection concatenates the records into a single searchable text.
+func NewCollection(recs []Record) *Collection {
+	c := &Collection{}
+	for i, rec := range recs {
+		if i > 0 {
+			c.text = append(c.text, Separator)
+		}
+		c.starts = append(c.starts, len(c.text))
+		c.names = append(c.names, rec.Header)
+		c.text = append(c.text, rec.Seq...)
+	}
+	return c
+}
+
+// Text returns the concatenated text. The caller must not modify it.
+func (c *Collection) Text() []byte { return c.text }
+
+// Len returns the number of member sequences.
+func (c *Collection) Len() int { return len(c.names) }
+
+// Name returns the header of member i.
+func (c *Collection) Name(i int) string { return c.names[i] }
+
+// Locate maps a half-open global interval [start, end) of the
+// concatenated text to (member index, local start). ok is false when
+// the interval is empty, out of bounds, or crosses a separator.
+func (c *Collection) Locate(start, end int) (member, local int, ok bool) {
+	if start < 0 || end > len(c.text) || start >= end {
+		return 0, 0, false
+	}
+	// Binary search for the member whose range contains start.
+	lo, hi := 0, len(c.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.starts[mid] <= start {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	memberEnd := len(c.text)
+	if lo+1 < len(c.starts) {
+		memberEnd = c.starts[lo+1] - 1 // exclude the separator
+	}
+	if end > memberEnd {
+		return 0, 0, false
+	}
+	return lo, start - c.starts[lo], true
+}

@@ -1,0 +1,69 @@
+package strie
+
+// Ref is a literal pointer-based suffix trie, the structure of §2.3
+// that the FM-emulation stands in for. It is O(n^2) space and only
+// suitable for small texts; the test suite uses it as the oracle for
+// the emulated trie, and it documents what the emulation means.
+type Ref struct {
+	root *refNode
+	text []byte
+}
+
+type refNode struct {
+	children map[byte]*refNode
+	starts   []int // starting positions of the path substring
+}
+
+// NewRef builds the literal suffix trie of text.
+func NewRef(text []byte) *Ref {
+	r := &Ref{root: &refNode{children: map[byte]*refNode{}}, text: text}
+	for s := 0; s < len(text); s++ {
+		u := r.root
+		u.starts = append(u.starts, s)
+		for i := s; i < len(text); i++ {
+			c := text[i]
+			next, ok := u.children[c]
+			if !ok {
+				next = &refNode{children: map[byte]*refNode{}}
+				u.children[c] = next
+			}
+			next.starts = append(next.starts, s)
+			u = next
+		}
+	}
+	return r
+}
+
+// WalkRef descends the path s. It returns the starting positions of s
+// in the text, or nil when s does not occur.
+func (r *Ref) WalkRef(s []byte) []int {
+	u := r.root
+	for _, c := range s {
+		next, ok := u.children[c]
+		if !ok {
+			return nil
+		}
+		u = next
+	}
+	return u.starts
+}
+
+// EdgeLabels returns the sorted child labels of the node reached by s,
+// or nil when s does not occur.
+func (r *Ref) EdgeLabels(s []byte) []byte {
+	u := r.root
+	for _, c := range s {
+		next, ok := u.children[c]
+		if !ok {
+			return nil
+		}
+		u = next
+	}
+	var out []byte
+	for c := 0; c < 256; c++ {
+		if _, ok := u.children[byte(c)]; ok {
+			out = append(out, byte(c))
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package alae
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/bwt"
+	"repro/internal/core"
+	"repro/internal/strie"
+)
+
+// This file holds the production conveniences around the core Search:
+// index persistence (build once, reload instantly — the first step of
+// the paper's external-memory future work), both-strand DNA search,
+// and parallel multi-query search.
+
+// Save serialises the index (text plus compressed suffix array) so a
+// later process can Load it instead of rebuilding. The format is
+// versioned and validated on load.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(ix.text))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(ix.text); err != nil {
+		return err
+	}
+	if _, err := ix.trie.Index().WriteTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("alae: reading index: %w", err)
+	}
+	if n > 1<<40 {
+		return nil, fmt.Errorf("alae: implausible text length %d", n)
+	}
+	text, err := bwt.ReadExact(br, n)
+	if err != nil {
+		return nil, fmt.Errorf("alae: reading text: %w", err)
+	}
+	fm, err := bwt.ReadFMIndex(br)
+	if err != nil {
+		return nil, err
+	}
+	if fm.Len() != len(text) {
+		return nil, fmt.Errorf("alae: index length %d does not match text length %d", fm.Len(), len(text))
+	}
+	return &Index{
+		text: text,
+		trie: strie.NewFromIndex(text, fm),
+		alae: make(map[core.Mode]*core.Engine),
+	}, nil
+}
+
+// ReverseComplement returns the reverse complement of a DNA sequence.
+// Bytes outside ACGT (e.g. collection separators) are preserved in
+// place so coordinates stay meaningful.
+func ReverseComplement(s []byte) []byte {
+	comp := func(c byte) byte {
+		switch c {
+		case 'A':
+			return 'T'
+		case 'T':
+			return 'A'
+		case 'C':
+			return 'G'
+		case 'G':
+			return 'C'
+		}
+		return c
+	}
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = comp(c)
+	}
+	return out
+}
+
+// Strand labels a hit's query orientation.
+type Strand int
+
+const (
+	// Forward means the query aligned as given.
+	Forward Strand = iota
+	// Reverse means the reverse complement of the query aligned.
+	Reverse
+)
+
+// StrandHit is a hit annotated with its strand. For Reverse hits, QEnd
+// is a position in the reverse-complemented query.
+type StrandHit struct {
+	Hit
+	Strand Strand
+}
+
+// SearchBothStrands runs the query and its reverse complement — how
+// nucleotide searches are actually performed, since a homologous
+// region can sit on either strand of the genome.
+func (ix *Index) SearchBothStrands(query []byte, opts SearchOptions) ([]StrandHit, error) {
+	fwd, err := ix.Search(query, opts)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := ix.Search(ReverseComplement(query), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StrandHit, 0, len(fwd.Hits)+len(rev.Hits))
+	for _, h := range fwd.Hits {
+		out = append(out, StrandHit{Hit: h, Strand: Forward})
+	}
+	for _, h := range rev.Hits {
+		out = append(out, StrandHit{Hit: h, Strand: Reverse})
+	}
+	return out, nil
+}
+
+// SearchAll runs many queries concurrently over the shared index with
+// the given parallelism (0 means one worker per query up to 8).
+// Results are returned in query order; the first error aborts the
+// remaining work.
+func (ix *Index) SearchAll(queries [][]byte, opts SearchOptions, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = min(len(queries), 8)
+	}
+	if workers == 0 {
+		return nil, nil
+	}
+	// Warm the shared lazy structures (domination index, engine
+	// caches) once so workers don't race to build them redundantly.
+	if len(queries) > 0 {
+		s := opts.Scheme
+		if s == (Scheme{}) {
+			s = DefaultDNAScheme
+		}
+		if opts.Algorithm == ALAE || opts.Algorithm == ALAEHybrid {
+			if _, err := ix.DominationIndexSize(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	results := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for qi := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(qi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[qi], errs[qi] = ix.Search(queries[qi], opts)
+		}(qi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

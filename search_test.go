@@ -1,0 +1,151 @@
+package alae
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/seq"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	text, query := workload(300, 3000, 400)
+	ix := NewIndex(text)
+	want, err := ix.Search(query, SearchOptions{Threshold: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(loaded.Text(), text) {
+		t.Fatal("text changed through save/load")
+	}
+	got, err := loaded.Search(query, SearchOptions{Threshold: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !align.EqualHits(got.Hits, want.Hits) {
+		t.Fatalf("loaded index returns %d hits, original %d", len(got.Hits), len(want.Hits))
+	}
+	// Every algorithm must work on a loaded index, including ones that
+	// lazily build engines.
+	for _, alg := range []Algorithm{ALAEHybrid, BWTSW, BLAST} {
+		if _, err := loaded.Search(query, SearchOptions{Algorithm: alg, Threshold: 20}); err != nil {
+			t.Fatalf("%v on loaded index: %v", alg, err)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte("not an index at all, definitely"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// A huge claimed length must fail fast, not allocate terabytes.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := Load(bytes.NewReader(huge)); err == nil {
+		t.Error("implausible length accepted")
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	if got := ReverseComplement([]byte("ACGT")); string(got) != "ACGT" {
+		t.Errorf("RC(ACGT) = %s (ACGT is its own reverse complement)", got)
+	}
+	if got := ReverseComplement([]byte("AACG")); string(got) != "CGTT" {
+		t.Errorf("RC(AACG) = %s, want CGTT", got)
+	}
+	// Involution.
+	rng := rand.New(rand.NewSource(301))
+	s := randDNA(500, rng)
+	if !bytes.Equal(ReverseComplement(ReverseComplement(s)), s) {
+		t.Error("RC is not an involution")
+	}
+	// Non-ACGT bytes survive.
+	if got := ReverseComplement([]byte("A#T")); string(got) != "A#T" {
+		t.Errorf("RC(A#T) = %s", got)
+	}
+}
+
+func TestSearchBothStrands(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	text := randDNA(5000, rng)
+	// Plant a reverse-complement copy: a forward-only search misses it.
+	segment := text[1000:1100]
+	query := append(randDNA(50, rng), append(ReverseComplement(segment), randDNA(50, rng)...)...)
+
+	ix := NewIndex(text)
+	fwd, err := ix.Search(query, SearchOptions{Threshold: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := ix.SearchBothStrands(query, SearchOptions{Threshold: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reverse := 0
+	for _, h := range both {
+		if h.Strand == Reverse {
+			reverse++
+		}
+	}
+	if reverse == 0 {
+		t.Error("planted reverse-strand homology not found")
+	}
+	if len(both) <= len(fwd.Hits) {
+		t.Errorf("both-strand search found %d ≤ forward-only %d", len(both), len(fwd.Hits))
+	}
+}
+
+func TestSearchAllMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	text := randDNA(10000, rng)
+	queries := seq.HomologousQueries(seq.DNA, text, 6, 800, 100, 400,
+		seq.MutationConfig{SubstitutionRate: 0.04}, rng)
+	ix := NewIndex(text)
+	opts := SearchOptions{Threshold: 25}
+
+	parallel, err := ix.SearchAll(queries, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(parallel), len(queries))
+	}
+	for qi, q := range queries {
+		seqRes, err := ix.Search(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !align.EqualHits(parallel[qi].Hits, seqRes.Hits) {
+			t.Fatalf("query %d: parallel and sequential disagree", qi)
+		}
+	}
+}
+
+func TestSearchAllEdgeCases(t *testing.T) {
+	ix := NewIndex([]byte("ACGTACGTACGT"))
+	res, err := ix.SearchAll(nil, SearchOptions{}, 0)
+	if err != nil || res != nil {
+		t.Errorf("empty query set: %v, %v", res, err)
+	}
+	// Errors propagate (BWT-SW + incompatible scheme).
+	_, err = ix.SearchAll([][]byte{[]byte("ACGTACGT")}, SearchOptions{
+		Algorithm: BWTSW,
+		Scheme:    Scheme{Match: 1, Mismatch: -1, GapOpen: -5, GapExtend: -2},
+		Threshold: 10,
+	}, 2)
+	if err == nil {
+		t.Error("worker error not propagated")
+	}
+}
