@@ -106,6 +106,12 @@ type SearchOptions struct {
 	// AlphabetSize is σ for the E-value statistics; 0 means the
 	// number of distinct bytes in the indexed text.
 	AlphabetSize int
+	// Parallelism is the number of worker goroutines the ALAE engines
+	// spread a single search's fork families over: 0 means
+	// runtime.NumCPU(), 1 is the sequential engine. Any value yields
+	// exactly the sequential hit set and work statistics. The baseline
+	// engines (BWT-SW, BLAST, Smith-Waterman) ignore it.
+	Parallelism int
 	// DisableFilters switches off ALAE's length/score/domination
 	// filters (ablation runs; exactness is unaffected).
 	DisableLengthFilter, DisableScoreFilter, DisableDomination bool
@@ -132,6 +138,15 @@ type Result struct {
 	Stats     Stats
 }
 
+// engineKey identifies one ALAE engine configuration: the search mode
+// plus the ablation filter switches. Every configuration is cached, so
+// repeated searches — ablation sweeps included — reuse engines instead
+// of rebuilding them per call.
+type engineKey struct {
+	mode                            core.Mode
+	noLength, noScore, noDomination bool
+}
+
 // Index is a searchable text. Building it costs O(n) time and memory;
 // afterwards any number of concurrent searches can run against it.
 type Index struct {
@@ -139,7 +154,7 @@ type Index struct {
 	trie *strie.Trie
 
 	mu    sync.Mutex
-	alae  map[core.Mode]*core.Engine
+	alae  map[engineKey]*core.Engine
 	bwtsw *bwtsw.Engine
 	blast *blast.Engine
 }
@@ -151,7 +166,7 @@ func NewIndex(text []byte) *Index {
 	return &Index{
 		text: text,
 		trie: strie.New(text),
-		alae: make(map[core.Mode]*core.Engine),
+		alae: make(map[engineKey]*core.Engine),
 	}
 }
 
@@ -185,32 +200,41 @@ func (ix *Index) DominationIndexSize(s Scheme) (int, error) {
 }
 
 func (ix *Index) alaeEngine(mode core.Mode, opts SearchOptions) (*core.Engine, error) {
+	key := engineKey{
+		mode:         mode,
+		noLength:     opts.DisableLengthFilter,
+		noScore:      opts.DisableScoreFilter,
+		noDomination: opts.DisableDomination,
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	// Ablation options change engine behaviour; only cache the
-	// default configuration.
-	if opts.DisableLengthFilter || opts.DisableScoreFilter || opts.DisableDomination {
-		return core.NewFromTrie(ix.trie, core.Options{
-			Mode:                mode,
-			DisableLengthFilter: opts.DisableLengthFilter,
-			DisableScoreFilter:  opts.DisableScoreFilter,
-			DisableDomination:   opts.DisableDomination,
-		}), nil
-	}
-	if e, ok := ix.alae[mode]; ok {
+	if e, ok := ix.alae[key]; ok {
 		return e, nil
 	}
-	e := core.NewFromTrie(ix.trie, core.Options{Mode: mode})
-	ix.alae[mode] = e
+	e := core.NewFromTrie(ix.trie, core.Options{
+		Mode:                mode,
+		DisableLengthFilter: opts.DisableLengthFilter,
+		DisableScoreFilter:  opts.DisableScoreFilter,
+		DisableDomination:   opts.DisableDomination,
+	})
+	ix.alae[key] = e
 	return e, nil
 }
 
 // ResolveThreshold returns the raw score threshold a search with
-// these options would use for a query of length m.
+// these options would use for a query of length m. Negative thresholds
+// and negative E-values are rejected: both are always caller bugs, and
+// silently falling back to the defaults would hide them.
 func (ix *Index) ResolveThreshold(m int, opts SearchOptions) (int, error) {
 	s := opts.Scheme
 	if s == (Scheme{}) {
 		s = DefaultDNAScheme
+	}
+	if opts.Threshold < 0 {
+		return 0, fmt.Errorf("alae: negative threshold %d; use 0 to derive the threshold from the E-value", opts.Threshold)
+	}
+	if opts.EValue < 0 {
+		return 0, fmt.Errorf("alae: negative E-value %g; use 0 for the default of 10", opts.EValue)
 	}
 	if opts.Threshold > 0 {
 		return opts.Threshold, nil
@@ -255,7 +279,7 @@ func (ix *Index) Search(query []byte, opts SearchOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := e.Search(query, s, h, c)
+		st, err := e.SearchParallel(query, s, h, c, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}

@@ -11,12 +11,15 @@ package alae_test
 
 import (
 	"bytes"
+	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro"
 	"repro/internal/align"
 	"repro/internal/analysis"
+	"repro/internal/bwt"
 	"repro/internal/exp"
 )
 
@@ -349,6 +352,79 @@ func BenchmarkAblation(b *testing.B) {
 			}
 			b.ReportMetric(float64(last.Stats.CalculatedEntries), "entries")
 			b.ReportMetric(float64(last.Stats.ForksDominated), "dominated")
+		})
+	}
+}
+
+// --- Rank core: bit-parallel packed layout vs the byte-scan layout ---
+
+// benchRank times single-code ranks and batched all-code ranks at
+// pseudo-random rows, the access pattern of backward search.
+func benchRank(b *testing.B, fm *bwt.FMIndex) {
+	rows := make([]int, 4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := range rows {
+		rows[i] = rng.Intn(fm.Rows() + 1)
+	}
+	b.Run("rank", func(b *testing.B) {
+		var sink int32
+		for i := 0; i < b.N; i++ {
+			sink += fm.Rank(i&(fm.Sigma()-1), rows[i&4095])
+		}
+		_ = sink
+	})
+	b.Run("ranksAll", func(b *testing.B) {
+		counts := make([]int32, fm.Sigma())
+		for i := 0; i < b.N; i++ {
+			fm.RanksAll(rows[i&4095], counts)
+		}
+	})
+}
+
+// BenchmarkRankDNA compares the two rank layouts on a DNA-sized
+// alphabet; the packed sub-benchmarks should run several times faster
+// than the byte ones.
+func BenchmarkRankDNA(b *testing.B) {
+	letters := []byte("ACGT")
+	text := make([]byte, 1<<20)
+	rng := rand.New(rand.NewSource(3))
+	for i := range text {
+		text[i] = letters[rng.Intn(4)]
+	}
+	b.Run("packed", func(b *testing.B) { benchRank(b, bwt.New(text)) })
+	b.Run("byte", func(b *testing.B) {
+		benchRank(b, bwt.NewWithOptions(text, bwt.Options{ForceByteRank: true}))
+	})
+}
+
+// BenchmarkRankProtein exercises the σ=20 byte fallback (its
+// checkpoint scan is a single pass since the packed-rank change).
+func BenchmarkRankProtein(b *testing.B) {
+	letters := []byte("ACDEFGHIKLMNPQRSTVWY")
+	text := make([]byte, 1<<20)
+	rng := rand.New(rand.NewSource(4))
+	for i := range text {
+		text[i] = letters[rng.Intn(len(letters))]
+	}
+	benchRank(b, bwt.New(text))
+}
+
+// --- Parallel fork-family scheduling: sequential vs all cores ---
+
+func BenchmarkParallelSearch(b *testing.B) {
+	// The Table 2 workload point (n=200k, m=5000).
+	k := wlKey{kind: "dna", n: 200_000, m: 5_000, queries: 2, seed: 42}
+	cw := getWorkload(b, k)
+	cases := []struct {
+		name string
+		p    int
+	}{{"p=1", 1}, {"p=max", 0}}
+	if runtime.NumCPU() == 1 {
+		b.Logf("NumCPU=1: p=max degenerates to the sequential engine")
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			benchSearch(b, cw, alae.SearchOptions{Algorithm: alae.ALAE, Parallelism: tc.p})
 		})
 	}
 }

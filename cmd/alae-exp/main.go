@@ -21,11 +21,12 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id (empty = all); see -list")
-		scale   = flag.Float64("scale", 1, "workload scale factor (1 = laptop defaults)")
-		seed    = flag.Int64("seed", 42, "RNG seed")
-		queries = flag.Int("queries", 3, "queries per workload point (paper used 100)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		expID    = flag.String("exp", "", "experiment id (empty = all); see -list")
+		scale    = flag.Float64("scale", 1, "workload scale factor (1 = laptop defaults)")
+		seed     = flag.Int64("seed", 42, "RNG seed")
+		queries  = flag.Int("queries", 3, "queries per workload point (paper used 100)")
+		parallel = flag.Int("p", 0, "ALAE worker goroutines per search (0 = all cores, 1 = sequential)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 		}
 		return
 	}
-	cfg := exp.Config{Scale: *scale, Seed: *seed, NumQueries: *queries}
+	cfg := exp.Config{Scale: *scale, Seed: *seed, NumQueries: *queries, Parallelism: *parallel}
 	var err error
 	if *expID == "" {
 		err = exp.RunAll(os.Stdout, cfg)

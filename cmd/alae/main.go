@@ -37,6 +37,7 @@ func run() error {
 		schemeStr = flag.String("scheme", "1,-3,-5,-2", "scoring scheme sa,sb,sg,ss")
 		threshold = flag.Int("threshold", 0, "raw score threshold H (0 = derive from -evalue)")
 		eValue    = flag.Float64("evalue", 10, "expectation value used when -threshold is 0")
+		parallel  = flag.Int("p", 0, "ALAE worker goroutines per search (0 = all cores, 1 = sequential)")
 		showAlign = flag.Bool("align", false, "print the best alignment per query")
 		maxHits   = flag.Int("max-hits", 10, "hits printed per query (0 = all)")
 		stats     = flag.Bool("stats", false, "print work statistics per query")
@@ -120,10 +121,11 @@ func run() error {
 
 	for _, rec := range queryRecs {
 		searchOpts := alae.SearchOptions{
-			Algorithm: alg,
-			Scheme:    scheme,
-			Threshold: *threshold,
-			EValue:    *eValue,
+			Algorithm:   alg,
+			Scheme:      scheme,
+			Threshold:   *threshold,
+			EValue:      *eValue,
+			Parallelism: *parallel,
 		}
 		res, err := ix.Search(rec.Seq, searchOpts)
 		if err != nil {

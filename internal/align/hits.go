@@ -34,6 +34,19 @@ func (c *Collector) Add(tEnd, qEnd, score int) {
 	}
 }
 
+// Merge folds another collector's hits into c, keeping the best score
+// per end pair. It is the reduction step of the parallel search
+// scheduler: per-worker collectors merge into the caller's, and
+// because Add is a commutative max the result is independent of worker
+// scheduling.
+func (c *Collector) Merge(o *Collector) {
+	for k, s := range o.byEnd {
+		if old, ok := c.byEnd[k]; !ok || s > old {
+			c.byEnd[k] = s
+		}
+	}
+}
+
 // Len returns the number of distinct end pairs recorded.
 func (c *Collector) Len() int { return len(c.byEnd) }
 

@@ -7,24 +7,36 @@ import (
 )
 
 // FMIndex is a compressed suffix array over a byte text: the BWT of
-// text+$ with checkpointed occurrence counts for O(1) backward-search
-// steps and a sampled suffix array for locating occurrences. Rows are
-// indexed over the n+1 suffixes of text+$; row 0 is always the $
-// suffix. The index is read-only after construction and safe for
-// concurrent use.
+// text+$ with rank support for O(1) backward-search steps and a
+// sampled suffix array for locating occurrences. Rows are indexed over
+// the n+1 suffixes of text+$; row 0 is always the $ suffix. The index
+// is read-only after construction and safe for concurrent use.
+//
+// Rank support comes in two layouts. For σ ≤ 4 (DNA, the dominant
+// workload) the BWT is 2-bit-packed into 64-bit words with interleaved
+// occurrence checkpoints and ranks are answered bit-parallel via
+// popcount (packedRank). For larger alphabets (protein) the BWT stays
+// a byte slice with periodic checkpoints and a single-pass scan.
 type FMIndex struct {
 	n           int    // text length
 	sigma       int    // number of distinct bytes in the text
 	letters     []byte // distinct text bytes in sorted order
 	code        [256]int16
-	bwt         []byte  // dense codes; bwt[sentinelRow] is a placeholder
 	sentinelRow int     // row whose BWT character is $
 	c           []int32 // c[k] = 1 + #text chars with code < k ("+1" is the $ row)
-	occ         []int32 // checkpoints: occ[(row/ckpt)*sigma + k]
-	ckptEvery   int
-	sampleRate  int
-	sampleMark  *rankBitVector // rows carrying a position sample
-	samples     []int32        // sampled SA values, in row order
+
+	// Byte layout (σ > 4, or ForceByteRank): dense codes with
+	// checkpointed counts; bwt[sentinelRow] is a placeholder.
+	bwt       []byte
+	occ       []int32 // checkpoints: occ[(row/ckpt)*sigma + k]
+	ckptEvery int
+
+	// Packed layout (1 ≤ σ ≤ 4): bit-parallel rank core.
+	pk *packedRank
+
+	sampleRate int
+	sampleMark *rankBitVector // rows carrying a position sample
+	samples    []int32        // sampled SA values, in row order
 }
 
 // Options tunes the space/time trade-off of the index.
@@ -32,9 +44,14 @@ type Options struct {
 	// SampleRate is the text-position sampling interval for locate
 	// queries (smaller = faster locate, more space). Default 8.
 	SampleRate int
-	// CheckpointEvery is the occurrence-count checkpoint interval
-	// (smaller = faster rank, more space). Default 64.
+	// CheckpointEvery is the occurrence-count checkpoint interval of
+	// the byte layout (smaller = faster rank, more space). Default 64.
+	// The packed layout checkpoints every 128 rows regardless.
 	CheckpointEvery int
+	// ForceByteRank disables the 2-bit-packed rank core even when
+	// σ ≤ 4, keeping the byte-scan layout. Used by benchmarks and
+	// property tests that compare the two implementations.
+	ForceByteRank bool
 }
 
 // New builds an FM-index of text with default options.
@@ -73,7 +90,7 @@ func NewWithOptions(text []byte, opt Options) *FMIndex {
 	rows := fm.n + 1
 
 	// BWT over dense codes; remember where the sentinel lands.
-	fm.bwt = make([]byte, rows)
+	codes := make([]byte, rows)
 	fm.sentinelRow = 0
 	saAt := func(row int) int32 {
 		if row == 0 {
@@ -85,10 +102,10 @@ func NewWithOptions(text []byte, opt Options) *FMIndex {
 		p := saAt(row)
 		if p == 0 {
 			fm.sentinelRow = row
-			fm.bwt[row] = 0 // placeholder, never counted
+			codes[row] = 0 // placeholder, never counted
 			continue
 		}
-		fm.bwt[row] = byte(fm.code[text[p-1]])
+		codes[row] = byte(fm.code[text[p-1]])
 	}
 
 	// C array.
@@ -104,18 +121,7 @@ func NewWithOptions(text []byte, opt Options) *FMIndex {
 	}
 	fm.c[fm.sigma] = sum
 
-	// Occurrence checkpoints.
-	nCkpt := rows/fm.ckptEvery + 1
-	fm.occ = make([]int32, nCkpt*fm.sigma)
-	running := make([]int32, fm.sigma)
-	for row := 0; row <= rows; row++ {
-		if row%fm.ckptEvery == 0 {
-			copy(fm.occ[(row/fm.ckptEvery)*fm.sigma:], running)
-		}
-		if row < rows && row != fm.sentinelRow {
-			running[fm.bwt[row]]++
-		}
-	}
+	fm.attachRank(codes, opt.ForceByteRank)
 
 	// Position samples: every SampleRate-th text position, plus 0.
 	fm.sampleMark = newRankBitVector(rows)
@@ -131,6 +137,37 @@ func NewWithOptions(text []byte, opt Options) *FMIndex {
 		}
 	}
 	return fm
+}
+
+// attachRank installs the rank structure over the dense-code BWT,
+// choosing the bit-parallel packed core when the alphabet allows it.
+func (fm *FMIndex) attachRank(codes []byte, forceByte bool) {
+	if !forceByte && fm.sigma >= 1 && fm.sigma <= 4 {
+		fm.pk = buildPackedRank(codes)
+		fm.bwt, fm.occ = nil, nil
+		return
+	}
+	fm.pk = nil
+	fm.bwt = codes
+	fm.occ = buildOcc(codes, fm.sentinelRow, fm.ckptEvery, fm.sigma)
+}
+
+// buildOcc computes the byte layout's periodic occurrence checkpoints,
+// skipping the sentinel placeholder.
+func buildOcc(codes []byte, sentinelRow, ckptEvery, sigma int) []int32 {
+	rows := len(codes)
+	nCkpt := rows/ckptEvery + 1
+	occ := make([]int32, nCkpt*sigma)
+	running := make([]int32, sigma)
+	for row := 0; row <= rows; row++ {
+		if row%ckptEvery == 0 {
+			copy(occ[(row/ckptEvery)*sigma:], running)
+		}
+		if row < rows && row != sentinelRow {
+			running[codes[row]]++
+		}
+	}
+	return occ
 }
 
 // Len returns the text length n.
@@ -149,17 +186,45 @@ func (fm *FMIndex) Letters() []byte { return fm.letters }
 // in the text.
 func (fm *FMIndex) CodeOf(b byte) int { return int(fm.code[b]) }
 
-// rank returns the number of occurrences of code k in bwt[0:row).
+// bwtCode returns the dense code stored at the given BWT row (the
+// sentinel row reads its placeholder).
+func (fm *FMIndex) bwtCode(row int) byte {
+	if fm.pk != nil {
+		return fm.pk.at(row)
+	}
+	return fm.bwt[row]
+}
+
+// rank returns the number of occurrences of code k in bwt[0:row),
+// excluding the sentinel placeholder.
 func (fm *FMIndex) rank(k int, row int) int32 {
+	if fm.pk != nil {
+		r := fm.pk.rank(k, row)
+		if k == 0 && row > fm.sentinelRow {
+			r-- // the placeholder is stored as code 0
+		}
+		return r
+	}
 	ck := row / fm.ckptEvery
+	start := ck * fm.ckptEvery
 	r := fm.occ[ck*fm.sigma+k]
-	for i := ck * fm.ckptEvery; i < row; i++ {
-		if i != fm.sentinelRow && fm.bwt[i] == byte(k) {
+	kb := byte(k)
+	for _, b := range fm.bwt[start:row] {
+		if b == kb {
 			r++
 		}
 	}
+	if sent := fm.sentinelRow; sent >= start && sent < row && fm.bwt[sent] == kb {
+		r--
+	}
 	return r
 }
+
+// Rank is the exported form of rank, for benchmarks and property
+// tests: the number of occurrences of the letter with dense code k
+// among the first row BWT rows, sentinel excluded. k must be in
+// [0, Sigma()) and row in [0, Rows()].
+func (fm *FMIndex) Rank(k, row int) int32 { return fm.rank(k, row) }
 
 // InitRange returns the suffix-array range of the empty pattern,
 // covering all rows.
@@ -183,9 +248,16 @@ func (fm *FMIndex) Extend(lo, hi int, b byte) (int, int) {
 }
 
 // ranksAll fills counts[k] = rank(k, row) for every code k in one
-// checkpoint scan — the batched form the trie traversals use when
-// enumerating all children of a node.
+// pass — the batched form the trie traversals use when enumerating all
+// children of a node.
 func (fm *FMIndex) ranksAll(row int, counts []int32) {
+	if fm.pk != nil {
+		fm.pk.ranksAll(row, counts)
+		if row > fm.sentinelRow {
+			counts[0]-- // the placeholder is stored as code 0
+		}
+		return
+	}
 	ck := row / fm.ckptEvery
 	copy(counts, fm.occ[ck*fm.sigma:ck*fm.sigma+fm.sigma])
 	start := ck * fm.ckptEvery
@@ -199,11 +271,14 @@ func (fm *FMIndex) ranksAll(row int, counts []int32) {
 	}
 }
 
+// RanksAll is the exported form of ranksAll, for benchmarks and
+// property tests. counts must have length Sigma().
+func (fm *FMIndex) RanksAll(row int, counts []int32) { fm.ranksAll(row, counts) }
+
 // ExtendAll performs the backward-search step for every character at
 // once: after the call, the range of (letter k)+S is
 // [los[k], his[k]). los and his must have length Sigma(). The cost is
-// two checkpoint scans regardless of σ, versus 2σ scans for σ
-// ExtendCode calls.
+// two rank passes regardless of σ, versus 2σ for σ ExtendCode calls.
 func (fm *FMIndex) ExtendAll(lo, hi int, los, his []int32) {
 	fm.ranksAll(lo, los)
 	fm.ranksAll(hi, his)
@@ -235,7 +310,7 @@ func (fm *FMIndex) lf(row int) int {
 	if row == fm.sentinelRow {
 		return 0
 	}
-	k := int(fm.bwt[row])
+	k := int(fm.bwtCode(row))
 	return int(fm.c[k] + fm.rank(k, row))
 }
 
@@ -272,11 +347,14 @@ func (fm *FMIndex) Locate(lo, hi int) []int {
 }
 
 // SizeBytes reports the actual in-memory footprint of the index
-// structures (BWT bytes, checkpoints, C array, samples). Used by the
-// Figure 11 index-size experiment.
+// structures (rank core, C array, samples). Used by the Figure 11
+// index-size experiment.
 func (fm *FMIndex) SizeBytes() int {
-	return len(fm.bwt) + 4*len(fm.c) + 4*len(fm.occ) +
-		4*len(fm.samples) + fm.sampleMark.SizeBytes()
+	rank := len(fm.bwt) + 4*len(fm.occ)
+	if fm.pk != nil {
+		rank = fm.pk.sizeBytes()
+	}
+	return rank + 4*len(fm.c) + 4*len(fm.samples) + fm.sampleMark.SizeBytes()
 }
 
 // PackedSizeBytes estimates the footprint with the BWT packed at
@@ -287,12 +365,21 @@ func (fm *FMIndex) PackedSizeBytes() int {
 	for 1<<bitsPer < fm.sigma {
 		bitsPer++
 	}
-	packed := (len(fm.bwt)*bitsPer + 7) / 8
-	return packed + 4*len(fm.c) + 4*len(fm.occ) +
+	rows := fm.n + 1
+	packed := (rows*bitsPer + 7) / 8
+	occ := 4 * len(fm.occ)
+	if fm.pk != nil {
+		occ = 8 * prCountWords * (len(fm.pk.blocks) / prStride)
+	}
+	return packed + 4*len(fm.c) + occ +
 		4*len(fm.samples) + fm.sampleMark.SizeBytes()
 }
 
 // String describes the index briefly.
 func (fm *FMIndex) String() string {
-	return fmt.Sprintf("FMIndex(n=%d, sigma=%d, sample=%d)", fm.n, fm.sigma, fm.sampleRate)
+	layout := "byte"
+	if fm.pk != nil {
+		layout = "packed2"
+	}
+	return fmt.Sprintf("FMIndex(n=%d, sigma=%d, sample=%d, rank=%s)", fm.n, fm.sigma, fm.sampleRate, layout)
 }

@@ -1,0 +1,140 @@
+package bwt
+
+import "math/bits"
+
+// packedRank is the bit-parallel rank structure for small alphabets
+// (σ ≤ 4, the DNA case): the BWT is stored 2-bit-packed in 64-bit
+// words — the representation the paper itself assumes ("every
+// character in BWT sequence can be stored using 2 bits") — with the
+// occurrence checkpoints interleaved into the same block, so one rank
+// query touches one contiguous 48-byte region: two words of per-symbol
+// counts followed by four words holding 128 symbols. Within the block
+// the count of a symbol is answered with XOR + popcount instead of a
+// byte scan, which is what makes backward search bit-parallel.
+//
+// The sentinel row's placeholder is stored as code 0, exactly like the
+// byte layout; FMIndex applies the same query-time correction.
+type packedRank struct {
+	rows   int
+	blocks []uint64
+}
+
+const (
+	prSymsPerWord  = 32                          // 2 bits per symbol
+	prDataWords    = 4                           // data words per block
+	prRowsPerBlock = prSymsPerWord * prDataWords // 128
+	prCountWords   = 2                           // 4 × uint32 running counts
+	prStride       = prCountWords + prDataWords  // uint64s per block
+	prLowBits      = 0x5555555555555555          // low bit of every 2-bit group
+)
+
+// buildPackedRank packs the dense-code BWT (values 0..3) into blocks.
+func buildPackedRank(codes []byte) *packedRank {
+	rows := len(codes)
+	nBlocks := rows/prRowsPerBlock + 1
+	p := &packedRank{rows: rows, blocks: make([]uint64, nBlocks*prStride)}
+	var running [4]uint32
+	for b := 0; b < nBlocks; b++ {
+		base := b * prStride
+		p.blocks[base] = uint64(running[0]) | uint64(running[1])<<32
+		p.blocks[base+1] = uint64(running[2]) | uint64(running[3])<<32
+		lo := b * prRowsPerBlock
+		hi := min(lo+prRowsPerBlock, rows)
+		for i := lo; i < hi; i++ {
+			c := codes[i]
+			running[c]++
+			off := i - lo
+			p.blocks[base+prCountWords+off/prSymsPerWord] |=
+				uint64(c) << uint(2*(off%prSymsPerWord))
+		}
+	}
+	return p
+}
+
+// eqMask returns a bitmap with the low bit of every 2-bit group set
+// where the group of w equals the group of pat.
+func eqMask(w, pat uint64) uint64 {
+	x := w ^ pat
+	return ^(x | x>>1) & prLowBits
+}
+
+// pat returns code k replicated into every 2-bit group.
+func prPat(k int) uint64 { return uint64(k) * prLowBits }
+
+// at returns the symbol stored at row.
+func (p *packedRank) at(row int) byte {
+	blk := row / prRowsPerBlock
+	off := row % prRowsPerBlock
+	w := p.blocks[blk*prStride+prCountWords+off/prSymsPerWord]
+	return byte(w >> uint(2*(off%prSymsPerWord)) & 3)
+}
+
+// rank returns the number of occurrences of code k in rows [0, row),
+// counting the sentinel placeholder as code 0 (the caller corrects).
+func (p *packedRank) rank(k, row int) int32 {
+	blk := row / prRowsPerBlock
+	base := blk * prStride
+	cnt := int32(uint32(p.blocks[base+k>>1] >> (uint(k&1) * 32)))
+	rem := row % prRowsPerBlock
+	pat := prPat(k)
+	data := p.blocks[base+prCountWords : base+prStride]
+	full := rem / prSymsPerWord
+	for i := 0; i < full; i++ {
+		cnt += int32(bits.OnesCount64(eqMask(data[i], pat)))
+	}
+	if tail := rem % prSymsPerWord; tail != 0 {
+		m := eqMask(data[full], pat) & (1<<uint(2*tail) - 1)
+		cnt += int32(bits.OnesCount64(m))
+	}
+	return cnt
+}
+
+// ranksAll fills counts[k] = rank(k, row) for every code k < len(counts)
+// in one block visit, separating each word into high/low bit planes so
+// all four symbol counts come from three popcounts per word.
+func (p *packedRank) ranksAll(row int, counts []int32) {
+	blk := row / prRowsPerBlock
+	base := blk * prStride
+	var c [4]int32
+	c[0] = int32(uint32(p.blocks[base]))
+	c[1] = int32(uint32(p.blocks[base] >> 32))
+	c[2] = int32(uint32(p.blocks[base+1]))
+	c[3] = int32(uint32(p.blocks[base+1] >> 32))
+	rem := row % prRowsPerBlock
+	data := p.blocks[base+prCountWords : base+prStride]
+	full := rem / prSymsPerWord
+	var n1, n2, n3 int32
+	for i := 0; i < full; i++ {
+		word := data[i]
+		lo := word & prLowBits
+		hi := word >> 1 & prLowBits
+		n3 += int32(bits.OnesCount64(lo & hi))
+		n2 += int32(bits.OnesCount64(hi &^ lo))
+		n1 += int32(bits.OnesCount64(lo &^ hi))
+	}
+	if tail := rem % prSymsPerWord; tail != 0 {
+		word := data[full] & (1<<uint(2*tail) - 1)
+		lo := word & prLowBits
+		hi := word >> 1 & prLowBits
+		n3 += int32(bits.OnesCount64(lo & hi))
+		n2 += int32(bits.OnesCount64(hi &^ lo))
+		n1 += int32(bits.OnesCount64(lo &^ hi))
+	}
+	c[0] += int32(rem) - n1 - n2 - n3
+	c[1] += n1
+	c[2] += n2
+	c[3] += n3
+	copy(counts, c[:len(counts)])
+}
+
+// appendCodes unpacks the stored symbols into out, for serialization
+// and consistency verification.
+func (p *packedRank) appendCodes(out []byte) []byte {
+	for row := 0; row < p.rows; row++ {
+		out = append(out, p.at(row))
+	}
+	return out
+}
+
+// sizeBytes is the in-memory footprint of the structure.
+func (p *packedRank) sizeBytes() int { return 8 * len(p.blocks) }

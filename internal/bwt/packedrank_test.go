@@ -1,0 +1,137 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomText draws n bytes from letters.
+func randomText(letters []byte, n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	text := make([]byte, n)
+	for i := range text {
+		text[i] = letters[rng.Intn(len(letters))]
+	}
+	return text
+}
+
+// TestPackedRankMatchesByteRank is the property test of the packed
+// core: on random texts over DNA-sized and protein-sized alphabets,
+// every rank answer of the default index equals the byte-scan
+// layout's, for every code, at exhaustive rows on small texts and
+// random rows on larger ones.
+func TestPackedRankMatchesByteRank(t *testing.T) {
+	cases := []struct {
+		name    string
+		letters []byte
+		sizes   []int
+	}{
+		{"dna", []byte("ACGT"), []int{0, 1, 2, 63, 64, 127, 128, 129, 1000, 20000}},
+		{"binary", []byte("AB"), []int{5, 300}},
+		{"protein", []byte("ACDEFGHIKLMNPQRSTVWY"), []int{500, 5000}},
+	}
+	for _, tc := range cases {
+		for _, n := range tc.sizes {
+			text := randomText(tc.letters, n, int64(n)+17)
+			def := New(text)
+			ref := NewWithOptions(text, Options{ForceByteRank: true})
+			if def.Sigma() != ref.Sigma() || def.Rows() != ref.Rows() {
+				t.Fatalf("%s/n=%d: dimensions diverge", tc.name, n)
+			}
+			rows := def.Rows()
+			probe := func(row int) {
+				for k := 0; k < def.Sigma(); k++ {
+					if got, want := def.Rank(k, row), ref.Rank(k, row); got != want {
+						t.Fatalf("%s/n=%d: Rank(%d, %d) = %d, byte layout says %d",
+							tc.name, n, k, row, got, want)
+					}
+				}
+				if s := def.Sigma(); s > 0 {
+					got := make([]int32, s)
+					want := make([]int32, s)
+					def.RanksAll(row, got)
+					ref.RanksAll(row, want)
+					for k := range got {
+						if got[k] != want[k] {
+							t.Fatalf("%s/n=%d: RanksAll(%d)[%d] = %d, byte layout says %d",
+								tc.name, n, row, k, got[k], want[k])
+						}
+					}
+				}
+			}
+			if rows <= 512 {
+				for row := 0; row <= rows-1; row++ {
+					probe(row)
+				}
+				probe(rows - 1)
+			} else {
+				rng := rand.New(rand.NewSource(int64(n)))
+				for trial := 0; trial < 2000; trial++ {
+					probe(rng.Intn(rows))
+				}
+				probe(0)
+				probe(rows - 1)
+			}
+		}
+	}
+}
+
+// TestPackedRankSearchLocateAgree cross-checks the full query surface
+// of the two layouts: Search ranges, Locate positions, and LF walks.
+func TestPackedRankSearchLocateAgree(t *testing.T) {
+	text := randomText([]byte("ACGT"), 8000, 99)
+	def := New(text)
+	ref := NewWithOptions(text, Options{ForceByteRank: true})
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 300; trial++ {
+		l := 1 + rng.Intn(12)
+		start := rng.Intn(len(text) - l)
+		pat := text[start : start+l]
+		lo1, hi1 := def.Search(pat)
+		lo2, hi2 := ref.Search(pat)
+		if lo1 != lo2 || hi1 != hi2 {
+			t.Fatalf("Search(%q): packed [%d,%d) vs byte [%d,%d)", pat, lo1, hi1, lo2, hi2)
+		}
+		p1 := def.Locate(lo1, min(hi1, lo1+8))
+		p2 := ref.Locate(lo2, min(hi2, lo2+8))
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("Locate(%q) diverges at %d: %d vs %d", pat, i, p1[i], p2[i])
+			}
+		}
+	}
+	for row := 0; row < def.Rows(); row += 37 {
+		if def.Position(row) != ref.Position(row) {
+			t.Fatalf("Position(%d): %d vs %d", row, def.Position(row), ref.Position(row))
+		}
+	}
+}
+
+// TestPackedRankSerializeRoundTrip checks that a packed index survives
+// WriteTo/ReadFMIndex and comes back packed with identical behaviour.
+func TestPackedRankSerializeRoundTrip(t *testing.T) {
+	text := randomText([]byte("ACGT"), 4000, 7)
+	fm := New(text)
+	if fm.pk == nil {
+		t.Fatal("DNA index should use the packed layout")
+	}
+	var buf bytes.Buffer
+	if _, err := fm.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFMIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.pk == nil {
+		t.Error("loaded DNA index should use the packed layout")
+	}
+	for k := 0; k < fm.Sigma(); k++ {
+		for row := 0; row <= fm.Rows(); row += 53 {
+			if fm.Rank(k, row) != back.Rank(k, row) {
+				t.Fatalf("Rank(%d, %d) changed across round trip", k, row)
+			}
+		}
+	}
+}

@@ -20,8 +20,16 @@ const (
 	serialVersion = 1
 )
 
-// WriteTo serialises the index. It implements io.WriterTo.
+// WriteTo serialises the index. It implements io.WriterTo. The format
+// is layout-independent: a packed-rank index materialises its BWT
+// bytes and periodic checkpoints on the way out, so indexes written by
+// either layout load identically.
 func (fm *FMIndex) WriteTo(w io.Writer) (int64, error) {
+	bwtBytes, occ := fm.bwt, fm.occ
+	if fm.pk != nil {
+		bwtBytes = fm.pk.appendCodes(make([]byte, 0, fm.Rows()))
+		occ = buildOcc(bwtBytes, fm.sentinelRow, fm.ckptEvery, fm.sigma)
+	}
 	cw := &countingWriter{w: bufio.NewWriter(w)}
 	write := func(vs ...any) error {
 		for _, v := range vs {
@@ -42,13 +50,13 @@ func (fm *FMIndex) WriteTo(w io.Writer) (int64, error) {
 	if err := write(uint32(len(fm.letters)), fm.letters); err != nil {
 		return cw.n, err
 	}
-	if err := write(uint64(len(fm.bwt)), fm.bwt); err != nil {
+	if err := write(uint64(len(bwtBytes)), bwtBytes); err != nil {
 		return cw.n, err
 	}
 	if err := write(uint32(len(fm.c)), fm.c); err != nil {
 		return cw.n, err
 	}
-	if err := write(uint64(len(fm.occ)), fm.occ); err != nil {
+	if err := write(uint64(len(occ)), occ); err != nil {
 		return cw.n, err
 	}
 	if err := write(uint64(len(fm.samples)), fm.samples); err != nil {
@@ -190,6 +198,11 @@ func ReadFMIndex(r io.Reader) (*FMIndex, error) {
 	fm.sampleMark = mark
 	if err := fm.verifyConsistency(); err != nil {
 		return nil, err
+	}
+	// Swap the validated byte layout for the bit-parallel packed core
+	// when the alphabet allows it, matching what NewWithOptions builds.
+	if fm.sigma >= 1 && fm.sigma <= 4 {
+		fm.attachRank(fm.bwt, false)
 	}
 	return fm, nil
 }

@@ -43,12 +43,12 @@ func (ctx *searchCtx) dfsGram(node strie.Node, gram []byte, survivors []int32, o
 	for _, col0 := range survivors {
 		forks = append(forks, ctx.newFork(col0, gram))
 	}
-	if len(ctx.bands) == 0 {
-		ctx.bands = append(ctx.bands, bandRow{})
+	if len(ctx.ws.bands) == 0 {
+		ctx.ws.bands = append(ctx.ws.bands, bandRow{})
 	}
-	ngr := mergeForkBands(forks, &ctx.bands[0])
-	ctx.dfsEmitRowQ(node, ngr, &ctx.bands[0], occGetter)
-	if len(ngr) > 0 || len(ctx.bands[0].js) > 0 {
+	ngr := mergeForkBands(forks, &ctx.ws.bands[0])
+	ctx.dfsEmitRowQ(node, ngr, &ctx.ws.bands[0], occGetter)
+	if len(ngr) > 0 || len(ctx.ws.bands[0].js) > 0 {
 		ctx.dfsWalk(node, ngr, 0)
 	}
 }
@@ -129,8 +129,8 @@ func (ctx *searchCtx) dfsWalk(node strie.Node, forks []fork, bandIdx int) {
 	if node.Depth >= ctx.lmax {
 		return
 	}
-	for len(ctx.bands) <= bandIdx+1 {
-		ctx.bands = append(ctx.bands, bandRow{})
+	for len(ctx.ws.bands) <= bandIdx+1 {
+		ctx.ws.bands = append(ctx.ws.bands, bandRow{})
 	}
 	if node.Hi-node.Lo == 1 && node.Depth >= ctx.st.Q+8 {
 		// A single-occurrence node that survived this deep is almost
@@ -172,8 +172,8 @@ func (ctx *searchCtx) dfsWalk(node strie.Node, forks []fork, bandIdx int) {
 			}
 		}
 		sc.forks, sc.seeds = childForks, seeds
-		ctx.advanceMergedBand(&ctx.bands[bandIdx], &ctx.bands[bandIdx+1], ch, i, seeds, &sc.em)
-		if len(childForks) > 0 || len(ctx.bands[bandIdx+1].js) > 0 {
+		ctx.advanceMergedBand(&ctx.ws.bands[bandIdx], &ctx.ws.bands[bandIdx+1], ch, i, seeds, &sc.em)
+		if len(childForks) > 0 || len(ctx.ws.bands[bandIdx+1].js) > 0 {
 			ctx.dfsWalk(child, childForks, bandIdx+1)
 		}
 	}
@@ -219,9 +219,9 @@ func (ctx *searchCtx) dfsLinear(node strie.Node, forks []fork, bandIdx int) {
 			}
 		}
 		liveForks, sc.seeds = alive, seeds
-		ctx.advanceMergedBand(&ctx.bands[cur], &ctx.bands[next], ch, i, seeds, &sc.em)
+		ctx.advanceMergedBand(&ctx.ws.bands[cur], &ctx.ws.bands[next], ch, i, seeds, &sc.em)
 		cur, next = next, cur
-		if len(liveForks) == 0 && len(ctx.bands[cur].js) == 0 {
+		if len(liveForks) == 0 && len(ctx.ws.bands[cur].js) == 0 {
 			break
 		}
 	}
@@ -249,7 +249,7 @@ func (ctx *searchCtx) advanceMergedBand(parent, out *bandRow, ch byte, i int, se
 	// Candidate columns: parent cells contribute pj (via Ga) and pj+1
 	// (via diag); seeds contribute their own column; Gb extensions are
 	// chained during the sweep.
-	cand := ctx.cand[:0]
+	cand := ctx.ws.cand[:0]
 	si := 0
 	pushSeedsUpTo := func(limit int32) {
 		for si < len(seeds) && seeds[si].j <= limit {
@@ -269,7 +269,7 @@ func (ctx *searchCtx) advanceMergedBand(parent, out *bandRow, ch byte, i int, se
 		}
 	}
 	pushSeedsUpTo(mq)
-	ctx.cand = cand
+	ctx.ws.cand = cand
 	if len(cand) == 0 {
 		return
 	}

@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/align"
@@ -76,6 +77,8 @@ type Engine struct {
 
 	mu  sync.Mutex
 	dom map[int]*domination.Index // per q, built lazily
+
+	wsPool sync.Pool // *workspace, reused across searches and workers
 }
 
 // New indexes text and returns an engine.
@@ -117,6 +120,19 @@ func (e *Engine) DominationIndex(q int) (*domination.Index, error) {
 // MinThreshold (the q-prefix filter would lose pure-match alignments
 // shorter than q; E-value-derived thresholds are always far above).
 func (e *Engine) Search(query []byte, s align.Scheme, h int, c *align.Collector) (Stats, error) {
+	return e.SearchParallel(query, s, h, c, 1)
+}
+
+// SearchParallel is Search with the q-gram fork families dispatched
+// across up to workers goroutines (0 or negative means
+// runtime.NumCPU(); 1 is the sequential engine). Fork families are
+// independent by construction — each owns one gram's subtree and one
+// column set — so workers pull families from a shared queue, collect
+// hits into private collectors, and the results merge by max-score,
+// producing exactly the sequential engine's hit set and entry counts
+// regardless of scheduling. The order-dependent G-matrix global filter
+// forces workers to 1 when enabled.
+func (e *Engine) SearchParallel(query []byte, s align.Scheme, h int, c *align.Collector, workers int) (Stats, error) {
 	if err := s.Validate(); err != nil {
 		return Stats{}, err
 	}
@@ -154,20 +170,37 @@ func (e *Engine) Search(query []byte, s align.Scheme, h int, c *align.Collector)
 		}
 	}
 
-	ctx := &searchCtx{
-		e: e, query: query, s: s, h: h, c: c, st: &st,
-		lmax:  st.Lmax,
-		gOpen: -(s.GapOpen + s.GapExtend), // |sg+ss|
-		dom:   dom,
-		gm:    gm,
+	newCtx := func(coll *align.Collector, stats *Stats) *searchCtx {
+		return &searchCtx{
+			e: e, query: query, s: s, h: h, c: coll, st: stats,
+			lmax:  st.Lmax,
+			gOpen: -(s.GapOpen + s.GapExtend), // |sg+ss|
+			dom:   dom,
+			gm:    gm,
+			ws:    e.getWorkspace(),
+		}
 	}
-	qidx.GramsSorted(func(gram []byte, cols []int32) {
-		ctx.processGram(gram, cols)
-	})
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if gm != nil {
+		workers = 1 // the G-matrix filter's state is traversal-order-dependent
+	}
+	if workers <= 1 {
+		ctx := newCtx(c, &st)
+		qidx.GramsSorted(func(gram []byte, cols []int32) {
+			ctx.processGram(gram, cols)
+		})
+		e.putWorkspace(ctx.ws)
+		return st, nil
+	}
+	e.searchFamilies(qidx, newCtx, workers, c, &st)
 	return st, nil
 }
 
-// searchCtx carries one search's shared state.
+// searchCtx carries one search worker's state. In a parallel search
+// each worker owns one searchCtx with a private collector, stats and
+// workspace; the engine merges them afterwards.
 type searchCtx struct {
 	e     *Engine
 	query []byte
@@ -181,10 +214,29 @@ type searchCtx struct {
 	gm    *gMatrix
 	mute  bool // suppress gap-region entry counting (hybrid oracles)
 
-	scratchPool []*childScratch
-	bands       []bandRow // per-depth merged gap-region bands (DFS engine)
-	cand        []int32   // scratch candidate-column buffer
+	ws *workspace
 }
+
+// workspace is the reusable traversal scratch of one worker: the
+// child-enumeration buffer pool (whose los/his slices are the rank
+// buffers backward search fills), the per-depth merged band rows and
+// the candidate-column buffer. Workspaces live in an engine-level
+// sync.Pool so repeated and concurrent searches allocate none of this
+// per call.
+type workspace struct {
+	pool  []*childScratch
+	bands []bandRow // per-depth merged gap-region bands (DFS engine)
+	cand  []int32   // scratch candidate-column buffer
+}
+
+func (e *Engine) getWorkspace() *workspace {
+	if ws, ok := e.wsPool.Get().(*workspace); ok {
+		return ws
+	}
+	return &workspace{}
+}
+
+func (e *Engine) putWorkspace(ws *workspace) { e.wsPool.Put(ws) }
 
 // childScratch holds one recursion level's child-enumeration buffers,
 // the per-child fork workspace and the emit state, so the hot DFS loop
@@ -199,9 +251,9 @@ type childScratch struct {
 
 // scratch pops a buffer set sized for the trie's alphabet.
 func (ctx *searchCtx) scratch() *childScratch {
-	if n := len(ctx.scratchPool); n > 0 {
-		sc := ctx.scratchPool[n-1]
-		ctx.scratchPool = ctx.scratchPool[:n-1]
+	if n := len(ctx.ws.pool); n > 0 {
+		sc := ctx.ws.pool[n-1]
+		ctx.ws.pool = ctx.ws.pool[:n-1]
 		return sc
 	}
 	sigma := ctx.e.trie.Index().Sigma()
@@ -213,7 +265,7 @@ func (ctx *searchCtx) scratch() *childScratch {
 }
 
 func (ctx *searchCtx) release(sc *childScratch) {
-	ctx.scratchPool = append(ctx.scratchPool, sc)
+	ctx.ws.pool = append(ctx.ws.pool, sc)
 }
 
 // minGainOK applies Theorem 2: can a cell at (row i, 1-based column j)

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/align"
+	"repro/internal/qgram"
+)
+
+// The parallel fork-family scheduler. A fork family — one distinct
+// q-gram of the query with its column set — is the engine's natural
+// unit of independent work: families never share traversal state, only
+// the read-only index structures (trie, domination index, query), and
+// their outputs combine through the collector's commutative max-merge
+// and additive statistics. Families vary wildly in cost (a family over
+// a frequent gram walks a much larger subtree), so the scheduler uses
+// an atomic work-stealing cursor over the sorted family list instead
+// of static striping: idle workers immediately pull the next family.
+
+// gramFamily is one unit of schedulable work.
+type gramFamily struct {
+	gram []byte
+	cols []int32
+}
+
+// searchFamilies fans the query's fork families out over workers
+// goroutines and merges the per-worker collectors and statistics into
+// c and st. st must already carry Threshold/Q/Lmax.
+func (e *Engine) searchFamilies(qidx *qgram.Index, newCtx func(*align.Collector, *Stats) *searchCtx, workers int, c *align.Collector, st *Stats) {
+	var families []gramFamily
+	qidx.GramsSorted(func(gram []byte, cols []int32) {
+		// GramsSorted reuses its gram buffer; the scheduler outlives
+		// the callback, so copy. cols is safely shared read-only.
+		families = append(families, gramFamily{gram: append([]byte(nil), gram...), cols: cols})
+	})
+	if workers > len(families) {
+		workers = len(families)
+	}
+	if workers <= 1 {
+		ctx := newCtx(c, st)
+		for _, fam := range families {
+			ctx.processGram(fam.gram, fam.cols)
+		}
+		e.putWorkspace(ctx.ws)
+		return
+	}
+
+	var cursor atomic.Int64
+	ctxs := make([]*searchCtx, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Worker stats start from the search-level constants so the
+		// final Stats.Add merge preserves them.
+		wst := &Stats{Threshold: st.Threshold, Q: st.Q, Lmax: st.Lmax}
+		ctxs[w] = newCtx(align.NewCollector(), wst)
+		wg.Add(1)
+		go func(ctx *searchCtx) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(families) {
+					return
+				}
+				ctx.processGram(families[i].gram, families[i].cols)
+			}
+		}(ctxs[w])
+	}
+	wg.Wait()
+	for _, ctx := range ctxs {
+		st.Add(*ctx.st)
+		c.Merge(ctx.c)
+		e.putWorkspace(ctx.ws)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+)
+
+// TestSearchParallelMatchesSequential is the scheduler's identity
+// property: for both engine modes, any worker count produces exactly
+// the sequential engine's hit set and the same work counters — the
+// partition into fork families is identical, only the interleaving
+// changes.
+func TestSearchParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	s := align.DefaultDNA
+	for _, mode := range []Mode{ModeDFS, ModeHybrid} {
+		e := New(randDNA(4000, rng), Options{Mode: mode})
+		for trial := 0; trial < 6; trial++ {
+			query := randDNA(150+rng.Intn(250), rng)
+			h := s.MinThreshold() + rng.Intn(8)
+
+			seqC := align.NewCollector()
+			seqSt, err := e.Search(query, s, h, seqC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := seqC.Hits()
+
+			for _, workers := range []int{0, 2, 3, 7} {
+				parC := align.NewCollector()
+				parSt, err := e.SearchParallel(query, s, h, parC, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := parC.Hits(); !align.EqualHits(got, want) {
+					t.Fatalf("mode %v workers %d trial %d: %d hits vs %d sequential",
+						mode, workers, trial, len(got), len(want))
+				}
+				if parSt.CalculatedEntries() != seqSt.CalculatedEntries() {
+					t.Fatalf("mode %v workers %d trial %d: CalculatedEntries %d vs %d",
+						mode, workers, trial, parSt.CalculatedEntries(), seqSt.CalculatedEntries())
+				}
+				if parSt.ForksStarted != seqSt.ForksStarted ||
+					parSt.NodesVisited != seqSt.NodesVisited ||
+					parSt.MaxDepth != seqSt.MaxDepth {
+					t.Fatalf("mode %v workers %d trial %d: stats diverge: %+v vs %+v",
+						mode, workers, trial, parSt, seqSt)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchParallelGMatrixStaysSequential pins the safety rule: the
+// order-dependent G-matrix filter must force one worker, and results
+// must still match the sequential engine.
+func TestSearchParallelGMatrixStaysSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(778))
+	s := align.DefaultDNA
+	e := New(randDNA(2000, rng), Options{EnableGMatrix: true})
+	query := randDNA(200, rng)
+	h := s.MinThreshold() + 4
+
+	seqC := align.NewCollector()
+	seqSt, err := e.Search(query, s, h, seqC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parC := align.NewCollector()
+	parSt, err := e.SearchParallel(query, s, h, parC, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !align.EqualHits(parC.Hits(), seqC.Hits()) {
+		t.Fatal("G-matrix parallel search diverged from sequential")
+	}
+	if parSt != seqSt {
+		t.Fatalf("G-matrix stats diverge: %+v vs %+v", parSt, seqSt)
+	}
+}

@@ -27,6 +27,11 @@ type Config struct {
 	Scale      float64 // multiplies every text/query length (default 1)
 	Seed       int64   // RNG seed (default 42)
 	NumQueries int     // queries per workload point (default 3; paper used 100)
+	// Parallelism is passed to every search's SearchOptions: worker
+	// goroutines per ALAE search (0 = all cores, 1 = sequential). Work
+	// metrics (entries, ratios) are identical either way; only the
+	// timing columns move.
+	Parallelism int
 }
 
 func (c Config) fill() Config {
@@ -228,7 +233,7 @@ func Table2(w io.Writer, cfg Config) error {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(mi) + 1))
 			wl.Queries = seq.HomologousQueries(seq.DNA, wl0.Text, cfg.NumQueries, m, 0, 0,
 				seq.MutationConfig{SubstitutionRate: 0.05, IndelRate: 0.01}, rng)
-			meas := Measure(ix, wl, alae.SearchOptions{Algorithm: alg})
+			meas := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alg})
 			if meas.Err != nil {
 				return meas.Err
 			}
@@ -265,7 +270,7 @@ func Table3(w io.Writer, cfg Config) error {
 		wl := DNAWorkload(n, m, cfg.NumQueries, cfg.Seed)
 		ix := alae.NewIndex(wl.Text)
 		for _, alg := range tableAlgorithms {
-			meas := Measure(ix, wl, alae.SearchOptions{Algorithm: alg})
+			meas := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alg})
 			if meas.Err != nil {
 				return meas.Err
 			}
@@ -294,8 +299,8 @@ func Table4(w io.Writer, cfg Config) error {
 	for mi, m := range ms {
 		wl := DNAWorkload(n, m, cfg.NumQueries, cfg.Seed+int64(mi))
 		ix := alae.NewIndex(wl.Text)
-		a := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.ALAE})
-		b := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.BWTSW})
+		a := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.ALAE})
+		b := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.BWTSW})
 		if a.Err != nil {
 			return a.Err
 		}
@@ -327,7 +332,7 @@ func Table5(w io.Writer, cfg Config) error {
 	fmt.Fprintf(tw, "n=%d, m=%d, E=10 (hybrid engine)\n", n, m)
 	fmt.Fprint(tw, "Scheme\tReused\tAccessed\tCalculated\tReusing ratio\n")
 	for _, s := range schemes {
-		meas := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.ALAEHybrid, Scheme: s})
+		meas := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.ALAEHybrid, Scheme: s})
 		if meas.Err != nil {
 			return meas.Err
 		}
@@ -351,7 +356,7 @@ func Fig7(w io.Writer, cfg Config) error {
 	for mi, m := range []int{cfg.scaled(1_000), cfg.scaled(5_000), cfg.scaled(20_000)} {
 		wl := DNAWorkload(nFixed, m, cfg.NumQueries, cfg.Seed+int64(mi))
 		ix := alae.NewIndex(wl.Text)
-		f, r, err := ratios(ix, wl)
+		f, r, err := ratios(ix, wl, cfg)
 		if err != nil {
 			return err
 		}
@@ -361,7 +366,7 @@ func Fig7(w io.Writer, cfg Config) error {
 	for ni, n := range []int{cfg.scaled(200_000), cfg.scaled(500_000), cfg.scaled(1_000_000)} {
 		wl := DNAWorkload(n, mFixed, cfg.NumQueries, cfg.Seed+10+int64(ni))
 		ix := alae.NewIndex(wl.Text)
-		f, r, err := ratios(ix, wl)
+		f, r, err := ratios(ix, wl, cfg)
 		if err != nil {
 			return err
 		}
@@ -372,16 +377,16 @@ func Fig7(w io.Writer, cfg Config) error {
 
 // ratios measures the filtering ratio (ALAE-DFS vs BWT-SW) and the
 // reusing ratio (hybrid engine) for one workload.
-func ratios(ix *alae.Index, wl Workload) (filtering, reusing float64, err error) {
-	a := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.ALAE})
+func ratios(ix *alae.Index, wl Workload, cfg Config) (filtering, reusing float64, err error) {
+	a := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.ALAE})
 	if a.Err != nil {
 		return 0, 0, a.Err
 	}
-	b := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.BWTSW})
+	b := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.BWTSW})
 	if b.Err != nil {
 		return 0, 0, b.Err
 	}
-	hyb := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.ALAEHybrid})
+	hyb := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.ALAEHybrid})
 	if hyb.Err != nil {
 		return 0, 0, hyb.Err
 	}
@@ -403,7 +408,7 @@ func Fig8(w io.Writer, cfg Config) error {
 		ix := alae.NewIndex(wl.Text)
 		fmt.Fprintf(tw, "%d\t", m)
 		for _, ev := range []float64{1e-15, 1e-5, 10} {
-			meas := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.ALAE, EValue: ev})
+			meas := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.ALAE, EValue: ev})
 			if meas.Err != nil {
 				return meas.Err
 			}
@@ -433,7 +438,7 @@ func Fig9(w io.Writer, cfg Config) error {
 				fmt.Fprint(tw, "n/a\t")
 				continue
 			}
-			meas := Measure(ix, wl, alae.SearchOptions{Algorithm: alg, Scheme: s})
+			meas := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alg, Scheme: s})
 			if meas.Err != nil {
 				return meas.Err
 			}
@@ -459,7 +464,7 @@ func Fig10(w io.Writer, cfg Config) error {
 			// The filtering ratio needs the BWT-SW entry count; the
 			// paper measures it against its own BWT-SW runs, which are
 			// unavailable for this scheme — report reuse only.
-			hyb := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.ALAEHybrid, Scheme: s})
+			hyb := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.ALAEHybrid, Scheme: s})
 			if hyb.Err != nil {
 				return hyb.Err
 			}
@@ -467,9 +472,9 @@ func Fig10(w io.Writer, cfg Config) error {
 			fmt.Fprintf(tw, "%v\tn/a\t%.1f%%\n", s, 100*r)
 			continue
 		}
-		a := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.ALAE, Scheme: s})
-		b := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.BWTSW, Scheme: s})
-		hyb := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.ALAEHybrid, Scheme: s})
+		a := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.ALAE, Scheme: s})
+		b := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.BWTSW, Scheme: s})
+		hyb := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.ALAEHybrid, Scheme: s})
 		for _, meas := range []Measurement{a, b, hyb} {
 			if meas.Err != nil {
 				return meas.Err
@@ -559,7 +564,7 @@ func Growth(w io.Writer, cfg Config) error {
 		}
 		ix := alae.NewIndex(text)
 		wl := Workload{Text: text, Queries: queries, Alphabet: seq.DNA}
-		meas := Measure(ix, wl, alae.SearchOptions{Algorithm: alae.ALAE})
+		meas := Measure(ix, wl, alae.SearchOptions{Parallelism: cfg.Parallelism, Algorithm: alae.ALAE})
 		if meas.Err != nil {
 			return meas.Err
 		}

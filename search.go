@@ -58,7 +58,7 @@ func Load(r io.Reader) (*Index, error) {
 	return &Index{
 		text: text,
 		trie: strie.NewFromIndex(text, fm),
-		alae: make(map[core.Mode]*core.Engine),
+		alae: make(map[engineKey]*core.Engine),
 	}, nil
 }
 
