@@ -1,6 +1,6 @@
 package align
 
-import "sort"
+import "slices"
 
 // Hit is one local-alignment result: the paper's A(i, j) restricted to
 // scores at or above the threshold. TEnd and QEnd are 0-based
@@ -15,22 +15,85 @@ type Hit struct {
 // Collector deduplicates hits by end-position pair, keeping the
 // maximum score, which is exactly the max-merge over matrices that
 // Algorithm 1 (BASIC) performs in lines 6-10.
+//
+// The store is a linear-probing open-addressing table on the packed
+// (tEnd, qEnd) key — the engines call Add for every above-threshold
+// cell of every fork family (tens of calls per surviving hit), and the
+// flat probe beats a general-purpose map by several times on that
+// workload. Keys are stored +1 so zero marks an empty slot.
 type Collector struct {
-	byEnd map[uint64]int32
+	keys   []uint64
+	scores []int32
+	n      int
+	shift  uint
 }
+
+const collectorMinBits = 6
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{byEnd: make(map[uint64]int32)}
+	c := &Collector{}
+	c.init(collectorMinBits)
+	return c
+}
+
+func (c *Collector) init(bits uint) {
+	c.keys = make([]uint64, 1<<bits)
+	c.scores = make([]int32, 1<<bits)
+	c.shift = 64 - bits
+	c.n = 0
 }
 
 func key(tEnd, qEnd int) uint64 { return uint64(uint32(tEnd))<<32 | uint64(uint32(qEnd)) }
 
+// fibMix is 2^64/φ, the Fibonacci-hashing multiplier: consecutive keys
+// (adjacent matrix cells are the common case) scatter across the
+// table.
+const fibMix = 0x9E3779B97F4A7C15
+
 // Add records a hit, keeping the best score per end pair.
 func (c *Collector) Add(tEnd, qEnd, score int) {
-	k := key(tEnd, qEnd)
-	if old, ok := c.byEnd[k]; !ok || int32(score) > old {
-		c.byEnd[k] = int32(score)
+	k := key(tEnd, qEnd) + 1
+	mask := uint64(len(c.keys) - 1)
+	i := (k * fibMix) >> c.shift
+	for {
+		stored := c.keys[i]
+		if stored == k {
+			if int32(score) > c.scores[i] {
+				c.scores[i] = int32(score)
+			}
+			return
+		}
+		if stored == 0 {
+			c.keys[i] = k
+			c.scores[i] = int32(score)
+			c.n++
+			if c.n > len(c.keys)*5/8 {
+				c.grow()
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the table, reinserting every slot.
+func (c *Collector) grow() {
+	oldKeys, oldScores := c.keys, c.scores
+	bits := 65 - c.shift
+	c.init(bits)
+	mask := uint64(len(c.keys) - 1)
+	for idx, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := (k * fibMix) >> c.shift
+		for c.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		c.keys[i] = k
+		c.scores[i] = oldScores[idx]
+		c.n++
 	}
 }
 
@@ -40,39 +103,40 @@ func (c *Collector) Add(tEnd, qEnd, score int) {
 // because Add is a commutative max the result is independent of worker
 // scheduling.
 func (c *Collector) Merge(o *Collector) {
-	for k, s := range o.byEnd {
-		if old, ok := c.byEnd[k]; !ok || s > old {
-			c.byEnd[k] = s
+	for idx, k := range o.keys {
+		if k == 0 {
+			continue
 		}
+		kk := k - 1
+		c.Add(int(kk>>32), int(uint32(kk)), int(o.scores[idx]))
 	}
 }
 
 // Len returns the number of distinct end pairs recorded.
-func (c *Collector) Len() int { return len(c.byEnd) }
+func (c *Collector) Len() int { return c.n }
 
 // Hits returns all recorded hits sorted by (TEnd, QEnd).
 func (c *Collector) Hits() []Hit {
-	out := make([]Hit, 0, len(c.byEnd))
-	for k, s := range c.byEnd {
-		out = append(out, Hit{TEnd: int(k >> 32), QEnd: int(uint32(k)), Score: int(s)})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].TEnd != out[j].TEnd {
-			return out[i].TEnd < out[j].TEnd
+	out := make([]Hit, 0, c.n)
+	for idx, k := range c.keys {
+		if k == 0 {
+			continue
 		}
-		return out[i].QEnd < out[j].QEnd
-	})
+		kk := k - 1
+		out = append(out, Hit{TEnd: int(kk >> 32), QEnd: int(uint32(kk)), Score: int(c.scores[idx])})
+	}
+	SortHits(out)
 	return out
 }
 
 // SortHits sorts a hit slice by (TEnd, QEnd), the canonical order used
 // when comparing engines.
 func SortHits(hs []Hit) {
-	sort.Slice(hs, func(i, j int) bool {
-		if hs[i].TEnd != hs[j].TEnd {
-			return hs[i].TEnd < hs[j].TEnd
+	slices.SortFunc(hs, func(a, b Hit) int {
+		if a.TEnd != b.TEnd {
+			return a.TEnd - b.TEnd
 		}
-		return hs[i].QEnd < hs[j].QEnd
+		return a.QEnd - b.QEnd
 	})
 }
 

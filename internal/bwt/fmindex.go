@@ -288,6 +288,21 @@ func (fm *FMIndex) ExtendAll(lo, hi int, los, his []int32) {
 	}
 }
 
+// LFStep returns the dense code of the BWT character at row together
+// with the row of that character's extension (the last-to-first
+// mapping). ok is false at the sentinel row, where the pattern cannot
+// be extended. For a width-one suffix-array range [row, row+1) this is
+// the whole backward-search step: the unique extending character and
+// its one-row range — one rank instead of the 2σ a full child
+// enumeration costs.
+func (fm *FMIndex) LFStep(row int) (code, next int, ok bool) {
+	if row == fm.sentinelRow {
+		return 0, 0, false
+	}
+	k := int(fm.bwtCode(row))
+	return k, int(fm.c[k] + fm.rank(k, row)), true
+}
+
 // Search returns the suffix-array range [lo, hi) of pattern in the
 // text. The number of occurrences is hi-lo.
 func (fm *FMIndex) Search(pattern []byte) (lo, hi int) {
@@ -339,11 +354,17 @@ func (fm *FMIndex) Position(row int) int {
 // i.e. the starting positions of the pattern whose range is [lo, hi).
 // The positions are not sorted.
 func (fm *FMIndex) Locate(lo, hi int) []int {
-	out := make([]int, 0, hi-lo)
+	return fm.LocateAppend(lo, hi, make([]int, 0, hi-lo))
+}
+
+// LocateAppend is Locate appending into buf, for callers that reuse a
+// positions buffer across queries (the engines' emit paths locate once
+// per trie node and must not allocate per node).
+func (fm *FMIndex) LocateAppend(lo, hi int, buf []int) []int {
 	for row := lo; row < hi; row++ {
-		out = append(out, fm.Position(row))
+		buf = append(buf, fm.Position(row))
 	}
-	return out
+	return buf
 }
 
 // SizeBytes reports the actual in-memory footprint of the index

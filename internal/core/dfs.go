@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/strie"
 )
 
@@ -18,6 +16,13 @@ import (
 // Gb carry. This achieves within the DFS what §4's reuse achieves for
 // the column-wise hybrid engine: duplicated entries are not
 // recalculated.
+//
+// The traversal is flat: recursion is an explicit stack of walkFrames,
+// live diagonals are a stack of 8-byte ngrForks in one slice, and the
+// merged band rows of every depth share one structure-of-arrays slab
+// (js/m/ga backing arrays with per-frame offsets). Pushing a child
+// appends to the slab tops; popping truncates. Nothing in the per-gram
+// path allocates once the workspace is warm.
 
 // seedCell is an FGOE entering the merged band at the current row.
 type seedCell struct {
@@ -25,31 +30,96 @@ type seedCell struct {
 	v int32 // FGOE score
 }
 
-// bandRow is one row of the merged gap-region band: sorted alive
-// columns with their best scores M and vertical-gap scores Ga.
-type bandRow struct {
-	js []int32
-	m  []int32
-	ga []int32
+// ngrFork is a live no-gap diagonal in the flat walk: the 0-based query
+// position of its q-prefix match and its current diagonal score. (The
+// full fork struct is only needed before the row-q merge; during the
+// walk a fork is either this diagonal or a cell in the merged band.)
+type ngrFork struct {
+	col0  int32
+	score int32
 }
 
-func (r *bandRow) reset() { r.js, r.m, r.ga = r.js[:0], r.m[:0], r.ga[:0] }
+// bandTriple is a structure-of-arrays run of band cells: parallel
+// sorted columns, best scores M and vertical-gap scores Ga. As the
+// workspace slab it holds every live depth's row back to back; rows are
+// addressed by (start, length) pairs held in walkFrames.
+type bandTriple struct {
+	js, m, ga []int32
+}
+
+func (b *bandTriple) len() int { return len(b.js) }
+
+func (b *bandTriple) reset() { b.truncate(0) }
+
+func (b *bandTriple) truncate(n int) {
+	b.js, b.m, b.ga = b.js[:n], b.m[:n], b.ga[:n]
+}
+
+func (b *bandTriple) push(j, m, ga int32) {
+	b.js = append(b.js, j)
+	b.m = append(b.m, m)
+	b.ga = append(b.ga, ga)
+}
+
+// row returns the cell run [start, start+n) as slice views. The views
+// stay readable even if later pushes grow the slab.
+func (b *bandTriple) row(start, n int) (js, m, ga []int32) {
+	return b.js[start : start+n], b.m[start : start+n], b.ga[start : start+n]
+}
+
+// walkFrame is one level of the explicit DFS stack: the expanded
+// node's depth, its child ranges (los/his double as the rank buffers
+// backward search fills), read-only views of the frame's live
+// diagonals and merged band row, the truncation water marks in the
+// workspace slabs, and the emit state of the frame's node. The views
+// are captured once at push time; they stay readable even if deeper
+// pushes grow the slab backings, because growth copies and the
+// frame's cells are never overwritten while it lives. Frame buffers
+// are allocated once per stack depth and reused across pushes.
+type walkFrame struct {
+	depth    int
+	childIdx int
+	los, his []int32
+	em       emitCtx
+
+	diags        []ngrFork // this frame's live diagonals
+	pJs, pM, pGa []int32   // this frame's merged band row
+	forkStart    int       // ws.diags truncation mark
+	bandStart    int       // ws.slab truncation mark
+}
+
+// frame returns a pointer to stack level i, growing the frame slice if
+// needed. Callers must re-acquire frame pointers after calling frame
+// with a larger i (growth moves the backing array).
+func (ws *workspace) frame(ctx *searchCtx, i int) *walkFrame {
+	for len(ws.frames) <= i {
+		sigma := ctx.e.trie.Index().Sigma()
+		ws.frames = append(ws.frames, walkFrame{
+			los: make([]int32, sigma),
+			his: make([]int32, sigma),
+		})
+	}
+	return &ws.frames[i]
+}
 
 // dfsGram builds this fork family's row-q state — per-fork NGR
 // diagonals plus the merged band holding any pre-q FGOE regions — and
 // walks the subtree. survivors are ascending 0-based query positions.
 func (ctx *searchCtx) dfsGram(node strie.Node, gram []byte, survivors []int32, occGetter func() []int) {
-	forks := make([]fork, 0, len(survivors))
-	for _, col0 := range survivors {
-		forks = append(forks, ctx.newFork(col0, gram))
+	ws := ctx.ws
+	for len(ws.forks) < len(survivors) {
+		ws.forks = append(ws.forks, fork{})
 	}
-	if len(ctx.ws.bands) == 0 {
-		ctx.ws.bands = append(ctx.ws.bands, bandRow{})
+	forks := ws.forks[:len(survivors)]
+	for k, col0 := range survivors {
+		ctx.newForkInto(&forks[k], col0, gram)
 	}
-	ngr := mergeForkBands(forks, &ctx.ws.bands[0])
-	ctx.dfsEmitRowQ(node, ngr, &ctx.ws.bands[0], occGetter)
-	if len(ngr) > 0 || len(ctx.ws.bands[0].js) > 0 {
-		ctx.dfsWalk(node, ngr, 0)
+	ws.diags = ws.diags[:0]
+	ws.slab.reset()
+	ctx.mergeForkBands(forks)
+	ctx.dfsEmitRowQ(node, occGetter)
+	if len(ws.diags) > 0 || ws.slab.len() > 0 {
+		ctx.dfsWalk(node)
 	}
 }
 
@@ -57,275 +127,405 @@ func (ctx *searchCtx) dfsGram(node strie.Node, gram []byte, survivors []int32, o
 // diagonal cell scores q·sa and can already reach the threshold, both
 // for forks still on the diagonal and for band cells from forks whose
 // FGOE fell inside the EMR.
-func (ctx *searchCtx) dfsEmitRowQ(node strie.Node, forks []fork, band *bandRow, occGetter func() []int) {
+func (ctx *searchCtx) dfsEmitRowQ(node strie.Node, occGetter func() []int) {
 	q := node.Depth
 	emit := func(j int32, score int32) {
 		for _, t := range occGetter() {
 			ctx.c.Add(t+q-1, int(j)-1, int(score))
 		}
 	}
+	for _, d := range ctx.ws.diags {
+		if int(d.score) >= ctx.h {
+			emit(d.col0+int32(q), d.score)
+		}
+	}
+	slab := &ctx.ws.slab
+	for k, mv := range slab.m {
+		if mv > negInf && int(mv) >= ctx.h {
+			emit(slab.js[k], mv)
+		}
+	}
+}
+
+// mergeRun is one fork's sorted cell run during the row-q band merge:
+// the fork plus the index of its current live cell.
+type mergeRun struct {
+	f   *fork
+	pos int32
+}
+
+// key is the run's current 1-based query column.
+func (r *mergeRun) key() int32 { return r.f.lo + r.pos }
+
+// advance moves the run past its current cell to the next live one,
+// skipping dead interior cells; false means the run is exhausted.
+func (r *mergeRun) advance() bool {
+	r.pos++
+	for int(r.pos) < len(r.f.m) && r.f.m[r.pos] <= negInf {
+		r.pos++
+	}
+	return int(r.pos) < len(r.f.m)
+}
+
+// siftDownRuns restores the min-heap-by-key property below index i.
+func siftDownRuns(runs []mergeRun, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(runs) {
+			return
+		}
+		s := l
+		if r := l + 1; r < len(runs) && runs[r].key() < runs[s].key() {
+			s = r
+		}
+		if runs[i].key() <= runs[s].key() {
+			return
+		}
+		runs[i], runs[s] = runs[s], runs[i]
+		i = s
+	}
+}
+
+// mergeForkBands splits the initial forks into the live-diagonal stack
+// (ws.diags) and one merged row-q band (ws.slab row 0), taking the
+// maximum on column collisions. Each fork's band cells are already
+// sorted by column, so the merge is a min-heap k-way merge over the
+// fork runs — O(cells·log k), no per-gram allocation, no comparison
+// sort. Dead interior cells (negInf) are skipped, preserving the
+// all-cells-alive invariant of the merged band.
+func (ctx *searchCtx) mergeForkBands(forks []fork) {
+	ws := ctx.ws
+	runs := ws.runs[:0]
 	for k := range forks {
 		f := &forks[k]
-		if f.phase == phaseNGR && int(f.score) >= ctx.h {
-			emit(f.col0+int32(q), f.score)
-		}
-	}
-	for k, mv := range band.m {
-		if mv > negInf && int(mv) >= ctx.h {
-			emit(band.js[k], mv)
-		}
-	}
-}
-
-// mergeForkBands folds the row-q bands of forks whose FGOE fell inside
-// the EMR (built by newFork) into one merged band, taking the maximum
-// on collisions.
-func mergeForkBands(forks []fork, out *bandRow) []fork {
-	out.reset()
-	ngr := forks[:0]
-	type cell struct{ j, m, ga int32 }
-	var cells []cell
-	for _, f := range forks {
 		switch f.phase {
 		case phaseNGR:
-			ngr = append(ngr, f)
+			ws.diags = append(ws.diags, ngrFork{col0: f.col0, score: f.score})
 		case phaseGap:
-			for k, mv := range f.m {
-				if mv > negInf {
-					cells = append(cells, cell{f.lo + int32(k), mv, f.ga[k]})
-				}
+			r := mergeRun{f: f, pos: -1}
+			if r.advance() {
+				runs = append(runs, r)
 			}
 		}
 	}
-	if len(cells) == 0 {
-		return ngr
+	ws.runs = runs // retain capacity across grams
+	for i := len(runs)/2 - 1; i >= 0; i-- {
+		siftDownRuns(runs, i)
 	}
-	sort.Slice(cells, func(a, b int) bool { return cells[a].j < cells[b].j })
-	for _, c := range cells {
-		if n := len(out.js); n > 0 && out.js[n-1] == c.j {
-			if c.m > out.m[n-1] {
-				out.m[n-1] = c.m
+	for len(runs) > 0 {
+		j := runs[0].key()
+		// Fold every run head at column j, keeping max m and max ga.
+		mv, gav := negInf, negInf
+		for len(runs) > 0 && runs[0].key() == j {
+			r := &runs[0]
+			if v := r.f.m[r.pos]; v > mv {
+				mv = v
 			}
-			if c.ga > out.ga[n-1] {
-				out.ga[n-1] = c.ga
+			if g := r.f.ga[r.pos]; g > gav {
+				gav = g
 			}
-			continue
+			if r.advance() {
+				siftDownRuns(runs, 0)
+			} else {
+				runs[0] = runs[len(runs)-1]
+				runs = runs[:len(runs)-1]
+				siftDownRuns(runs, 0)
+			}
 		}
-		out.js = append(out.js, c.j)
-		out.m = append(out.m, c.m)
-		out.ga = append(out.ga, c.ga)
+		ws.slab.push(j, mv, gav)
 	}
-	return ngr
 }
 
-// dfsWalk expands the subtree under node: one NGR step per live fork
-// plus one merged-band row per trie edge. bandIdx indexes the
-// per-depth band storage (node.Depth - q).
-func (ctx *searchCtx) dfsWalk(node strie.Node, forks []fork, bandIdx int) {
+// dfsWalk expands the subtree under the gram node with an explicit
+// stack. For each live trie edge it advances every parent diagonal one
+// row (appending survivors to the fork stack, FGOEs to the seed
+// scratch), sweeps the merged band into a new slab row, and pushes a
+// frame when anything stayed alive. Popping truncates the fork and band
+// slabs back to the parent's water marks.
+func (ctx *searchCtx) dfsWalk(root strie.Node) {
+	ws := ctx.ws
 	ctx.st.NodesVisited++
-	if node.Depth > ctx.st.MaxDepth {
-		ctx.st.MaxDepth = node.Depth
+	if root.Depth > ctx.st.MaxDepth {
+		ctx.st.MaxDepth = root.Depth
 	}
-	if node.Depth >= ctx.lmax {
+	if root.Depth >= ctx.lmax {
 		return
 	}
-	for len(ctx.ws.bands) <= bandIdx+1 {
-		ctx.ws.bands = append(ctx.ws.bands, bandRow{})
-	}
-	if node.Hi-node.Lo == 1 && node.Depth >= ctx.st.Q+8 {
-		// A single-occurrence node that survived this deep is almost
-		// certainly a long homologous run: the remaining path is a
-		// literal text substring, so read it directly instead of
-		// paying backward-search steps and locates per level. Shallow
-		// width-1 nodes mostly die within a level or two, where the
-		// one-off locate would cost more than it saves.
-		ctx.dfsLinear(node, forks, bandIdx)
+	fr := ws.frame(ctx, 0)
+	if root.Hi-root.Lo == 1 {
+		ctx.dfsLinear(root, 0, len(ws.diags), 0, ws.slab.len(), &fr.em)
 		return
 	}
-	sc := ctx.scratch()
-	ctx.e.trie.Children(node, sc.nodes, sc.los, sc.his)
-	for k, ch := range ctx.e.trie.Letters() {
-		child := sc.nodes[k]
-		if child.Lo >= child.Hi {
+	fm := ctx.e.trie.Index()
+	fr.depth = root.Depth
+	fr.childIdx = 0
+	fr.forkStart, fr.diags = 0, ws.diags
+	fr.bandStart = 0
+	fr.pJs, fr.pM, fr.pGa = ws.slab.row(0, ws.slab.len())
+	fm.ExtendAll(root.Lo, root.Hi, fr.los, fr.his)
+
+	sigma := fm.Sigma()
+	mq := int32(len(ctx.query))
+	colBound := ctx.colBound
+	seeds := ws.seeds
+	var nodesVisited, ngrEntries int64
+	top := 0
+	for top >= 0 {
+		fr := &ws.frames[top]
+		if fr.childIdx >= sigma {
+			ws.diags = ws.diags[:fr.forkStart]
+			ws.slab.truncate(fr.bandStart)
+			top--
 			continue
 		}
-		i := child.Depth
-		sc.em.reset(ctx, child)
+		k := fr.childIdx
+		fr.childIdx++
+		lo, hi := int(fr.los[k]), int(fr.his[k])
+		if lo >= hi {
+			continue
+		}
+		i := fr.depth + 1
+		if len(ws.frames) <= top+1 {
+			ws.frame(ctx, top+1) // grow moves the backing array
+			fr = &ws.frames[top]
+		}
+		cf := &ws.frames[top+1]
+		cf.em.reset(ctx, strie.Node{Lo: lo, Hi: hi, Depth: i})
+		deltaRow := ctx.deltaRow(k)
 
-		childForks := sc.forks[:0]
-		seeds := sc.seeds[:0]
-		for _, f := range forks {
-			ctx.stepNGR(&f, ch, i)
-			switch f.phase {
-			case phaseNGR:
-				if int(f.score) >= ctx.h {
-					sc.em.emit(i, f.col0+int32(i), f.score)
-				}
-				childForks = append(childForks, f)
-			case phaseGap:
+		// One NGR step per live parent diagonal (Equation 3).
+		cs := len(ws.diags) // the parent's fork range ends here
+		seeds = seeds[:0]
+		rowB := ctx.rowBound(i)
+		for _, d := range fr.diags {
+			j := d.col0 + int32(i) // 1-based diagonal column
+			if j > mq {
+				continue
+			}
+			ngrEntries++
+			sc := d.score + deltaRow[j-1]
+			if sc <= 0 || sc < rowB || sc < colBound[j-1] {
+				continue
+			}
+			if int(sc) >= ctx.h {
+				cf.em.emit(i, j, sc)
+			}
+			if int(sc) > ctx.gOpen {
 				// The FGOE cell joins the merged band; its horizontal
 				// extension run emerges from the band's Gb carry.
-				if int(f.score) >= ctx.h {
-					sc.em.emit(i, f.lo, f.score)
-				}
-				seeds = append(seeds, seedCell{j: f.lo, v: f.score})
+				seeds = append(seeds, seedCell{j: j, v: sc})
+			} else {
+				ws.diags = append(ws.diags, ngrFork{col0: d.col0, score: sc})
 			}
 		}
-		sc.forks, sc.seeds = childForks, seeds
-		ctx.advanceMergedBand(&ctx.ws.bands[bandIdx], &ctx.ws.bands[bandIdx+1], ch, i, seeds, &sc.em)
-		if len(childForks) > 0 || len(ctx.ws.bands[bandIdx+1].js) > 0 {
-			ctx.dfsWalk(child, childForks, bandIdx+1)
-		}
-	}
-	ctx.release(sc)
-}
+		childForkLen := len(ws.diags) - cs
 
-// dfsLinear walks a single-occurrence path by reading the text
-// directly. Rows alternate between two band slots so storage stays
-// bounded regardless of path length.
-func (ctx *searchCtx) dfsLinear(node strie.Node, forks []fork, bandIdx int) {
-	t := ctx.e.trie.Occurrences(node)[0]
-	text := ctx.e.trie.Text()
-	sc := ctx.scratch()
-	sc.em.resetLinear(ctx, t)
-	cur, next := bandIdx, bandIdx+1
+		// One merged-band row per trie edge.
+		cbs := ws.slab.len()
+		ctx.advanceMergedBand(fr.pJs, fr.pM, fr.pGa, deltaRow, i, seeds, &cf.em, &ws.slab)
+		childBandLen := ws.slab.len() - cbs
 
-	liveForks := append(sc.forks[:0], forks...)
-	for i := node.Depth + 1; i <= ctx.lmax; i++ {
-		pos := t + i - 1
-		if pos >= len(text) {
-			break
+		if childForkLen == 0 && childBandLen == 0 {
+			ws.diags = ws.diags[:cs]
+			ws.slab.truncate(cbs)
+			continue
 		}
-		ch := text[pos]
-		ctx.st.NodesVisited++
+		nodesVisited++
 		if i > ctx.st.MaxDepth {
 			ctx.st.MaxDepth = i
 		}
-		seeds := sc.seeds[:0]
-		alive := liveForks[:0]
-		for _, f := range liveForks {
-			ctx.stepNGR(&f, ch, i)
-			switch f.phase {
-			case phaseNGR:
-				if int(f.score) >= ctx.h {
-					sc.em.emit(i, f.col0+int32(i), f.score)
-				}
-				alive = append(alive, f)
-			case phaseGap:
-				if int(f.score) >= ctx.h {
-					sc.em.emit(i, f.lo, f.score)
-				}
-				seeds = append(seeds, seedCell{j: f.lo, v: f.score})
+		if i >= ctx.lmax {
+			ws.diags = ws.diags[:cs]
+			ws.slab.truncate(cbs)
+			continue
+		}
+		if hi-lo == 1 {
+			// A single-occurrence node's remaining path is one LF step
+			// per level (dfsLinear), far cheaper than the two rank
+			// passes a child enumeration costs — hand off immediately.
+			ws.seeds = seeds
+			ctx.dfsLinear(strie.Node{Lo: lo, Hi: hi, Depth: i}, cs, childForkLen, cbs, childBandLen, &cf.em)
+			seeds = ws.seeds
+			ws.diags = ws.diags[:cs]
+			ws.slab.truncate(cbs)
+			continue
+		}
+		cf.depth = i
+		cf.childIdx = 0
+		cf.forkStart, cf.diags = cs, ws.diags[cs:]
+		cf.bandStart = cbs
+		cf.pJs, cf.pM, cf.pGa = ws.slab.row(cbs, childBandLen)
+		fm.ExtendAll(lo, hi, cf.los, cf.his)
+		top++
+	}
+	ws.seeds = seeds
+	ctx.st.NodesVisited += nodesVisited
+	ctx.st.EntriesNGR += ngrEntries
+}
+
+// dfsLinear walks a single-occurrence path without enumerating
+// children: the unique next edge letter and child row come from one
+// LF step per level (Trie.SingleChild), and the path's text position
+// is only resolved — lazily, by the emitCtx — if a cell actually
+// reaches the threshold; once resolved, the walk switches to direct
+// text reads. Rows ping-pong between the two workspace linear band
+// rows so storage stays bounded regardless of path length; diagonals
+// are filtered in place within their fork-stack range (the caller
+// discards the range afterwards).
+func (ctx *searchCtx) dfsLinear(node strie.Node, forkStart, forkLen, bandStart, bandLen int, em *emitCtx) {
+	ws := ctx.ws
+	text := ctx.e.trie.Text()
+	fm := ctx.e.trie.Index()
+	em.resetLinearLazy(ctx)
+	mq := int32(len(ctx.query))
+	colBound := ctx.colBound
+	var nodes, ngrEntries int64
+	maxDepth := ctx.st.MaxDepth
+
+	// The parent row starts as the node's slab row, then ping-pongs
+	// between the two workspace linear rows.
+	curJs, curM, curGa := ws.slab.row(bandStart, bandLen)
+	outIdx := 0
+
+	live := ws.diags[forkStart : forkStart+forkLen]
+	seeds := ws.seeds
+	u := node
+	for i := node.Depth + 1; i <= ctx.lmax; i++ {
+		var code int
+		if t := em.fixedT; t >= 0 {
+			pos := t + i - 1
+			if pos >= len(text) {
+				break
+			}
+			code = fm.CodeOf(text[pos])
+		} else {
+			v, c, ok := ctx.e.trie.SingleChild(u)
+			if !ok {
+				break
+			}
+			u, code = v, c
+			em.linRow, em.linDep = u.Lo, i
+		}
+		deltaRow := ctx.deltaRow(code)
+		nodes++
+		if i > maxDepth {
+			maxDepth = i
+		}
+		seeds = seeds[:0]
+		rowB := ctx.rowBound(i)
+		n := 0
+		for _, d := range live {
+			j := d.col0 + int32(i)
+			if j > mq {
+				continue
+			}
+			ngrEntries++
+			sc := d.score + deltaRow[j-1]
+			if sc <= 0 || sc < rowB || sc < colBound[j-1] {
+				continue
+			}
+			if int(sc) >= ctx.h {
+				em.emit(i, j, sc)
+			}
+			if int(sc) > ctx.gOpen {
+				seeds = append(seeds, seedCell{j: j, v: sc})
+			} else {
+				live[n] = ngrFork{col0: d.col0, score: sc}
+				n++
 			}
 		}
-		liveForks, sc.seeds = alive, seeds
-		ctx.advanceMergedBand(&ctx.ws.bands[cur], &ctx.ws.bands[next], ch, i, seeds, &sc.em)
-		cur, next = next, cur
-		if len(liveForks) == 0 && len(ctx.ws.bands[cur].js) == 0 {
+		live = live[:n]
+		out := &ws.lin[outIdx]
+		out.reset()
+		ctx.advanceMergedBand(curJs, curM, curGa, deltaRow, i, seeds, em, out)
+		curJs, curM, curGa = out.js, out.m, out.ga
+		outIdx = 1 - outIdx
+		if len(live) == 0 && len(curJs) == 0 {
 			break
 		}
 	}
-	sc.forks = liveForks
-	ctx.release(sc)
+	ws.seeds = seeds
+	ctx.st.NodesVisited += nodes
+	ctx.st.EntriesNGR += ngrEntries
+	ctx.st.MaxDepth = maxDepth
 }
 
 // advanceMergedBand computes the merged band's next row from the
-// parent row and the new FGOE seeds, sweeping candidate columns in
-// increasing order with the in-row Gb carry, applying score filtering,
-// counting boundary/interior entries, and emitting threshold cells.
-// Seeds must be sorted by column (stepNGR visits forks in ascending
-// col0 order per gram, so they are).
-func (ctx *searchCtx) advanceMergedBand(parent, out *bandRow, ch byte, i int, seeds []seedCell, em *emitCtx) {
-	out.reset()
-	np := len(parent.js)
+// parent row (pJs/pM/pGa, all cells alive by invariant) and the new
+// FGOE seeds, appending to out. The sweep is a single fused pass in
+// increasing column order: parent and seed cursors advance linearly, Gb
+// chains to j+1, and the next candidate column is derived from the
+// cursors — no candidate prepass, no binary search, no allocation.
+// Score filtering, boundary/interior entry counting, and threshold
+// emission match the recurrence exactly. Seeds must be sorted by
+// column (diagonals step in ascending col0 order per gram, so they
+// are).
+func (ctx *searchCtx) advanceMergedBand(pJs, pM, pGa []int32, deltaRow []int32, i int, seeds []seedCell, em *emitCtx, out *bandTriple) {
+	np := len(pJs)
 	if np == 0 && len(seeds) == 0 {
+		return
+	}
+	if len(seeds) == 0 && np > 0 && pJs[np-1]-pJs[0] == int32(np-1) {
+		// The parent row is one contiguous column run — the dominant
+		// shape on homologous paths — so the candidate set is just
+		// [lo, hi+1] plus the Gb tail and every cell indexes the
+		// parent arrays directly.
+		ctx.advanceDenseBand(pJs[0], pM, pGa, deltaRow, i, em, out)
 		return
 	}
 	s := ctx.s
 	open := int32(s.GapOpen + s.GapExtend)
 	ext := int32(s.GapExtend)
 	mq := int32(len(ctx.query))
-
-	// Candidate columns: parent cells contribute pj (via Ga) and pj+1
-	// (via diag); seeds contribute their own column; Gb extensions are
-	// chained during the sweep.
-	cand := ctx.ws.cand[:0]
-	si := 0
-	pushSeedsUpTo := func(limit int32) {
-		for si < len(seeds) && seeds[si].j <= limit {
-			cand = append(cand, seeds[si].j)
-			si++
-		}
-	}
-	for k := 0; k < np; k++ {
-		pj := parent.js[k]
-		pushSeedsUpTo(pj - 1)
-		cand = append(cand, pj)
-		if k+1 >= np || parent.js[k+1] != pj+1 {
-			if pj+1 <= mq {
-				pushSeedsUpTo(pj)
-				cand = append(cand, pj+1)
-			}
-		}
-	}
-	pushSeedsUpTo(mq)
-	ctx.ws.cand = cand
-	if len(cand) == 0 {
-		return
-	}
-
-	seedAt := func(j int32) int32 {
-		lo, hi := 0, len(seeds)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if seeds[mid].j < j {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo < len(seeds) && seeds[lo].j == j {
-			return seeds[lo].v
-		}
-		return negInf
-	}
+	colBound := ctx.colBound
+	rowB := ctx.rowBound(i)
+	var boundary, interior int64
+	const farJ = int32(1) << 30
 
 	gb := negInf
-	ci := 0
-	pi := 0
-	j := cand[0]
+	pi := 0 // first parent index with pJs[pi] >= j-1
+	si := 0 // first unconsumed seed
+	j := farJ
+	if np > 0 {
+		j = pJs[0]
+	}
+	if len(seeds) > 0 && seeds[0].j < j {
+		j = seeds[0].j
+	}
 	for j <= mq {
-		for pi < np && parent.js[pi] < j-1 {
+		for pi < np && pJs[pi] < j-1 {
 			pi++
 		}
-		diag, ga := negInf, negInf
+		dg, ga := negInf, negInf
 		sources := 0
 		k := pi
-		if k < np && parent.js[k] == j-1 {
-			if pm := parent.m[k]; pm > negInf {
-				diag = pm + int32(s.Delta(ch, ctx.query[j-1]))
-				sources++
-			}
+		if k < np && pJs[k] == j-1 {
+			dg = pM[k] + deltaRow[j-1]
+			sources++
 			k++
 		}
-		if k < np && parent.js[k] == j {
-			pm, pga := parent.m[k], parent.ga[k]
-			if pm > negInf {
-				ga = pm + open
-				sources++
-			}
-			if pga > negInf && pga+ext > ga {
-				if ga == negInf {
-					sources++
-				}
+		hasCellAtJ := k < np && pJs[k] == j
+		if hasCellAtJ {
+			// Merged-band cells are always alive (pM[k] > 0), so the
+			// Ga recurrence always has its M source.
+			ga = pM[k] + open
+			sources++
+			if pga := pGa[k]; pga > negInf && pga+ext > ga {
 				ga = pga + ext
 			}
 		}
 		if gb > negInf {
 			sources++
 		}
-		sv := seedAt(j)
-		mv := diag
+		sv := negInf
+		for si < len(seeds) && seeds[si].j < j {
+			si++
+		}
+		if si < len(seeds) && seeds[si].j == j {
+			sv = seeds[si].v
+			si++
+		}
+		mv := dg
 		if ga > mv {
 			mv = ga
 		}
@@ -337,25 +537,21 @@ func (ctx *searchCtx) advanceMergedBand(parent, out *bandRow, ch byte, i int, se
 		}
 		if sources > 0 {
 			// Seed-only cells were already counted as NGR entries by
-			// stepNGR; only sweep-computed cells are counted here.
-			if !ctx.mute {
-				if sources >= 3 {
-					ctx.st.EntriesInterior++
-				} else {
-					ctx.st.EntriesBoundary++
-				}
+			// the diagonal step; only sweep-computed cells count here.
+			if sources >= 3 {
+				interior++
+			} else {
+				boundary++
 			}
 		}
-		alive := mv > negInf && mv > 0 && ctx.minGainOK(mv, i, j)
+		alive := mv > 0 && mv >= rowB && mv >= colBound[j-1]
 		if alive {
 			if int(mv) >= ctx.h && sv < mv {
 				// Seed cells at their own value were emitted by the
-				// NGR step; emit only improvements and sweep cells.
+				// diagonal step; emit only improvements and sweep cells.
 				em.emit(i, j, mv)
 			}
-			out.js = append(out.js, j)
-			out.m = append(out.m, mv)
-			out.ga = append(out.ga, ga)
+			out.push(j, mv, ga)
 		}
 		// Gb carry to column j+1.
 		ng := negInf
@@ -369,16 +565,127 @@ func (ctx *searchCtx) advanceMergedBand(parent, out *bandRow, ch byte, i int, se
 			ng = negInf
 		}
 		gb = ng
-
-		for ci < len(cand) && cand[ci] <= j {
-			ci++
-		}
 		if gb > negInf {
 			j++
-		} else if ci < len(cand) {
-			j = cand[ci]
-		} else {
-			break
+			continue
 		}
+		// Next candidate column: the first parent contribution past j
+		// (a cell at j feeds j+1 diagonally; otherwise the next stored
+		// column) or the next seed, whichever is smaller.
+		nj := farJ
+		if hasCellAtJ {
+			nj = j + 1
+		} else {
+			t := pi
+			for t < np && pJs[t] <= j {
+				t++
+			}
+			if t < np {
+				nj = pJs[t]
+			}
+		}
+		if si < len(seeds) && seeds[si].j < nj {
+			nj = seeds[si].j
+		}
+		j = nj
+	}
+	if !ctx.mute {
+		ctx.st.EntriesBoundary += boundary
+		ctx.st.EntriesInterior += interior
+	}
+}
+
+// advanceDenseBand is advanceMergedBand specialised to a contiguous,
+// seedless parent row [lo, lo+np): cells index the parent arrays
+// directly, with no column cursors or candidate derivation. Emission,
+// score filtering and entry counting are identical to the general
+// sweep.
+func (ctx *searchCtx) advanceDenseBand(lo int32, pM, pGa []int32, deltaRow []int32, i int, em *emitCtx, out *bandTriple) {
+	s := ctx.s
+	open := int32(s.GapOpen + s.GapExtend)
+	ext := int32(s.GapExtend)
+	mq := int32(len(ctx.query))
+	colBound := ctx.colBound
+	rowB := ctx.rowBound(i)
+	var boundary, interior int64
+	np := int32(len(pM))
+
+	gb := negInf
+	limit := lo + np // hi+1
+	if limit > mq {
+		limit = mq
+	}
+	for j := lo; j <= limit; j++ {
+		k := j - lo
+		dg, ga := negInf, negInf
+		sources := 0
+		if k > 0 {
+			dg = pM[k-1] + deltaRow[j-1]
+			sources++
+		}
+		if k < np {
+			ga = pM[k] + open
+			sources++
+			if pga := pGa[k]; pga > negInf && pga+ext > ga {
+				ga = pga + ext
+			}
+		}
+		if gb > negInf {
+			sources++
+		}
+		mv := dg
+		if ga > mv {
+			mv = ga
+		}
+		if gb > mv {
+			mv = gb
+		}
+		if sources >= 3 {
+			interior++
+		} else {
+			boundary++
+		}
+		alive := mv > 0 && mv >= rowB && mv >= colBound[j-1]
+		if alive {
+			if int(mv) >= ctx.h {
+				em.emit(i, j, mv)
+			}
+			out.push(j, mv, ga)
+		}
+		ng := negInf
+		if gb > negInf {
+			ng = gb + ext
+		}
+		if alive && mv+open > ng {
+			ng = mv + open
+		}
+		if ng <= 0 {
+			ng = negInf
+		}
+		gb = ng
+	}
+	// Gb tail past the parent run.
+	for j := limit + 1; j <= mq && gb > negInf; j++ {
+		boundary++
+		mv := gb
+		alive := mv >= rowB && mv >= colBound[j-1]
+		if alive {
+			if int(mv) >= ctx.h {
+				em.emit(i, j, mv)
+			}
+			out.push(j, mv, negInf)
+		}
+		ng := gb + ext
+		if alive && mv+open > ng {
+			ng = mv + open
+		}
+		if ng <= 0 {
+			ng = negInf
+		}
+		gb = ng
+	}
+	if !ctx.mute {
+		ctx.st.EntriesBoundary += boundary
+		ctx.st.EntriesInterior += interior
 	}
 }

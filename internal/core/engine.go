@@ -170,14 +170,29 @@ func (e *Engine) SearchParallel(query []byte, s align.Scheme, h int, c *align.Co
 		}
 	}
 
+	// Resolve every distinct gram against the trie in one prefix-shared
+	// pass (see resolve.go); absent grams die here, so the scheduler
+	// and the per-family filters only ever see live trie nodes.
+	families := e.resolveFamilies(qidx, &st)
+	if len(families) == 0 {
+		return st, nil
+	}
+	// The δ(edge letter, query column) score table: the inner sweeps
+	// index it instead of calling Scheme.Delta per cell. Shared
+	// read-only by every worker.
+	delta := buildDeltaTable(e.trie.Letters(), query, s)
+	colBound := buildColBounds(m, h, s, e.opts.DisableScoreFilter)
+
 	newCtx := func(coll *align.Collector, stats *Stats) *searchCtx {
 		return &searchCtx{
 			e: e, query: query, s: s, h: h, c: coll, st: stats,
-			lmax:  st.Lmax,
-			gOpen: -(s.GapOpen + s.GapExtend), // |sg+ss|
-			dom:   dom,
-			gm:    gm,
-			ws:    e.getWorkspace(),
+			lmax:     st.Lmax,
+			gOpen:    -(s.GapOpen + s.GapExtend), // |sg+ss|
+			delta:    delta,
+			colBound: colBound,
+			dom:      dom,
+			gm:       gm,
+			ws:       e.getWorkspace(),
 		}
 	}
 	if workers <= 0 {
@@ -188,45 +203,118 @@ func (e *Engine) SearchParallel(query []byte, s align.Scheme, h int, c *align.Co
 	}
 	if workers <= 1 {
 		ctx := newCtx(c, &st)
-		qidx.GramsSorted(func(gram []byte, cols []int32) {
-			ctx.processGram(gram, cols)
-		})
+		for i := range families {
+			ctx.processGram(&families[i])
+		}
 		e.putWorkspace(ctx.ws)
 		return st, nil
 	}
-	e.searchFamilies(qidx, newCtx, workers, c, &st)
+	e.searchFamilies(families, newCtx, workers, c, &st)
 	return st, nil
+}
+
+// buildColBounds precomputes Theorem 2 as table lookups: a cell (i, j)
+// with score v survives iff v ≥ h − min(m−j, Lmax−i)·sa, i.e. iff v
+// clears BOTH the column bound h−(m−j)·sa (this table, colBound[j-1])
+// and the row bound h−(Lmax−i)·sa (one multiply per row, rowBound).
+// With the filter disabled both collapse to negInf and never fire.
+func buildColBounds(m, h int, s align.Scheme, disabled bool) []int32 {
+	colBound := make([]int32, m)
+	if disabled {
+		for j := range colBound {
+			colBound[j] = negInf
+		}
+		return colBound
+	}
+	for j := 1; j <= m; j++ {
+		colBound[j-1] = int32(h - (m-j)*s.Match)
+	}
+	return colBound
+}
+
+// buildDeltaTable precomputes δ(a, b) for every edge letter of the text
+// against every query column: delta[k*m+j] scores the letter with dense
+// code k against 0-based query position j. Building it costs σ·m — a
+// few microseconds — and removes a call plus two byte loads from every
+// diagonal step and gap-region cell.
+func buildDeltaTable(letters, query []byte, s align.Scheme) []int32 {
+	m := len(query)
+	match, mismatch := int32(s.Match), int32(s.Mismatch)
+	delta := make([]int32, len(letters)*m)
+	for k, ch := range letters {
+		row := delta[k*m : (k+1)*m]
+		for j, qc := range query {
+			if ch == qc {
+				row[j] = match
+			} else {
+				row[j] = mismatch
+			}
+		}
+	}
+	return delta
 }
 
 // searchCtx carries one search worker's state. In a parallel search
 // each worker owns one searchCtx with a private collector, stats and
 // workspace; the engine merges them afterwards.
 type searchCtx struct {
-	e     *Engine
-	query []byte
-	s     align.Scheme
-	h     int
-	c     *align.Collector
-	st    *Stats
-	lmax  int
-	gOpen int // |sg+ss|, the FGOE crossing level
-	dom   *domination.Index
-	gm    *gMatrix
-	mute  bool // suppress gap-region entry counting (hybrid oracles)
+	e        *Engine
+	query    []byte
+	s        align.Scheme
+	h        int
+	c        *align.Collector
+	st       *Stats
+	lmax     int
+	gOpen    int     // |sg+ss|, the FGOE crossing level
+	delta    []int32 // δ table: delta[k*m+j] = δ(letter k, query[j]); read-only, shared
+	colBound []int32 // Theorem 2 column bounds: h − (m−j)·sa, or negInf when disabled
+	dom      *domination.Index
+	gm       *gMatrix
+	mute     bool // suppress gap-region entry counting (hybrid oracles)
 
 	ws *workspace
 }
 
-// workspace is the reusable traversal scratch of one worker: the
-// child-enumeration buffer pool (whose los/his slices are the rank
-// buffers backward search fills), the per-depth merged band rows and
-// the candidate-column buffer. Workspaces live in an engine-level
-// sync.Pool so repeated and concurrent searches allocate none of this
-// per call.
+// deltaRow returns the δ row of the letter with dense code k, indexed
+// by 0-based query position.
+func (ctx *searchCtx) deltaRow(k int) []int32 {
+	m := len(ctx.query)
+	return ctx.delta[k*m : (k+1)*m]
+}
+
+// rowBound is Theorem 2's row bound for matrix row i: a cell there
+// needs at least h − (Lmax−i)·sa (negInf when the filter is off). A
+// cell survives iff it clears rowBound(i) AND colBound[j-1].
+func (ctx *searchCtx) rowBound(i int) int32 {
+	if ctx.e.opts.DisableScoreFilter {
+		return negInf
+	}
+	return int32(ctx.h - (ctx.lmax-i)*ctx.s.Match)
+}
+
+// workspace is the reusable traversal scratch of one worker. The DFS
+// engine's entire per-gram state lives here as flat structure-of-arrays
+// slabs — the explicit walk stack (frames), the live-diagonal stack
+// (diags), the merged gap-region band slab (slab) — plus the per-gram
+// scratch (initial forks, survivors, seeds, merge runs, occurrence
+// buffers). Everything is sized by the first searches and reused, so
+// the per-gram path (processGram → dfsGram → advanceMergedBand)
+// allocates nothing in steady state. The hybrid engine keeps its
+// recursive child-enumeration buffer pool. Workspaces live in an
+// engine-level sync.Pool so repeated and concurrent searches share
+// them.
 type workspace struct {
-	pool  []*childScratch
-	bands []bandRow // per-depth merged gap-region bands (DFS engine)
-	cand  []int32   // scratch candidate-column buffer
+	pool []*childScratch // hybrid engine's per-level buffers
+
+	frames    []walkFrame   // explicit DFS stack; frame buffers persist across pushes
+	diags     []ngrFork     // flat stack of live no-gap diagonals, framed by walkFrame ranges
+	slab      bandTriple    // flat SoA merged-band slab, framed by walkFrame ranges
+	lin       [2]bandTriple // ping-pong band rows for single-occurrence linear walks
+	seeds     []seedCell    // per-child FGOE seeds, rebuilt for every edge
+	forks     []fork        // per-gram initial forks; element-wise reuse keeps band capacity
+	survivors []int32       // per-gram filter survivors
+	occBuf    []int         // gram-node occurrence buffer
+	runs      []mergeRun    // fork-band k-way merge cursors
 }
 
 func (e *Engine) getWorkspace() *workspace {
@@ -238,15 +326,13 @@ func (e *Engine) getWorkspace() *workspace {
 
 func (e *Engine) putWorkspace(ws *workspace) { e.wsPool.Put(ws) }
 
-// childScratch holds one recursion level's child-enumeration buffers,
-// the per-child fork workspace and the emit state, so the hot DFS loop
-// allocates nothing per node.
+// childScratch holds one recursion level's child-enumeration buffers
+// (los/his are the rank buffers backward search fills) for the hybrid
+// engine's recursive descent. The flat DFS engine keeps this state in
+// its walkFrames instead.
 type childScratch struct {
 	nodes    []strie.Node
 	los, his []int32
-	forks    []fork
-	seeds    []seedCell
-	em       emitCtx
 }
 
 // scratch pops a buffer set sized for the trie's alphabet.
@@ -285,24 +371,22 @@ func (ctx *searchCtx) minGainOK(score int32, i int, j int32) bool {
 	return int(score)+rem*ctx.s.Match >= ctx.h
 }
 
-// processGram runs one fork family: every fork whose q-prefix is this
-// gram, over the whole subtree of the gram's trie node.
-func (ctx *searchCtx) processGram(gram []byte, cols []int32) {
-	ctx.st.ForksConsidered += int64(len(cols))
-	node, ok := ctx.e.trie.Walk(gram)
-	if !ok {
-		ctx.st.ForksAbsent += int64(len(cols))
-		return
-	}
-	var occ []int // lazily located occurrences of the gram
+// processGram runs one pre-resolved fork family: every fork whose
+// q-prefix is this gram, over the whole subtree of the gram's trie
+// node. Gram resolution — and the absent-gram accounting — happened in
+// resolveFamilies.
+func (ctx *searchCtx) processGram(fam *gramFamily) {
+	node, gram, cols := fam.node, fam.gram, fam.cols
+	occ := ctx.ws.occBuf[:0] // lazily located occurrences of the gram
 	occGetter := func() []int {
-		if occ == nil {
-			occ = ctx.e.trie.Occurrences(node)
+		if len(occ) == 0 {
+			occ = ctx.e.trie.OccurrencesAppend(node, occ)
+			ctx.ws.occBuf = occ
 		}
 		return occ
 	}
 
-	survivors := make([]int32, 0, len(cols))
+	survivors := ctx.ws.survivors[:0]
 	for _, col0 := range cols {
 		if ctx.dom != nil && col0 > 0 && ctx.dom.Dominated(gram, ctx.query[col0-1]) {
 			ctx.st.ForksDominated++
@@ -319,6 +403,7 @@ func (ctx *searchCtx) processGram(gram []byte, cols []int32) {
 			ctx.gm.markEMR(int(col0), len(gram), occGetter())
 		}
 	}
+	ctx.ws.survivors = survivors
 	if len(survivors) == 0 {
 		return
 	}

@@ -15,11 +15,13 @@ const (
 	phaseDead
 )
 
-// fork is the per-fork DP state carried through the trie traversal.
-// In phaseNGR only the diagonal score is live. In phaseGap the state
-// is the current row of the fork's gap-region band: columns
-// [lo, lo+len(m)) (1-based query columns) with best scores m and
-// vertical-gap scores ga; dead interior cells hold negInf.
+// fork is the per-fork DP state carried before the row-q merge and
+// through the hybrid engine's traversal. In phaseNGR only the diagonal
+// score is live. In phaseGap the state is the current row of the
+// fork's gap-region band: columns [lo, lo+len(m)) (1-based query
+// columns) with best scores m and vertical-gap scores ga; dead
+// interior cells hold negInf. (The DFS walk carries the leaner ngrFork
+// instead — see dfs.go.)
 type fork struct {
 	col0  int32 // 0-based query position of the q-prefix match
 	phase forkPhase
@@ -33,23 +35,34 @@ type fork struct {
 // emitCtx reports cells whose score reaches the threshold: each is
 // fanned out to every occurrence of the current path node. A nil
 // *emitCtx disables emission (used where it is provably impossible or
-// handled elsewhere). The occurrence list is located lazily, once per
-// node.
+// handled elsewhere). All position resolution is lazy and buffered:
+// node mode locates the occurrence list once per node into a retained
+// buffer, and lazy-linear mode (single-occurrence LF walks) resolves
+// the path's text position only if a cell actually reaches the
+// threshold — paths that die silently never pay a locate.
 type emitCtx struct {
 	ctx    *searchCtx
 	node   strie.Node
-	occ    []int
-	fixedT int // single known occurrence (linear mode); -1 when unset
+	occ    []int // located occurrences; nil until first emit
+	buf    []int // retained locate buffer backing occ
+	fixedT int   // ≥0 known single occurrence; -1 node mode; lazyT lazy-linear mode
+	linRow int   // lazy-linear: suffix-array row of the current path node
+	linDep int   // lazy-linear: its depth
 }
+
+// lazyT marks a lazy-linear emitCtx whose path position is not yet
+// resolved.
+const lazyT = -2
 
 func (e *emitCtx) reset(ctx *searchCtx, node strie.Node) {
 	e.ctx, e.node, e.occ, e.fixedT = ctx, node, nil, -1
 }
 
-// resetLinear prepares emission for a single-occurrence path starting
-// at text position t: no locate needed.
-func (e *emitCtx) resetLinear(ctx *searchCtx, t int) {
-	e.ctx, e.occ, e.fixedT = ctx, nil, t
+// resetLinearLazy prepares emission for a width-one LF walk: the
+// path's text position is resolved from (linRow, linDep) on the first
+// emit, if any.
+func (e *emitCtx) resetLinearLazy(ctx *searchCtx) {
+	e.ctx, e.occ, e.fixedT = ctx, nil, lazyT
 }
 
 // emit reports a hit at matrix row i (== e.node.Depth), 1-based query
@@ -58,12 +71,16 @@ func (e *emitCtx) emit(i int, j int32, score int32) {
 	if e == nil {
 		return
 	}
+	if e.fixedT == lazyT {
+		e.fixedT = e.ctx.e.trie.PathOccurrence(strie.Node{Lo: e.linRow, Hi: e.linRow + 1, Depth: e.linDep})
+	}
 	if e.fixedT >= 0 {
 		e.ctx.c.Add(e.fixedT+i-1, int(j)-1, int(score))
 		return
 	}
 	if e.occ == nil {
-		e.occ = e.ctx.e.trie.Occurrences(e.node)
+		e.buf = e.ctx.e.trie.OccurrencesAppend(e.node, e.buf[:0])
+		e.occ = e.buf
 	}
 	for _, t := range e.occ {
 		e.ctx.c.Add(t+i-1, int(j)-1, int(score))
@@ -71,28 +88,39 @@ func (e *emitCtx) emit(i int, j int32, score int32) {
 }
 
 // newFork creates the fork for a q-prefix match at 0-based query
-// position col0. Rows 1..q are the EMR with assigned scores i·sa
-// (counted as EntriesEMR by the caller). If the EMR diagonal already
-// crosses |sg+ss| before row q — possible when q·sa > |sg+ss|, e.g.
-// scheme ⟨4,−5,−5,−2⟩ — the fork enters its gap phase inside the EMR
-// and the band is advanced through the remaining gram rows here.
-// Emission is a no-op during those rows: any gap-region cell at row
-// i ≤ q scores at most i·sa − |sg+ss| ≤ sa < MinThreshold ≤ H.
+// position col0 (allocating form, used by the hybrid engine).
 func (ctx *searchCtx) newFork(col0 int32, gram []byte) fork {
+	var f fork
+	ctx.newForkInto(&f, col0, gram)
+	return f
+}
+
+// newForkInto initialises f for a q-prefix match at 0-based query
+// position col0, reusing f's band storage. Rows 1..q are the EMR with
+// assigned scores i·sa (counted as EntriesEMR by the caller). If the
+// EMR diagonal already crosses |sg+ss| before row q — possible when
+// q·sa > |sg+ss|, e.g. scheme ⟨4,−5,−5,−2⟩ — the fork enters its gap
+// phase inside the EMR and the band is advanced through the remaining
+// gram rows here. Emission is a no-op during those rows: any
+// gap-region cell at row i ≤ q scores at most i·sa − |sg+ss| ≤ sa <
+// MinThreshold ≤ H.
+func (ctx *searchCtx) newForkInto(f *fork, col0 int32, gram []byte) {
 	q := len(gram)
 	sa := int32(ctx.s.Match)
-	f := fork{col0: col0, phase: phaseNGR, score: int32(q) * sa}
+	f.col0, f.phase, f.score = col0, phaseNGR, int32(q)*sa
+	f.lo, f.fgoeAt = 0, 0
+	f.m, f.ga = f.m[:0], f.ga[:0]
 	if int(f.score) <= ctx.gOpen {
-		return f
+		return
 	}
 	// FGOE inside the EMR: the first row whose assigned score exceeds
 	// |sg+ss|.
 	l := ctx.gOpen/ctx.s.Match + 1
-	ctx.seedBand(&f, l, col0+int32(l), int32(l)*sa, nil)
+	ctx.seedBand(f, l, col0+int32(l), int32(l)*sa, nil)
+	fm := ctx.e.trie.Index()
 	for row := l + 1; row <= q && f.phase == phaseGap; row++ {
-		ctx.advanceBand(&f, gram[row-1], row, nil)
+		ctx.advanceBand(f, ctx.deltaRow(fm.CodeOf(gram[row-1])), row, nil)
 	}
-	return f
 }
 
 // seedBand switches a fork into its gap phase at the FGOE (l, c) with
@@ -129,18 +157,18 @@ func (ctx *searchCtx) seedBand(f *fork, l int, c, v int32, emit *emitCtx) {
 	}
 }
 
-// stepNGR advances an NGR fork by one row with edge character ch. At
-// the FGOE it marks the fork phaseGap with lo/fgoeAt set but does NOT
-// build the band: the caller must invoke seedBand (it owns the
-// emitter and the mute policy).
-func (ctx *searchCtx) stepNGR(f *fork, ch byte, i int) {
+// stepNGR advances an NGR fork by one row whose edge letter has δ row
+// deltaRow. At the FGOE it marks the fork phaseGap with lo/fgoeAt set
+// but does NOT build the band: the caller must invoke seedBand (it
+// owns the emitter and the mute policy).
+func (ctx *searchCtx) stepNGR(f *fork, deltaRow []int32, i int) {
 	j := f.col0 + int32(i) // 1-based diagonal column
 	if int(j) > len(ctx.query) {
 		f.phase = phaseDead
 		return
 	}
 	ctx.st.EntriesNGR++
-	f.score += int32(ctx.s.Delta(ch, ctx.query[j-1]))
+	f.score += deltaRow[j-1]
 	if f.score <= 0 || !ctx.minGainOK(f.score, i, j) {
 		f.phase = phaseDead
 		return
@@ -154,10 +182,12 @@ func (ctx *searchCtx) stepNGR(f *fork, ch byte, i int) {
 }
 
 // advanceBand computes row i of a gap-phase fork's band from row i−1
-// with edge character ch, counting entries per the paper's cost model
-// (boundary = two adjacent sources, interior = three) and emitting
-// cells at or above the threshold.
-func (ctx *searchCtx) advanceBand(f *fork, ch byte, i int, emit *emitCtx) {
+// with the edge letter's δ row, counting entries per the paper's cost
+// model (boundary = two adjacent sources, interior = three) and
+// emitting cells at or above the threshold. It is the hybrid engine's
+// liveness oracle (and the rare pre-q band of newForkInto); the DFS
+// engine's merged band uses advanceMergedBand instead.
+func (ctx *searchCtx) advanceBand(f *fork, deltaRow []int32, i int, emit *emitCtx) {
 	s := ctx.s
 	open := int32(s.GapOpen + s.GapExtend)
 	ext := int32(s.GapExtend)
@@ -174,7 +204,7 @@ func (ctx *searchCtx) advanceBand(f *fork, ch byte, i int, emit *emitCtx) {
 		diag, ga := negInf, negInf
 		sources := 0
 		if k := j - 1 - inLo; k >= 0 && j-1 <= inHi && f.m[k] > negInf {
-			diag = f.m[k] + int32(s.Delta(ch, ctx.query[j-1]))
+			diag = f.m[k] + deltaRow[j-1]
 			sources++
 		}
 		if k := j - inLo; k >= 0 && j <= inHi {

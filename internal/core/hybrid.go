@@ -44,6 +44,10 @@ func (ctx *searchCtx) hybridGram(node strie.Node, gram []byte, cols []int32) {
 	hs := &hybridState{ctx: ctx, gram: gram}
 	hs.nodes = append(hs.nodes, node) // depth q
 	hs.path = append(hs.path, gram...)
+	fm := ctx.e.trie.Index()
+	for _, ch := range gram {
+		hs.pathCodes = append(hs.pathCodes, int16(fm.CodeOf(ch)))
+	}
 	hs.occs = make([][]int, 1)
 
 	var ngr []fork
@@ -78,11 +82,12 @@ func (ctx *searchCtx) hybridGram(node strie.Node, gram []byte, cols []int32) {
 }
 
 type hybridState struct {
-	ctx   *searchCtx
-	gram  []byte
-	nodes []strie.Node // nodes[d] is the trie node at depth q+d
-	occs  [][]int      // lazily located occurrences per depth index
-	path  []byte       // X[1..depth]: path[i-1] is the row-i character
+	ctx       *searchCtx
+	gram      []byte
+	nodes     []strie.Node // nodes[d] is the trie node at depth q+d
+	occs      [][]int      // lazily located occurrences per depth index
+	path      []byte       // X[1..depth]: path[i-1] is the row-i character
+	pathCodes []int16      // dense letter codes of path, for δ-table rows
 }
 
 // occAt returns the occurrence positions of X[1..i] (row i ≥ q).
@@ -131,14 +136,16 @@ func (hs *hybridState) descend(node strie.Node, ngr, bands []fork, pendings []pe
 		i := child.Depth
 		hs.nodes = append(hs.nodes, child)
 		hs.path = append(hs.path, ch)
+		hs.pathCodes = append(hs.pathCodes, int16(k))
 		hs.occs = append(hs.occs, nil)
+		deltaRow := ctx.deltaRow(k)
 
 		childNGR := make([]fork, 0, len(ngr))
 		childBands := make([]fork, 0, len(bands)+len(ngr))
 		var childPendings []pendingFGOE
 		var dying []pendingFGOE
 		for _, f := range ngr {
-			ctx.stepNGR(&f, ch, i)
+			ctx.stepNGR(&f, deltaRow, i)
 			switch f.phase {
 			case phaseNGR:
 				if int(f.score) >= ctx.h {
@@ -156,7 +163,7 @@ func (hs *hybridState) descend(node strie.Node, ngr, bands []fork, pendings []pe
 		}
 		for k, f := range bands {
 			ctx.mute = true
-			ctx.advanceBand(&f, ch, i, nil)
+			ctx.advanceBand(&f, deltaRow, i, nil)
 			ctx.mute = false
 			if f.phase == phaseDead {
 				dying = append(dying, pendings[k])
@@ -176,6 +183,7 @@ func (hs *hybridState) descend(node strie.Node, ngr, bands []fork, pendings []pe
 
 		hs.nodes = hs.nodes[:len(hs.nodes)-1]
 		hs.path = hs.path[:len(hs.path)-1]
+		hs.pathCodes = hs.pathCodes[:len(hs.pathCodes)-1]
 		hs.occs = hs.occs[:len(hs.occs)-1]
 	}
 	ctx.release(sc)
@@ -291,6 +299,7 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev *co
 	s := ctx.s
 	open := int32(s.GapOpen + s.GapExtend)
 	ext := int32(s.GapExtend)
+	delta, mCols := ctx.delta, int32(len(ctx.query))
 
 	prevAt := func(i int32) (m, gb int32) {
 		if prev == nil {
@@ -338,7 +347,7 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev *co
 		var diag, gbv int32 = negInf, negInf
 		sources := 0
 		if pm, _ := prevAt(i - 1); pm > negInf {
-			diag = pm + int32(s.Delta(hs.path[i-1], ctx.query[j-1]))
+			diag = pm + delta[int32(hs.pathCodes[i-1])*mCols+j-1]
 			sources++
 		}
 		if pm, pgb := prevAt(i); pm > negInf || pgb > negInf {

@@ -5,42 +5,31 @@ import (
 	"sync/atomic"
 
 	"repro/internal/align"
-	"repro/internal/qgram"
 )
 
 // The parallel fork-family scheduler. A fork family — one distinct
-// q-gram of the query with its column set — is the engine's natural
-// unit of independent work: families never share traversal state, only
-// the read-only index structures (trie, domination index, query), and
-// their outputs combine through the collector's commutative max-merge
-// and additive statistics. Families vary wildly in cost (a family over
-// a frequent gram walks a much larger subtree), so the scheduler uses
-// an atomic work-stealing cursor over the sorted family list instead
-// of static striping: idle workers immediately pull the next family.
+// q-gram of the query with its pre-resolved trie node and column set
+// (see resolve.go) — is the engine's natural unit of independent work:
+// families never share traversal state, only the read-only index
+// structures (trie, domination index, query, δ table), and their
+// outputs combine through the collector's commutative max-merge and
+// additive statistics. Families vary wildly in cost (a family over a
+// frequent gram walks a much larger subtree), so the scheduler uses an
+// atomic work-stealing cursor over the sorted family list instead of
+// static striping: idle workers immediately pull the next family.
 
-// gramFamily is one unit of schedulable work.
-type gramFamily struct {
-	gram []byte
-	cols []int32
-}
-
-// searchFamilies fans the query's fork families out over workers
+// searchFamilies fans the pre-resolved fork families out over workers
 // goroutines and merges the per-worker collectors and statistics into
-// c and st. st must already carry Threshold/Q/Lmax.
-func (e *Engine) searchFamilies(qidx *qgram.Index, newCtx func(*align.Collector, *Stats) *searchCtx, workers int, c *align.Collector, st *Stats) {
-	var families []gramFamily
-	qidx.GramsSorted(func(gram []byte, cols []int32) {
-		// GramsSorted reuses its gram buffer; the scheduler outlives
-		// the callback, so copy. cols is safely shared read-only.
-		families = append(families, gramFamily{gram: append([]byte(nil), gram...), cols: cols})
-	})
+// c and st. st must already carry Threshold/Q/Lmax (plus the
+// resolution-time fork accounting).
+func (e *Engine) searchFamilies(families []gramFamily, newCtx func(*align.Collector, *Stats) *searchCtx, workers int, c *align.Collector, st *Stats) {
 	if workers > len(families) {
 		workers = len(families)
 	}
 	if workers <= 1 {
 		ctx := newCtx(c, st)
-		for _, fam := range families {
-			ctx.processGram(fam.gram, fam.cols)
+		for i := range families {
+			ctx.processGram(&families[i])
 		}
 		e.putWorkspace(ctx.ws)
 		return
@@ -62,7 +51,7 @@ func (e *Engine) searchFamilies(qidx *qgram.Index, newCtx func(*align.Collector,
 				if i >= len(families) {
 					return
 				}
-				ctx.processGram(families[i].gram, families[i].cols)
+				ctx.processGram(&families[i])
 			}
 		}(ctxs[w])
 	}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+// Machine-readable benchmarking for the perf trajectory (BENCH_*.json).
+// The CI and release tooling need benchmark numbers a script can diff,
+// which `go test -bench` text output is not; RunBenchJSON re-times the
+// headline workload — the Table 2 point (n=200k, m=5000) that
+// BenchmarkParallelSearch uses — and emits JSON.
+
+// BenchResult is one timed configuration.
+type BenchResult struct {
+	Name    string  `json:"name"`
+	Reps    int     `json:"reps"`
+	NsPerOp int64   `json:"ns_per_op"` // best wall-clock over reps (one op = the whole workload)
+	MsPerOp float64 `json:"ms_per_op"`
+	Entries int64   `json:"entries"` // CalculatedEntries, must be invariant across engines/runs
+	Hits    int     `json:"hits"`    // total result count, must be invariant across engines/runs
+}
+
+// BenchSuite is the JSON document RunBenchJSON emits.
+type BenchSuite struct {
+	Benchmark string        `json:"benchmark"`
+	N         int           `json:"n"`
+	M         int           `json:"m"`
+	Queries   int           `json:"queries"`
+	Seed      int64         `json:"seed"`
+	GoVersion string        `json:"go_version"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Results   []BenchResult `json:"results"`
+}
+
+// RunBenchJSON times the Table 2 workload point sequentially (p=1) and
+// at full parallelism (p=max), reps repetitions each keeping the best
+// wall-clock, and writes an indented BenchSuite to w. Scale grows the
+// workload like the other experiments; the index build is excluded
+// from timing.
+func RunBenchJSON(w io.Writer, cfg Config, reps int) error {
+	if reps <= 0 {
+		reps = 5
+	}
+	n := int(200_000 * cfg.Scale)
+	m := int(5_000 * cfg.Scale)
+	const queries = 2
+	wl := DNAWorkload(n, m, queries, cfg.Seed)
+	ix := alae.NewIndex(wl.Text)
+	suite := BenchSuite{
+		Benchmark: "ParallelSearch (Table 2 point)",
+		N:         n,
+		M:         m,
+		Queries:   queries,
+		Seed:      cfg.Seed,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, tc := range []struct {
+		name string
+		p    int
+	}{{"p=1", 1}, {"p=max", 0}} {
+		opts := alae.SearchOptions{Algorithm: alae.ALAE, Parallelism: tc.p}
+		// Warm-up builds the lazy domination index and engine caches.
+		warm := Measure(ix, wl, opts)
+		if warm.Err != nil {
+			return warm.Err
+		}
+		best := BenchResult{Name: tc.name, Reps: reps}
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			meas := Measure(ix, wl, opts)
+			elapsed := time.Since(start)
+			if meas.Err != nil {
+				return meas.Err
+			}
+			if best.NsPerOp == 0 || elapsed.Nanoseconds() < best.NsPerOp {
+				best.NsPerOp = elapsed.Nanoseconds()
+			}
+			best.Entries = meas.Stats.CalculatedEntries
+			best.Hits = meas.Hits
+		}
+		best.MsPerOp = float64(best.NsPerOp) / 1e6
+		suite.Results = append(suite.Results, best)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(suite)
+}

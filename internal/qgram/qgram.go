@@ -12,6 +12,7 @@ package qgram
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -29,6 +30,7 @@ type Index struct {
 type Packer struct {
 	q       int
 	bits    uint
+	mask    uint64 // low bits·q bits, the window of one packed gram
 	code    [256]int16
 	letters []byte
 }
@@ -44,6 +46,7 @@ func NewPacker(letters []byte, q int) *Packer {
 		return nil
 	}
 	p := &Packer{q: q, bits: bits, letters: append([]byte(nil), letters...)}
+	p.mask = uint64(1)<<(bits*uint(q)) - 1
 	for i := range p.code {
 		p.code[i] = -1
 	}
@@ -75,8 +78,7 @@ func (p *Packer) Next(prev uint64, c byte) (uint64, bool) {
 	if v < 0 {
 		return 0, false
 	}
-	mask := uint64(1)<<(p.bits*uint(p.q)) - 1
-	return (prev<<p.bits | uint64(v)) & mask, true
+	return (prev<<p.bits | uint64(v)) & p.mask, true
 }
 
 // Q returns the gram length.
@@ -176,14 +178,66 @@ func (idx *Index) Grams(fn func(gram []byte, positions []int32)) {
 }
 
 // GramsSorted is Grams in lexicographic gram order, for deterministic
-// traversal.
+// traversal. Like Grams, fn must not retain the gram slice across
+// calls (it is a reused buffer); copy it if it must outlive the
+// callback.
 func (idx *Index) GramsSorted(fn func(gram []byte, positions []int32)) {
-	var keys []string
-	collect := func(gram []byte, _ []int32) { keys = append(keys, string(gram)) }
-	idx.Grams(collect)
+	idx.GramsSortedLCP(func(gram []byte, _ int, positions []int32) {
+		fn(gram, positions)
+	})
+}
+
+// GramsSortedLCP is GramsSorted extended with the length of the longest
+// common prefix between each gram and its predecessor (0 for the first
+// gram). Consecutive sorted grams share long prefixes — exactly the
+// shared backward-search steps the prefix-shared gram resolution of the
+// search engines exploits. fn must not retain the gram slice across
+// calls.
+func (idx *Index) GramsSortedLCP(fn func(gram []byte, lcp int, positions []int32)) {
+	if idx.packer != nil {
+		// Packed keys sort in lexicographic gram order because dense
+		// codes are assigned in ascending byte order, and the LCP of two
+		// grams is read off the highest differing bit of their keys.
+		keys := make([]uint64, 0, len(idx.lists))
+		for key := range idx.lists {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		buf := make([]byte, idx.q)
+		cbits := int(idx.packer.bits)
+		for i, key := range keys {
+			lcp := 0
+			if i > 0 {
+				if diff := keys[i-1] ^ key; diff != 0 {
+					lcp = idx.q - 1 - (63-bits.LeadingZeros64(diff))/cbits
+				} else {
+					lcp = idx.q
+				}
+			}
+			k := key
+			for c := idx.q - 1; c >= 0; c-- {
+				buf[c] = idx.packer.letters[k&(1<<idx.packer.bits-1)]
+				k >>= idx.packer.bits
+			}
+			fn(buf, lcp, idx.lists[key])
+		}
+		return
+	}
+	keys := make([]string, 0, len(idx.strKeys))
+	for g := range idx.strKeys {
+		keys = append(keys, g)
+	}
 	sort.Strings(keys)
-	for _, k := range keys {
-		fn([]byte(k), idx.Positions([]byte(k)))
+	buf := make([]byte, idx.q)
+	prev := ""
+	for _, g := range keys {
+		lcp := 0
+		for lcp < len(prev) && lcp < len(g) && prev[lcp] == g[lcp] {
+			lcp++
+		}
+		copy(buf, g)
+		fn(buf, lcp, idx.strKeys[g])
+		prev = g
 	}
 }
 

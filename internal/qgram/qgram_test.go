@@ -225,3 +225,102 @@ func TestPositionsSharedSliceContract(t *testing.T) {
 		t.Fatalf("ACGT occurs 10 times, got %d/%d", len(p1), len(p2))
 	}
 }
+
+// naiveLCP is the reference longest-common-prefix length.
+func naiveLCP(a, b string) int {
+	l := 0
+	for l < len(a) && l < len(b) && a[l] == b[l] {
+		l++
+	}
+	return l
+}
+
+// checkSortedLCP runs GramsSortedLCP and validates order, LCPs and
+// position lists against the brute-force index.
+func checkSortedLCP(t *testing.T, query []byte, q int, letters []byte) {
+	t.Helper()
+	idx, err := New(query, q, letters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteGrams(query, q)
+	prev := ""
+	count := 0
+	idx.GramsSortedLCP(func(gram []byte, lcp int, pos []int32) {
+		g := string(gram)
+		if count > 0 && g <= prev {
+			t.Fatalf("GramsSortedLCP out of order: %q after %q", g, prev)
+		}
+		wantLCP := 0
+		if count > 0 {
+			wantLCP = naiveLCP(prev, g)
+		}
+		if lcp != wantLCP {
+			t.Fatalf("LCP(%q, %q) = %d, want %d", prev, g, lcp, wantLCP)
+		}
+		ref := want[g]
+		if len(pos) != len(ref) {
+			t.Fatalf("gram %q positions %v, want %v", g, pos, ref)
+		}
+		prev = g
+		count++
+	})
+	// Grams containing letters outside the alphabet are excluded from
+	// the index, so count every brute gram that is alphabet-pure.
+	pure := 0
+	for g := range want {
+		ok := true
+		for i := 0; i < len(g); i++ {
+			if bytes.IndexByte(letters, g[i]) < 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pure++
+		}
+	}
+	if count != pure {
+		t.Fatalf("enumerated %d grams, want %d", count, pure)
+	}
+}
+
+func TestGramsSortedLCPPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	// Random DNA plus shapes that force every LCP value: homopolymer
+	// runs (LCP = q−1) and letter-boundary jumps (LCP = 0).
+	queries := [][]byte{
+		[]byte("AAAAAAAACCCCCCCCGGGGGGGGTTTTTTTT"),
+		[]byte("ACGTACGTACGT"),
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(200)
+		query := make([]byte, n)
+		for i := range query {
+			query[i] = dnaLetters[rng.Intn(4)]
+		}
+		queries = append(queries, query)
+	}
+	for _, query := range queries {
+		for q := 1; q <= 5; q++ {
+			checkSortedLCP(t, query, q, dnaLetters)
+		}
+	}
+}
+
+func TestGramsSortedLCPStringFallback(t *testing.T) {
+	// 62 letters × q=11 exceeds 62 bits, forcing the string-keyed
+	// fallback path of GramsSortedLCP.
+	letters := make([]byte, 62)
+	for i := range letters {
+		letters[i] = byte('!' + i)
+	}
+	rng := rand.New(rand.NewSource(54))
+	query := make([]byte, 400)
+	for i := range query {
+		// A small sub-alphabet so grams actually collide and share
+		// prefixes.
+		query[i] = letters[rng.Intn(4)]
+	}
+	checkSortedLCP(t, query, 11, letters)
+}

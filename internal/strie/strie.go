@@ -89,6 +89,25 @@ func (t *Trie) Children(u Node, nodes []Node, los, his []int32) {
 	}
 }
 
+// SingleChild returns the unique child of a width-one node u together
+// with the dense code of its edge letter, in one rank operation. ok is
+// false when u has no child (its occurrence reaches the text end). u
+// must satisfy Hi-Lo == 1.
+func (t *Trie) SingleChild(u Node) (Node, int, bool) {
+	code, next, ok := t.fm.LFStep(u.Lo)
+	if !ok {
+		return Node{}, 0, false
+	}
+	return Node{Lo: next, Hi: next + 1, Depth: u.Depth + 1}, code, true
+}
+
+// PathOccurrence returns the 0-based forward-text starting position of
+// a width-one node's single occurrence, without the slice bookkeeping
+// of Occurrences. u must satisfy Hi-Lo == 1.
+func (t *Trie) PathOccurrence(u Node) int {
+	return len(t.text) - t.fm.Position(u.Lo) - u.Depth
+}
+
 // Walk descends the path spelled by s from the root. ok is false when
 // s does not occur in the text.
 func (t *Trie) Walk(s []byte) (Node, bool) {
@@ -110,15 +129,23 @@ func (t *Trie) Count(u Node) int { return u.Hi - u.Lo }
 // Occurrences returns the 0-based starting positions in the forward
 // text of the substring represented by u. Positions are not sorted.
 func (t *Trie) Occurrences(u Node) []int {
+	return t.OccurrencesAppend(u, make([]int, 0, u.Hi-u.Lo))
+}
+
+// OccurrencesAppend is Occurrences appending into buf, for callers that
+// reuse a positions buffer (the alignment engines locate once per
+// emitting trie node and must not allocate per node).
+func (t *Trie) OccurrencesAppend(u Node, buf []int) []int {
 	// A row holds a position p in the reversed text where the reversed
 	// substring starts; in forward coordinates the substring starts at
 	// n - p - depth.
 	n := len(t.text)
-	out := t.fm.Locate(u.Lo, u.Hi)
-	for i, p := range out {
-		out[i] = n - p - u.Depth
+	start := len(buf)
+	buf = t.fm.LocateAppend(u.Lo, u.Hi, buf)
+	for i := start; i < len(buf); i++ {
+		buf[i] = n - buf[i] - u.Depth
 	}
-	return out
+	return buf
 }
 
 // Letters returns the distinct bytes of the text in sorted order (the

@@ -62,26 +62,26 @@ func Load(r io.Reader) (*Index, error) {
 	}, nil
 }
 
+// complementTable maps each DNA base to its complement; every other
+// byte maps to itself. Built once so ReverseComplement is a table walk
+// rather than a per-byte switch.
+var complementTable = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = byte(i)
+	}
+	t['A'], t['T'] = 'T', 'A'
+	t['C'], t['G'] = 'G', 'C'
+	return t
+}()
+
 // ReverseComplement returns the reverse complement of a DNA sequence.
 // Bytes outside ACGT (e.g. collection separators) are preserved in
 // place so coordinates stay meaningful.
 func ReverseComplement(s []byte) []byte {
-	comp := func(c byte) byte {
-		switch c {
-		case 'A':
-			return 'T'
-		case 'T':
-			return 'A'
-		case 'C':
-			return 'G'
-		case 'G':
-			return 'C'
-		}
-		return c
-	}
 	out := make([]byte, len(s))
 	for i, c := range s {
-		out[len(s)-1-i] = comp(c)
+		out[len(s)-1-i] = complementTable[c]
 	}
 	return out
 }
@@ -129,6 +129,17 @@ func (ix *Index) SearchBothStrands(query []byte, opts SearchOptions) ([]StrandHi
 // the given parallelism (0 means one worker per query up to 8).
 // Results are returned in query order; the first error aborts the
 // remaining work.
+//
+// Warm-up contract: before any worker starts, SearchAll builds the
+// shared lazy structures once — the engine for the requested
+// configuration and (for the ALAE engines) the domination index of the
+// scheme's q — so workers never race to build them redundantly; from
+// then on those structures are read-only and shared. Per-query state
+// is NOT shared: each worker's search builds its own q-gram inverted
+// index and δ score table for its query (they are query-specific by
+// definition) and draws its traversal workspace from the engine's
+// sync.Pool, so steady-state searches allocate only per-query
+// structures, never traversal scratch.
 func (ix *Index) SearchAll(queries [][]byte, opts SearchOptions, workers int) ([]*Result, error) {
 	if workers <= 0 {
 		workers = min(len(queries), 8)
