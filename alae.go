@@ -124,9 +124,11 @@ type Stats struct {
 	ReusedEntries     int64 // cells copied by the reuse technique (§4)
 	AccessedEntries   int64 // calculated + reused
 	ComputationCost   int64 // weighted cost (§7.2 Table 4 accounting)
-	NodesVisited      int64 // emulated suffix-trie nodes expanded
+	NodesVisited      int64 // emulated suffix-trie nodes entered with live state
 	ForksStarted      int64
 	ForksDominated    int64 // forks pruned by q-prefix domination
+	GramCacheHits     int64 // distinct q-grams resolved from the cross-query cache
+	GramCacheMisses   int64 // distinct q-grams resolved by trie walk
 	Seeds             int64 // BLAST only: word hits examined
 }
 
@@ -283,15 +285,7 @@ func (ix *Index) Search(query []byte, opts SearchOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Stats = Stats{
-			CalculatedEntries: st.CalculatedEntries(),
-			ReusedEntries:     st.ReusedEntries,
-			AccessedEntries:   st.AccessedEntries(),
-			ComputationCost:   st.ComputationCost(),
-			NodesVisited:      st.NodesVisited,
-			ForksStarted:      st.ForksStarted,
-			ForksDominated:    st.ForksDominated,
-		}
+		res.Stats = statsFromCore(st)
 	case BWTSW:
 		if !s.BWTSWCompatible() {
 			return nil, fmt.Errorf("alae: BWT-SW requires |sb| ≥ 3·|sa| (scheme %v); see §2.4", s)

@@ -112,6 +112,58 @@ func (c *Collector) Merge(o *Collector) {
 	}
 }
 
+// Reset empties the collector while keeping its table capacity, so a
+// reused collector (a serving session answering query after query)
+// stays warm-sized and its steady-state Adds never grow the table.
+func (c *Collector) Reset() {
+	clear(c.keys)
+	c.n = 0
+}
+
+// ShardedCollector is a set of per-worker collectors: the parallel
+// fork-family scheduler gives each worker its own open-addressing
+// table so hit recording never contends, and the shards merge into one
+// result table afterwards by table scan. A session keeps one across
+// queries so the per-worker tables, like every other per-query
+// structure, are allocated once and re-armed.
+type ShardedCollector struct {
+	shards []*Collector
+}
+
+// NewSharded returns a sharded collector with n shards.
+func NewSharded(n int) *ShardedCollector {
+	sc := &ShardedCollector{}
+	sc.Resize(n)
+	return sc
+}
+
+// Resize ensures at least n shards exist, keeping existing ones (and
+// their warm table capacity).
+func (sc *ShardedCollector) Resize(n int) {
+	for len(sc.shards) < n {
+		sc.shards = append(sc.shards, NewCollector())
+	}
+}
+
+// Shard returns shard i. The caller must have Resized to at least i+1.
+func (sc *ShardedCollector) Shard(i int) *Collector { return sc.shards[i] }
+
+// ResetAll empties every shard, keeping capacity.
+func (sc *ShardedCollector) ResetAll() {
+	for _, s := range sc.shards {
+		s.Reset()
+	}
+}
+
+// MergeInto folds the first n shards into c by table scan. Add is a
+// commutative max, so the result is independent of which worker
+// recorded which hit.
+func (sc *ShardedCollector) MergeInto(c *Collector, n int) {
+	for _, s := range sc.shards[:n] {
+		c.Merge(s)
+	}
+}
+
 // Len returns the number of distinct end pairs recorded.
 func (c *Collector) Len() int { return c.n }
 

@@ -293,3 +293,35 @@ func BenchmarkFMIndexSearch(b *testing.B) {
 		fm.Search(pat)
 	}
 }
+
+// TestLocateAppendWideRanges drives the batched (distance-to-sample
+// grouped) locate across ranges much wider than its chunk size,
+// including the all-rows range, cross-checking every position against
+// Position — which walks each row individually.
+func TestLocateAppendWideRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	letters := []byte("ACGT")
+	for _, n := range []int{1, 63, 64, 65, 1000, 4096} {
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = letters[rng.Intn(4)]
+		}
+		fm := NewWithOptions(text, Options{SampleRate: 5})
+		var buf []int
+		for _, span := range [][2]int{{0, fm.Rows()}, {1, min(fm.Rows(), 200)}, {fm.Rows() / 2, fm.Rows()}} {
+			lo, hi := span[0], span[1]
+			if lo >= hi {
+				continue
+			}
+			buf = fm.LocateAppend(lo, hi, buf[:0])
+			if len(buf) != hi-lo {
+				t.Fatalf("n=%d [%d,%d): %d positions, want %d", n, lo, hi, len(buf), hi-lo)
+			}
+			for k, p := range buf {
+				if want := fm.Position(lo + k); p != want {
+					t.Fatalf("n=%d row %d: batched locate %d, Position %d", n, lo+k, p, want)
+				}
+			}
+		}
+	}
+}

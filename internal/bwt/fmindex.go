@@ -357,12 +357,61 @@ func (fm *FMIndex) Locate(lo, hi int) []int {
 	return fm.LocateAppend(lo, hi, make([]int, 0, hi-lo))
 }
 
+// locateChunk bounds the batched locate's stack scratch: rows are
+// resolved in groups of up to locateChunk at a time.
+const locateChunk = 64
+
 // LocateAppend is Locate appending into buf, for callers that reuse a
 // positions buffer across queries (the engines' emit paths locate once
 // per trie node and must not allocate per node).
+//
+// Rows are resolved batched, grouped by distance-to-sample: sweep s
+// checks every still-walking row of the chunk against the sample
+// bitmap, emits the rows whose distance is exactly s, and LF-steps the
+// rest together. Each chain is independent (LF is a permutation, so
+// chains never merge), but the grouped sweep keeps the rank-structure
+// accesses of up to locateChunk rows adjacent in time instead of
+// walking each row's full chain before touching the next — the
+// cache-friendlier order on the wide ranges emit-heavy searches
+// locate.
 func (fm *FMIndex) LocateAppend(lo, hi int, buf []int) []int {
-	for row := lo; row < hi; row++ {
-		buf = append(buf, fm.Position(row))
+	var rows, offs [locateChunk]int
+	for base := lo; base < hi; base += locateChunk {
+		n := min(locateChunk, hi-base)
+		start := len(buf)
+		for i := 0; i < n; i++ {
+			rows[i] = base + i
+			offs[i] = start + i
+			buf = append(buf, 0)
+		}
+		pending := n
+		for s := 0; pending > 0; s++ {
+			if s > fm.n+1 {
+				// Unreachable on an index built by this package (every
+				// walk ends within SampleRate steps); turns a corrupted
+				// loaded index into wrong answers, not a hang.
+				for k := 0; k < pending; k++ {
+					buf[offs[k]] = 0
+				}
+				break
+			}
+			w := 0
+			for k := 0; k < pending; k++ {
+				row := rows[k]
+				if fm.sampleMark.Get(row) {
+					p := int(fm.samples[fm.sampleMark.Rank(row)]) + s
+					if p > fm.n {
+						p = 0 // only reachable through a corrupted loaded index
+					}
+					buf[offs[k]] = p
+					continue
+				}
+				rows[w] = fm.lf(row)
+				offs[w] = offs[k]
+				w++
+			}
+			pending = w
+		}
 	}
 	return buf
 }

@@ -372,6 +372,12 @@ func (ctx *searchCtx) dfsWalk(root strie.Node) {
 // rows so storage stays bounded regardless of path length; diagonals
 // are filtered in place within their fork-stack range (the caller
 // discards the range afterwards).
+//
+// NodesVisited counting matches dfsWalk's rule exactly (see Stats): a
+// level is counted at walk time only when live state survived the
+// advance into it, so a path's dying level is not counted — the same
+// as a dfsWalk child whose fork and band advances both come up empty.
+// The handoff depth therefore never changes the diagnostic.
 func (ctx *searchCtx) dfsLinear(node strie.Node, forkStart, forkLen, bandStart, bandLen int, em *emitCtx) {
 	ws := ctx.ws
 	text := ctx.e.trie.Text()
@@ -407,10 +413,6 @@ func (ctx *searchCtx) dfsLinear(node strie.Node, forkStart, forkLen, bandStart, 
 			em.linRow, em.linDep = u.Lo, i
 		}
 		deltaRow := ctx.deltaRow(code)
-		nodes++
-		if i > maxDepth {
-			maxDepth = i
-		}
 		seeds = seeds[:0]
 		rowB := ctx.rowBound(i)
 		n := 0
@@ -442,6 +444,10 @@ func (ctx *searchCtx) dfsLinear(node strie.Node, forkStart, forkLen, bandStart, 
 		outIdx = 1 - outIdx
 		if len(live) == 0 && len(curJs) == 0 {
 			break
+		}
+		nodes++
+		if i > maxDepth {
+			maxDepth = i
 		}
 	}
 	ws.seeds = seeds

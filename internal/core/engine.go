@@ -25,13 +25,10 @@
 package core
 
 import (
-	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/align"
 	"repro/internal/domination"
-	"repro/internal/qgram"
 	"repro/internal/strie"
 )
 
@@ -67,6 +64,11 @@ type Options struct {
 	// GMatrixMaxBytes caps the allocation (default 1 GiB).
 	EnableGMatrix   bool
 	GMatrixMaxBytes int
+	// GramCacheSize is the capacity, in entries, of the cross-query
+	// gram→trie-node LRU cache (gramcache.go). 0 means the default
+	// (65536 entries); negative disables the cache. The cache only
+	// changes where resolution work happens, never its outcome.
+	GramCacheSize int
 }
 
 // Engine is an ALAE search engine over one indexed text. Searches are
@@ -75,10 +77,12 @@ type Engine struct {
 	trie *strie.Trie
 	opts Options
 
-	mu  sync.Mutex
-	dom map[int]*domination.Index // per q, built lazily
+	mu      sync.Mutex
+	dom     map[int]*domination.Index // per q, built lazily
+	gcaches map[int]*gramCache        // per q, built lazily (gramcache.go)
 
-	wsPool sync.Pool // *workspace, reused across searches and workers
+	wsPool   sync.Pool // *workspace, reused across searches and workers
+	sessPool sync.Pool // *Session, reused across queries and callers
 }
 
 // New indexes text and returns an engine.
@@ -128,98 +132,29 @@ func (e *Engine) Search(query []byte, s align.Scheme, h int, c *align.Collector)
 // runtime.NumCPU(); 1 is the sequential engine). Fork families are
 // independent by construction — each owns one gram's subtree and one
 // column set — so workers pull families from a shared queue, collect
-// hits into private collectors, and the results merge by max-score,
-// producing exactly the sequential engine's hit set and entry counts
-// regardless of scheduling. The order-dependent G-matrix global filter
-// forces workers to 1 when enabled.
+// hits into private collector shards, and the results merge by
+// max-score, producing exactly the sequential engine's hit set and
+// entry counts regardless of scheduling. The order-dependent G-matrix
+// global filter forces workers to 1 when enabled.
+//
+// SearchParallel is the one-shot shell over the session machinery: it
+// borrows a pooled Session (which owns every per-query structure and
+// re-arms it in place), runs the query, and returns the session. Query
+// loops should hold a Session directly via AcquireSession.
 func (e *Engine) SearchParallel(query []byte, s align.Scheme, h int, c *align.Collector, workers int) (Stats, error) {
-	if err := s.Validate(); err != nil {
-		return Stats{}, err
-	}
-	if minH := s.MinThreshold(); h < minH {
-		return Stats{}, fmt.Errorf("core: threshold %d below the exactness floor %d for scheme %v", h, minH, s)
-	}
-	q := s.Q()
-	var st Stats
-	st.Threshold, st.Q = h, q
-	m := len(query)
-	if e.opts.DisableLengthFilter {
-		st.Lmax = s.Lmax(m, 1) // positivity bound only
-	} else {
-		st.Lmax = s.Lmax(m, h)
-	}
-	if m < q || e.trie.Index().Len() == 0 {
-		return st, nil
-	}
-
-	qidx, err := qgram.New(query, q, e.trie.Letters())
-	if err != nil {
-		return st, err
-	}
-	var dom *domination.Index
-	if !e.opts.DisableDomination {
-		if dom, err = e.DominationIndex(q); err != nil {
-			return st, err
-		}
-	}
-	var gm *gMatrix
-	if e.opts.EnableGMatrix {
-		gm, err = newGMatrix(e.trie.Index().Len(), m, e.opts.GMatrixMaxBytes)
-		if err != nil {
-			return st, err
-		}
-	}
-
-	// Resolve every distinct gram against the trie in one prefix-shared
-	// pass (see resolve.go); absent grams die here, so the scheduler
-	// and the per-family filters only ever see live trie nodes.
-	families := e.resolveFamilies(qidx, &st)
-	if len(families) == 0 {
-		return st, nil
-	}
-	// The δ(edge letter, query column) score table: the inner sweeps
-	// index it instead of calling Scheme.Delta per cell. Shared
-	// read-only by every worker.
-	delta := buildDeltaTable(e.trie.Letters(), query, s)
-	colBound := buildColBounds(m, h, s, e.opts.DisableScoreFilter)
-
-	newCtx := func(coll *align.Collector, stats *Stats) *searchCtx {
-		return &searchCtx{
-			e: e, query: query, s: s, h: h, c: coll, st: stats,
-			lmax:     st.Lmax,
-			gOpen:    -(s.GapOpen + s.GapExtend), // |sg+ss|
-			delta:    delta,
-			colBound: colBound,
-			dom:      dom,
-			gm:       gm,
-			ws:       e.getWorkspace(),
-		}
-	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if gm != nil {
-		workers = 1 // the G-matrix filter's state is traversal-order-dependent
-	}
-	if workers <= 1 {
-		ctx := newCtx(c, &st)
-		for i := range families {
-			ctx.processGram(&families[i])
-		}
-		e.putWorkspace(ctx.ws)
-		return st, nil
-	}
-	e.searchFamilies(families, newCtx, workers, c, &st)
-	return st, nil
+	ses := e.AcquireSession()
+	defer ses.Release()
+	return ses.Search(query, s, h, c, workers)
 }
 
-// buildColBounds precomputes Theorem 2 as table lookups: a cell (i, j)
-// with score v survives iff v ≥ h − min(m−j, Lmax−i)·sa, i.e. iff v
-// clears BOTH the column bound h−(m−j)·sa (this table, colBound[j-1])
-// and the row bound h−(Lmax−i)·sa (one multiply per row, rowBound).
-// With the filter disabled both collapse to negInf and never fire.
-func buildColBounds(m, h int, s align.Scheme, disabled bool) []int32 {
-	colBound := make([]int32, m)
+// buildColBoundsInto precomputes Theorem 2 as table lookups: a cell
+// (i, j) with score v survives iff v ≥ h − min(m−j, Lmax−i)·sa, i.e.
+// iff v clears BOTH the column bound h−(m−j)·sa (this table,
+// colBound[j-1]) and the row bound h−(Lmax−i)·sa (one multiply per
+// row, rowBound). With the filter disabled both collapse to negInf and
+// never fire. dst is reused when it has the capacity.
+func buildColBoundsInto(dst []int32, m, h int, s align.Scheme, disabled bool) []int32 {
+	colBound := sizeInt32(dst, m)
 	if disabled {
 		for j := range colBound {
 			colBound[j] = negInf
@@ -232,15 +167,16 @@ func buildColBounds(m, h int, s align.Scheme, disabled bool) []int32 {
 	return colBound
 }
 
-// buildDeltaTable precomputes δ(a, b) for every edge letter of the text
-// against every query column: delta[k*m+j] scores the letter with dense
-// code k against 0-based query position j. Building it costs σ·m — a
-// few microseconds — and removes a call plus two byte loads from every
-// diagonal step and gap-region cell.
-func buildDeltaTable(letters, query []byte, s align.Scheme) []int32 {
+// buildDeltaTableInto precomputes δ(a, b) for every edge letter of the
+// text against every query column: delta[k*m+j] scores the letter with
+// dense code k against 0-based query position j. Building it costs σ·m
+// — a few microseconds — and removes a call plus two byte loads from
+// every diagonal step and gap-region cell. dst is reused when it has
+// the capacity.
+func buildDeltaTableInto(dst []int32, letters, query []byte, s align.Scheme) []int32 {
 	m := len(query)
 	match, mismatch := int32(s.Match), int32(s.Mismatch)
-	delta := make([]int32, len(letters)*m)
+	delta := sizeInt32(dst, len(letters)*m)
 	for k, ch := range letters {
 		row := delta[k*m : (k+1)*m]
 		for j, qc := range query {
@@ -252,6 +188,15 @@ func buildDeltaTable(letters, query []byte, s align.Scheme) []int32 {
 		}
 	}
 	return delta
+}
+
+// sizeInt32 returns dst resized to n elements, reallocating only when
+// the capacity is short.
+func sizeInt32(dst []int32, n int) []int32 {
+	if cap(dst) < n {
+		return make([]int32, n)
+	}
+	return dst[:n]
 }
 
 // searchCtx carries one search worker's state. In a parallel search
@@ -315,6 +260,9 @@ type workspace struct {
 	survivors []int32       // per-gram filter survivors
 	occBuf    []int         // gram-node occurrence buffer
 	runs      []mergeRun    // fork-band k-way merge cursors
+
+	hb [2]bandPair  // ping-pong rows for newForkInto's pre-q bands
+	hs *hybridState // hybrid engine per-search state (frames, arenas), lazily built
 }
 
 func (e *Engine) getWorkspace() *workspace {
@@ -325,6 +273,24 @@ func (e *Engine) getWorkspace() *workspace {
 }
 
 func (e *Engine) putWorkspace(ws *workspace) { e.wsPool.Put(ws) }
+
+// scrub drops the per-search pointers the scratch captured — emit
+// contexts point at the search's collector and query, the hybrid state
+// at its whole searchCtx — so an idle pooled workspace pins only its
+// own buffers, never the last caller's collector, G-matrix or query.
+// Retained locate buffers survive (they are workspace-owned).
+func (ws *workspace) scrub() {
+	for i := range ws.frames {
+		em := &ws.frames[i].em
+		em.ctx, em.node, em.occ = nil, strie.Node{}, nil
+	}
+	if ws.hs != nil {
+		ws.hs.ctx = nil
+		if ws.hs.cpt != nil {
+			ws.hs.cpt.Reset(nil) // its p field held the query
+		}
+	}
+}
 
 // childScratch holds one recursion level's child-enumeration buffers
 // (los/his are the rank buffers backward search fills) for the hybrid
@@ -374,14 +340,25 @@ func (ctx *searchCtx) minGainOK(score int32, i int, j int32) bool {
 // processGram runs one pre-resolved fork family: every fork whose
 // q-prefix is this gram, over the whole subtree of the gram's trie
 // node. Gram resolution — and the absent-gram accounting — happened in
-// resolveFamilies.
+// resolveFamilies. The gram node's occurrence list is located lazily;
+// for cached grams it is memoised on the cache entry, so hot grams of
+// a repeated-query workload locate once per index lifetime.
 func (ctx *searchCtx) processGram(fam *gramFamily) {
 	node, gram, cols := fam.node, fam.gram, fam.cols
 	occ := ctx.ws.occBuf[:0] // lazily located occurrences of the gram
 	occGetter := func() []int {
 		if len(occ) == 0 {
+			if fam.entry != nil {
+				if memo := fam.entry.occurrences(); memo != nil {
+					occ = memo
+					return occ
+				}
+			}
 			occ = ctx.e.trie.OccurrencesAppend(node, occ)
 			ctx.ws.occBuf = occ
+			if fam.entry != nil {
+				fam.entry.memoOccurrences(occ)
+			}
 		}
 		return occ
 	}

@@ -20,8 +20,12 @@ const (
 // score is live. In phaseGap the state is the current row of the
 // fork's gap-region band: columns [lo, lo+len(m)) (1-based query
 // columns) with best scores m and vertical-gap scores ga; dead
-// interior cells hold negInf. (The DFS walk carries the leaner ngrFork
-// instead — see dfs.go.)
+// interior cells hold negInf. The band storage is either fork-owned
+// (the initial forks of a gram, element-wise reused from the
+// workspace) or a view into a per-level band slab (the hybrid
+// descent); in both cases writes go to fresh storage, never through
+// the views, so copied forks stay safe. (The DFS walk carries the
+// leaner ngrFork instead — see dfs.go.)
 type fork struct {
 	col0  int32 // 0-based query position of the q-prefix match
 	phase forkPhase
@@ -30,6 +34,26 @@ type fork struct {
 	lo     int32
 	m, ga  []int32
 	fgoeAt int32 // row of the FGOE, for diagnostics and hybrid grouping
+}
+
+// bandPair is a structure-of-arrays run of band cells without the
+// column array of bandTriple: a hybrid fork band is a contiguous
+// column run [lo, lo+len(m)), so only the best scores M and one gap
+// dimension need storing. Used both as the per-level band slab of the
+// hybrid descent and as ping-pong scratch.
+type bandPair struct {
+	m, ga []int32
+}
+
+func (b *bandPair) len() int { return len(b.m) }
+
+func (b *bandPair) reset() { b.truncate(0) }
+
+func (b *bandPair) truncate(n int) { b.m, b.ga = b.m[:n], b.ga[:n] }
+
+func (b *bandPair) push(m, ga int32) {
+	b.m = append(b.m, m)
+	b.ga = append(b.ga, ga)
 }
 
 // emitCtx reports cells whose score reaches the threshold: each is
@@ -87,23 +111,16 @@ func (e *emitCtx) emit(i int, j int32, score int32) {
 	}
 }
 
-// newFork creates the fork for a q-prefix match at 0-based query
-// position col0 (allocating form, used by the hybrid engine).
-func (ctx *searchCtx) newFork(col0 int32, gram []byte) fork {
-	var f fork
-	ctx.newForkInto(&f, col0, gram)
-	return f
-}
-
 // newForkInto initialises f for a q-prefix match at 0-based query
 // position col0, reusing f's band storage. Rows 1..q are the EMR with
 // assigned scores i·sa (counted as EntriesEMR by the caller). If the
 // EMR diagonal already crosses |sg+ss| before row q — possible when
 // q·sa > |sg+ss|, e.g. scheme ⟨4,−5,−5,−2⟩ — the fork enters its gap
 // phase inside the EMR and the band is advanced through the remaining
-// gram rows here. Emission is a no-op during those rows: any
-// gap-region cell at row i ≤ q scores at most i·sa − |sg+ss| ≤ sa <
-// MinThreshold ≤ H.
+// gram rows here, ping-ponging between the workspace scratch rows and
+// landing in the fork's own storage. Emission is a no-op during those
+// rows: any gap-region cell at row i ≤ q scores at most i·sa − |sg+ss|
+// ≤ sa < MinThreshold ≤ H.
 func (ctx *searchCtx) newForkInto(f *fork, col0 int32, gram []byte) {
 	q := len(gram)
 	sa := int32(ctx.s.Match)
@@ -115,25 +132,40 @@ func (ctx *searchCtx) newForkInto(f *fork, col0 int32, gram []byte) {
 	}
 	// FGOE inside the EMR: the first row whose assigned score exceeds
 	// |sg+ss|.
+	ws := ctx.ws
 	l := ctx.gOpen/ctx.s.Match + 1
-	ctx.seedBand(f, l, col0+int32(l), int32(l)*sa, nil)
+	cur := &ws.hb[0]
+	cur.reset()
+	ctx.seedBandInto(l, col0+int32(l), int32(l)*sa, nil, cur)
+	f.phase, f.fgoeAt, f.lo = phaseGap, int32(l), col0+int32(l)
 	fm := ctx.e.trie.Index()
-	for row := l + 1; row <= q && f.phase == phaseGap; row++ {
-		ctx.advanceBand(f, ctx.deltaRow(fm.CodeOf(gram[row-1])), row, nil)
+	curIdx := 0
+	for row := l + 1; row <= q; row++ {
+		out := &ws.hb[1-curIdx]
+		out.reset()
+		newLo, n := ctx.advanceBandInto(f.lo, cur.m, cur.ga, ctx.deltaRow(fm.CodeOf(gram[row-1])), row, nil, out)
+		if n == 0 {
+			f.phase = phaseDead
+			return
+		}
+		f.lo = newLo
+		curIdx = 1 - curIdx
+		cur = out
 	}
+	f.m = append(f.m[:0], cur.m...)
+	f.ga = append(f.ga[:0], cur.ga...)
 }
 
-// seedBand switches a fork into its gap phase at the FGOE (l, c) with
-// score v. The band's first row is the FGOE cell plus its horizontal
-// extension run — the paper's extension entry (l, πp+l) and its Gb
-// continuation: M(l, c+d) = v + sg + d·ss while alive. (The downward
-// extension entry (l+1, πp+l−1) falls out of the next advanceBand.)
-func (ctx *searchCtx) seedBand(f *fork, l int, c, v int32, emit *emitCtx) {
-	f.phase = phaseGap
-	f.fgoeAt = int32(l)
-	f.lo = c
-	f.m = append(f.m[:0], v)
-	f.ga = append(f.ga[:0], negInf)
+// seedBandInto appends the band row a fork enters its gap phase with —
+// the FGOE cell (l, c) with score v plus its horizontal extension run,
+// the paper's extension entry (l, πp+l) and its Gb continuation:
+// M(l, c+d) = v + sg + d·ss while alive — to out, returning the cell
+// count. (The downward extension entry (l+1, πp+l−1) falls out of the
+// next advanceBandInto.) The caller owns the fork bookkeeping (phase,
+// fgoeAt, lo, band views).
+func (ctx *searchCtx) seedBandInto(l int, c, v int32, emit *emitCtx, out *bandPair) int {
+	start := out.len()
+	out.push(v, negInf)
 	if int(v) >= ctx.h {
 		emit.emit(l, c, v)
 	}
@@ -151,16 +183,16 @@ func (ctx *searchCtx) seedBand(f *fork, l int, c, v int32, emit *emitCtx) {
 		if int(gb) >= ctx.h {
 			emit.emit(l, j, gb)
 		}
-		f.m = append(f.m, gb)
-		f.ga = append(f.ga, negInf)
+		out.push(gb, negInf)
 		gb += ext
 	}
+	return out.len() - start
 }
 
 // stepNGR advances an NGR fork by one row whose edge letter has δ row
 // deltaRow. At the FGOE it marks the fork phaseGap with lo/fgoeAt set
-// but does NOT build the band: the caller must invoke seedBand (it
-// owns the emitter and the mute policy).
+// but does NOT build the band: the caller must invoke seedBandInto (it
+// owns the emitter, the mute policy and the band storage).
 func (ctx *searchCtx) stepNGR(f *fork, deltaRow []int32, i int) {
 	j := f.col0 + int32(i) // 1-based diagonal column
 	if int(j) > len(ctx.query) {
@@ -181,38 +213,39 @@ func (ctx *searchCtx) stepNGR(f *fork, deltaRow []int32, i int) {
 	}
 }
 
-// advanceBand computes row i of a gap-phase fork's band from row i−1
-// with the edge letter's δ row, counting entries per the paper's cost
-// model (boundary = two adjacent sources, interior = three) and
-// emitting cells at or above the threshold. It is the hybrid engine's
-// liveness oracle (and the rare pre-q band of newForkInto); the DFS
-// engine's merged band uses advanceMergedBand instead.
-func (ctx *searchCtx) advanceBand(f *fork, deltaRow []int32, i int, emit *emitCtx) {
+// advanceBandInto computes row i of a gap-phase fork's band — columns
+// [inLo, inLo+len(inM)) with best scores inM and vertical-gap scores
+// inGa, dead interior cells negInf — appending the surviving run to
+// out and returning its first column and cell count (0 cells = the
+// band died). Entry counting follows the paper's cost model (boundary
+// = two adjacent sources, interior = three) and cells at or above the
+// threshold emit. The caller owns the fork bookkeeping; input and
+// output storage must not alias (the callers hand distinct scratch
+// rows or slab levels).
+func (ctx *searchCtx) advanceBandInto(inLo int32, inM, inGa []int32, deltaRow []int32, i int, emit *emitCtx, out *bandPair) (outLo int32, n int) {
 	s := ctx.s
 	open := int32(s.GapOpen + s.GapExtend)
 	ext := int32(s.GapExtend)
 	mq := int32(len(ctx.query))
 
-	inLo := f.lo
-	inHi := f.lo + int32(len(f.m)) - 1
-	var outM, outGa []int32
-	outLo := int32(0)
+	inHi := inLo + int32(len(inM)) - 1
+	start := out.len()
 	firstAlive, lastAlive := int32(-1), int32(-1)
 
 	gb := negInf
 	for j := inLo; j <= mq; j++ {
 		diag, ga := negInf, negInf
 		sources := 0
-		if k := j - 1 - inLo; k >= 0 && j-1 <= inHi && f.m[k] > negInf {
-			diag = f.m[k] + deltaRow[j-1]
+		if k := j - 1 - inLo; k >= 0 && j-1 <= inHi && inM[k] > negInf {
+			diag = inM[k] + deltaRow[j-1]
 			sources++
 		}
 		if k := j - inLo; k >= 0 && j <= inHi {
-			if f.m[k] > negInf {
-				ga = f.m[k] + open
+			if inM[k] > negInf {
+				ga = inM[k] + open
 				sources++
 			}
-			if g := f.ga[k]; g > negInf && g+ext > ga {
+			if g := inGa[k]; g > negInf && g+ext > ga {
 				ga = g + ext
 				if sources == 0 {
 					sources++
@@ -228,8 +261,7 @@ func (ctx *searchCtx) advanceBand(f *fork, deltaRow []int32, i int, emit *emitCt
 				break
 			}
 			if firstAlive >= 0 {
-				outM = append(outM, negInf)
-				outGa = append(outGa, negInf)
+				out.push(negInf, negInf)
 			}
 			continue
 		}
@@ -258,14 +290,11 @@ func (ctx *searchCtx) advanceBand(f *fork, deltaRow []int32, i int, emit *emitCt
 			}
 			if firstAlive < 0 {
 				firstAlive = j
-				outLo = j
 			}
 			lastAlive = j
-			outM = append(outM, mv)
-			outGa = append(outGa, ga)
+			out.push(mv, ga)
 		} else if firstAlive >= 0 {
-			outM = append(outM, negInf)
-			outGa = append(outGa, negInf)
+			out.push(negInf, negInf)
 		}
 		// Horizontal-gap carry to column j+1.
 		ng := negInf
@@ -281,14 +310,11 @@ func (ctx *searchCtx) advanceBand(f *fork, deltaRow []int32, i int, emit *emitCt
 		gb = ng
 	}
 	if firstAlive < 0 {
-		f.phase = phaseDead
-		f.m, f.ga = f.m[:0], f.ga[:0]
-		return
+		out.truncate(start)
+		return 0, 0
 	}
 	// Trim trailing dead cells.
-	outM = outM[:lastAlive-outLo+1]
-	outGa = outGa[:lastAlive-outLo+1]
-	f.lo = outLo
-	f.m = outM
-	f.ga = outGa
+	n = int(lastAlive - firstAlive + 1)
+	out.truncate(start + n)
+	return firstAlive, n
 }

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/strie"
+)
+
+// The cross-query gram→trie-node cache of the serving path. An index
+// in a database setting answers many queries, and every query's
+// resolution walks its distinct q-grams against the trie even though
+// the gram→node mapping depends only on the immutable index. The cache
+// turns resolution of a hot gram into one hash probe: entries are
+// keyed by the gram's packed integer key (see qgram.Packer), hold the
+// resolved trie node (or an absent marker — negative results are as
+// reusable as positive ones), and are evicted CLOCK-approximately-LRU.
+//
+// Concurrency: the cache is shared by every session of an engine and
+// is read-mostly once warm. A hit is an RLock-guarded map probe plus
+// two atomic flag operations — no exclusive lock, no list surgery — so
+// concurrent sessions scale. Population is single-flight: a miss takes
+// the write lock once to insert a pending entry and resolves it
+// outside any lock, while concurrent sessions missing on the same gram
+// wait on the entry's ready channel instead of re-walking the trie
+// (the fast path reads a published done flag and never touches the
+// channel).
+//
+// Entries of hot gram nodes also lazily memoise the node's located
+// occurrence list (bounded by maxCachedOccs positions), which removes
+// the residual locate cost of the emit path for repeated queries: the
+// sampled-SA walk for a hot gram's rows happens once per index
+// lifetime instead of once per query.
+
+// defaultGramCacheSize is the default capacity in entries. An entry is
+// ~100 bytes plus an optional occurrence list of at most maxCachedOccs
+// positions, so the default tops out at a few megabytes.
+const defaultGramCacheSize = 1 << 16
+
+// maxCachedOccs bounds the per-entry occurrence memo: nodes with more
+// occurrences than this locate per query as before (wide nodes are
+// rare among distinct grams and their lists would dominate the cache's
+// footprint).
+const maxCachedOccs = 32
+
+// gramEntry is one cached gram resolution. node/present are immutable
+// after publish (done flags the publication); the occurrence memo is
+// published once via compare-and-swap.
+type gramEntry struct {
+	key     uint64
+	ready   chan struct{} // closed once node/present are set
+	done    atomic.Bool   // fast-path view of "ready is closed"
+	used    atomic.Bool   // CLOCK reference bit
+	node    strie.Node
+	present bool
+	occ     atomic.Pointer[[]int]
+}
+
+// occurrences returns the memoised occurrence list, or nil.
+func (e *gramEntry) occurrences() []int {
+	if p := e.occ.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// memoOccurrences publishes a copy of occ as the entry's occurrence
+// memo if none exists and the list is small enough to be worth pinning.
+func (e *gramEntry) memoOccurrences(occ []int) {
+	if len(occ) > maxCachedOccs || e.occ.Load() != nil {
+		return
+	}
+	cp := make([]int, len(occ))
+	copy(cp, occ)
+	e.occ.CompareAndSwap(nil, &cp)
+}
+
+// gramCache is the table. One exists per (engine, q).
+type gramCache struct {
+	mu       sync.RWMutex
+	capacity int
+	m        map[uint64]*gramEntry
+	ring     []*gramEntry // CLOCK ring over the live entries
+	hand     int
+}
+
+func newGramCache(capacity int) *gramCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &gramCache{capacity: capacity, m: make(map[uint64]*gramEntry, capacity)}
+}
+
+// acquire returns the entry for key. owner reports whether the caller
+// inserted it and must publish the resolution; when owner is false the
+// entry is already resolved (acquire waits for in-flight population).
+func (gc *gramCache) acquire(key uint64) (e *gramEntry, owner bool) {
+	gc.mu.RLock()
+	e = gc.m[key]
+	gc.mu.RUnlock()
+	if e == nil {
+		gc.mu.Lock()
+		if e = gc.m[key]; e == nil { // re-check under the write lock
+			e = &gramEntry{key: key, ready: make(chan struct{})}
+			gc.insert(e)
+			gc.mu.Unlock()
+			return e, true
+		}
+		gc.mu.Unlock()
+	}
+	e.used.Store(true)
+	if !e.done.Load() {
+		<-e.ready // no locks held: the populating session closes this promptly
+	}
+	return e, false
+}
+
+// publish resolves a pending entry. Must be called exactly once by the
+// owner returned from acquire; waiters unblock here.
+func (gc *gramCache) publish(e *gramEntry, node strie.Node, present bool) {
+	e.node, e.present = node, present
+	e.done.Store(true)
+	close(e.ready)
+}
+
+// insert adds a pending entry, evicting one CLOCK victim when the
+// cache is full. Requires gc.mu (write).
+func (gc *gramCache) insert(e *gramEntry) {
+	gc.m[e.key] = e
+	if len(gc.ring) < gc.capacity {
+		gc.ring = append(gc.ring, e)
+		return
+	}
+	// CLOCK sweep: clear reference bits until an unreferenced resolved
+	// entry turns up, then take its slot. Pending entries are treated
+	// as referenced (their owners are about to publish); the sweep is
+	// bounded, falling back to the hand's current slot.
+	victim := -1
+	for i := 0; i < 2*len(gc.ring); i++ {
+		cand := gc.ring[gc.hand]
+		if !cand.used.Swap(false) && cand.done.Load() {
+			victim = gc.hand
+			break
+		}
+		gc.hand = (gc.hand + 1) % len(gc.ring)
+	}
+	if victim < 0 {
+		victim = gc.hand
+	}
+	old := gc.ring[victim]
+	if old.key != e.key { // self-replacement cannot happen, but stay safe
+		delete(gc.m, old.key)
+	}
+	gc.ring[victim] = e
+	gc.hand = (victim + 1) % len(gc.ring)
+	// Sessions holding the evicted entry (including a still-populating
+	// owner) keep using it; it is simply no longer findable.
+}
+
+// len reports the number of cached entries (tests and diagnostics).
+func (gc *gramCache) len() int {
+	gc.mu.RLock()
+	defer gc.mu.RUnlock()
+	return len(gc.m)
+}
+
+// gramCacheFor returns the engine's gram cache for gram length q,
+// building it on first use. nil when caching is disabled.
+func (e *Engine) gramCacheFor(q int) *gramCache {
+	if e.opts.GramCacheSize < 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gcaches == nil {
+		e.gcaches = make(map[int]*gramCache)
+	}
+	gc, ok := e.gcaches[q]
+	if !ok {
+		size := e.opts.GramCacheSize
+		if size == 0 {
+			size = defaultGramCacheSize
+		}
+		gc = newGramCache(size)
+		e.gcaches[q] = gc
+	}
+	return gc
+}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/cptree"
 	"repro/internal/strie"
@@ -28,6 +28,15 @@ import (
 // recomputed per branch, matching the paper's "recalculate ... as we
 // are going up along the suffix trie", and the collector deduplicates
 // the re-emitted hits.
+//
+// Like the DFS engine, the whole per-gram path is allocation-free in
+// steady state: the recursion's per-level fork lists and oracle band
+// rows live in per-depth frames (hframe) whose buffers persist across
+// visits — a band row is written into the child level's SoA slab, so a
+// parent's rows stay readable while every child of a node is explored
+// — and the vertical phase stores its columns in flat arenas indexed
+// by (offset, length) headers, with a Reset-able common-prefix tree.
+// Everything hangs off the workspace and is re-armed per gram.
 
 // pendingFGOE is a fork that has left its no-gap diagonal and awaits
 // vertical gap-region computation.
@@ -38,65 +47,138 @@ type pendingFGOE struct {
 	v    int32 // FGOE score (equal across a row group, Theorem 5)
 }
 
+// hframe is one level of the hybrid descent: the fork lists the parent
+// built for this level's node, the level's oracle-band slab (the band
+// rows of every fork alive here), and the node's memoised occurrence
+// list. Buffers persist across visits, so re-entering a level
+// allocates nothing once warm.
+type hframe struct {
+	ngr      []fork
+	bands    []fork        // parallel to pendings
+	pendings []pendingFGOE // the live regions' vertical-phase tickets
+	dying    []pendingFGOE // regions whose oracle died on this edge
+	slab     bandPair      // band rows of this level's forks
+	occ      []int
+	occValid bool
+}
+
+func (fr *hframe) reset() {
+	fr.ngr, fr.bands = fr.ngr[:0], fr.bands[:0]
+	fr.pendings, fr.dying = fr.pendings[:0], fr.dying[:0]
+	fr.slab.reset()
+	fr.occValid = false
+}
+
+// colData is one stored gap-region column header: rows
+// [loRow, loRow+n) with cells at [off, off+n) in the vertical arenas
+// (vm = best scores M, vgb = horizontal-gap scores Gb; negInf marks
+// dead interior cells). Headers are values, so a copied column shares
+// its cells — exactly what the reuse phase wants.
+type colData struct {
+	loRow int32
+	off   int32
+	n     int32
+}
+
+// colsRange is one fork's column run within the vcols header arena.
+type colsRange struct {
+	start, n int32
+}
+
+// hybridState is the hybrid engine's per-search scratch, owned by the
+// workspace.
+type hybridState struct {
+	ctx       *searchCtx
+	nodes     []strie.Node // nodes[d] is the trie node at depth q+d
+	path      []byte       // X[1..depth]: path[i-1] is the row-i character
+	pathCodes []int16      // dense letter codes of path, for δ-table rows
+	frames    []hframe     // per-depth descent frames, frames[d] ↔ depth q+d
+
+	cpt     *cptree.Tree // reusable common-prefix tree (Algorithm 2)
+	vm, vgb []int32      // vertical-phase cell arenas
+	vcols   []colData    // vertical-phase column headers
+	vstored []colsRange  // per-fork column runs of the current group
+}
+
+// hybrid returns the workspace's hybrid state, arming it for ctx.
+func (ws *workspace) hybrid(ctx *searchCtx) *hybridState {
+	if ws.hs == nil {
+		ws.hs = &hybridState{}
+	}
+	hs := ws.hs
+	hs.ctx = ctx
+	return hs
+}
+
+// frame returns descent frame i, growing the frame slice if needed.
+// Callers must re-acquire frame pointers after calling frame with a
+// larger i (growth moves the backing array).
+func (hs *hybridState) frame(i int) *hframe {
+	for len(hs.frames) <= i {
+		hs.frames = append(hs.frames, hframe{})
+	}
+	return &hs.frames[i]
+}
+
 // hybridGram runs one fork family in hybrid mode.
 func (ctx *searchCtx) hybridGram(node strie.Node, gram []byte, cols []int32) {
 	q := len(gram)
-	hs := &hybridState{ctx: ctx, gram: gram}
-	hs.nodes = append(hs.nodes, node) // depth q
-	hs.path = append(hs.path, gram...)
+	ws := ctx.ws
+	hs := ws.hybrid(ctx)
+	hs.nodes = append(hs.nodes[:0], node) // depth q
+	hs.path = append(hs.path[:0], gram...)
+	hs.pathCodes = hs.pathCodes[:0]
 	fm := ctx.e.trie.Index()
 	for _, ch := range gram {
 		hs.pathCodes = append(hs.pathCodes, int16(fm.CodeOf(ch)))
 	}
-	hs.occs = make([][]int, 1)
+	f0 := hs.frame(0)
+	f0.reset()
 
-	var ngr []fork
-	var bands []fork
-	var pendings []pendingFGOE
-	var dying []pendingFGOE
-	for _, col0 := range cols {
+	for len(ws.forks) < len(cols) {
+		ws.forks = append(ws.forks, fork{})
+	}
+	for k, col0 := range cols {
+		f := &ws.forks[k]
 		ctx.mute = true
-		f := ctx.newFork(col0, gram)
+		ctx.newForkInto(f, col0, gram)
 		ctx.mute = false
 		switch f.phase {
 		case phaseNGR:
 			if int(f.score) >= ctx.h {
 				hs.emitRow(q, col0+int32(q), f.score)
 			}
-			ngr = append(ngr, f)
+			f0.ngr = append(f0.ngr, *f)
 		case phaseGap, phaseDead:
 			p := pendingFGOE{col0: col0, row: f.fgoeAt, col: col0 + f.fgoeAt,
 				v: f.fgoeAt * int32(ctx.s.Match)}
 			if f.phase == phaseDead {
-				dying = append(dying, p)
+				f0.dying = append(f0.dying, p)
 			} else {
-				bands = append(bands, f)
-				pendings = append(pendings, p)
+				f0.bands = append(f0.bands, *f)
+				f0.pendings = append(f0.pendings, p)
 			}
 		}
 	}
-	if len(dying) > 0 {
-		hs.verticals(q, dying)
+	if len(f0.dying) > 0 {
+		hs.verticals(q, f0.dying)
 	}
-	hs.descend(node, ngr, bands, pendings)
+	if len(f0.ngr) > 0 || len(f0.bands) > 0 {
+		hs.descend(0, node)
+	}
+	hs.ctx = nil // don't let the pooled workspace pin this search's state
 }
 
-type hybridState struct {
-	ctx       *searchCtx
-	gram      []byte
-	nodes     []strie.Node // nodes[d] is the trie node at depth q+d
-	occs      [][]int      // lazily located occurrences per depth index
-	path      []byte       // X[1..depth]: path[i-1] is the row-i character
-	pathCodes []int16      // dense letter codes of path, for δ-table rows
-}
-
-// occAt returns the occurrence positions of X[1..i] (row i ≥ q).
+// occAt returns the occurrence positions of X[1..i] (row i ≥ q),
+// memoised on the row's descent frame.
 func (hs *hybridState) occAt(i int) []int {
 	d := i - hs.nodes[0].Depth
-	if hs.occs[d] == nil {
-		hs.occs[d] = hs.ctx.e.trie.Occurrences(hs.nodes[d])
+	fr := &hs.frames[d]
+	if !fr.occValid {
+		fr.occ = hs.ctx.e.trie.OccurrencesAppend(hs.nodes[d], fr.occ[:0])
+		fr.occValid = true
 	}
-	return hs.occs[d]
+	return fr.occ
 }
 
 // emitRow reports a hit at matrix row i, 1-based query column j.
@@ -106,21 +188,23 @@ func (hs *hybridState) emitRow(i int, j int32, score int32) {
 	}
 }
 
-// descend is the horizontal phase walk. ngr are live diagonal forks;
-// bands are the silent liveness oracles of the gap regions listed in
-// pendings (parallel slices).
-func (hs *hybridState) descend(node strie.Node, ngr, bands []fork, pendings []pendingFGOE) {
+// descend is the horizontal phase walk over the node at descent level
+// (trie depth q+level). The level's frame carries its live diagonal
+// forks and the silent liveness oracles of the gap regions listed in
+// its pendings (parallel slices).
+func (hs *hybridState) descend(level int, node strie.Node) {
 	ctx := hs.ctx
 	ctx.st.NodesVisited++
 	if node.Depth > ctx.st.MaxDepth {
 		ctx.st.MaxDepth = node.Depth
 	}
-	if len(ngr) == 0 && len(bands) == 0 {
+	fr := &hs.frames[level]
+	if len(fr.ngr) == 0 && len(fr.bands) == 0 {
 		return
 	}
 	if node.Depth >= ctx.lmax {
-		if len(pendings) > 0 {
-			hs.verticals(node.Depth, pendings)
+		if len(fr.pendings) > 0 {
+			hs.verticals(node.Depth, fr.pendings)
 		}
 		return
 	}
@@ -134,16 +218,15 @@ func (hs *hybridState) descend(node strie.Node, ngr, bands []fork, pendings []pe
 		}
 		descended = true
 		i := child.Depth
+		cf := hs.frame(level + 1)
+		fr = &hs.frames[level] // frame growth may have moved the array
+		cf.reset()
+		ngr, bands, pendings := fr.ngr, fr.bands, fr.pendings
 		hs.nodes = append(hs.nodes, child)
 		hs.path = append(hs.path, ch)
 		hs.pathCodes = append(hs.pathCodes, int16(k))
-		hs.occs = append(hs.occs, nil)
 		deltaRow := ctx.deltaRow(k)
 
-		childNGR := make([]fork, 0, len(ngr))
-		childBands := make([]fork, 0, len(bands)+len(ngr))
-		var childPendings []pendingFGOE
-		var dying []pendingFGOE
 		for _, f := range ngr {
 			ctx.stepNGR(&f, deltaRow, i)
 			switch f.phase {
@@ -151,113 +234,124 @@ func (hs *hybridState) descend(node strie.Node, ngr, bands []fork, pendings []pe
 				if int(f.score) >= ctx.h {
 					hs.emitRow(i, f.col0+int32(i), f.score)
 				}
-				childNGR = append(childNGR, f)
+				cf.ngr = append(cf.ngr, f)
 			case phaseGap:
 				p := pendingFGOE{col0: f.col0, row: int32(i), col: f.lo, v: f.score}
 				ctx.mute = true
-				ctx.seedBand(&f, i, f.lo, f.score, nil)
+				mark := cf.slab.len()
+				n := ctx.seedBandInto(i, f.lo, f.score, nil, &cf.slab)
 				ctx.mute = false
-				childBands = append(childBands, f)
-				childPendings = append(childPendings, p)
+				f.m, f.ga = cf.slab.m[mark:mark+n], cf.slab.ga[mark:mark+n]
+				cf.bands = append(cf.bands, f)
+				cf.pendings = append(cf.pendings, p)
 			}
 		}
-		for k, f := range bands {
+		for bi := range bands {
+			f := bands[bi]
 			ctx.mute = true
-			ctx.advanceBand(&f, deltaRow, i, nil)
+			mark := cf.slab.len()
+			newLo, n := ctx.advanceBandInto(f.lo, f.m, f.ga, deltaRow, i, nil, &cf.slab)
 			ctx.mute = false
-			if f.phase == phaseDead {
-				dying = append(dying, pendings[k])
+			if n == 0 {
+				cf.dying = append(cf.dying, pendings[bi])
 				continue
 			}
-			childBands = append(childBands, f)
-			childPendings = append(childPendings, pendings[k])
+			f.lo = newLo
+			f.m, f.ga = cf.slab.m[mark:mark+n], cf.slab.ga[mark:mark+n]
+			cf.bands = append(cf.bands, f)
+			cf.pendings = append(cf.pendings, pendings[bi])
 		}
-		if len(dying) > 0 {
+		if len(cf.dying) > 0 {
 			// These regions' rows are fully determined by the current
 			// path prefix: compute them now, once per death point.
-			hs.verticals(i, dying)
+			hs.verticals(i, cf.dying)
 		}
-		if len(childNGR) > 0 || len(childBands) > 0 {
-			hs.descend(child, childNGR, childBands, childPendings)
+		if len(cf.ngr) > 0 || len(cf.bands) > 0 {
+			hs.descend(level+1, child)
 		}
 
 		hs.nodes = hs.nodes[:len(hs.nodes)-1]
 		hs.path = hs.path[:len(hs.path)-1]
 		hs.pathCodes = hs.pathCodes[:len(hs.pathCodes)-1]
-		hs.occs = hs.occs[:len(hs.occs)-1]
 	}
 	ctx.release(sc)
-	if !descended && len(pendings) > 0 {
-		// Trie leaf: the path cannot grow; finish the live regions.
-		hs.verticals(node.Depth, pendings)
+	if !descended {
+		fr = &hs.frames[level]
+		if len(fr.pendings) > 0 {
+			// Trie leaf: the path cannot grow; finish the live regions.
+			hs.verticals(node.Depth, fr.pendings)
+		}
 	}
-}
-
-// colData is one stored gap-region column: rows [loRow, loRow+len(m))
-// with best scores m and horizontal-gap scores gb (negInf marks dead
-// interior cells).
-type colData struct {
-	loRow int32
-	m, gb []int32
 }
 
 // verticals runs calMatrixByColumn for the given FGOEs over the
 // current path, grouping by FGOE row per Lemma 3 and reusing columns
-// through the common-prefix tree.
+// through the common-prefix tree. pending is reordered in place
+// ((row, col) is unique per fork, so the order is deterministic).
 func (hs *hybridState) verticals(depth int, pending []pendingFGOE) {
-	byRow := make(map[int32][]pendingFGOE)
-	for _, p := range pending {
-		byRow[p.row] = append(byRow[p.row], p)
-	}
-	var rows []int32
-	for r := range byRow {
-		rows = append(rows, r)
-	}
-	sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
-	for _, r := range rows {
-		group := byRow[r]
-		sort.Slice(group, func(a, b int) bool { return group[a].col < group[b].col })
-		hs.verticalGroup(depth, group)
+	slices.SortFunc(pending, func(a, b pendingFGOE) int {
+		if a.row != b.row {
+			return int(a.row - b.row)
+		}
+		return int(a.col - b.col)
+	})
+	for lo := 0; lo < len(pending); {
+		hi := lo + 1
+		for hi < len(pending) && pending[hi].row == pending[lo].row {
+			hi++
+		}
+		hs.verticalGroup(depth, pending[lo:hi])
+		lo = hi
 	}
 }
 
 // verticalGroup processes one same-FGOE-row group of forks in column
-// order with cross-fork column reuse.
+// order with cross-fork column reuse. The group's stored columns live
+// in the vertical arenas, reset per group.
 func (hs *hybridState) verticalGroup(depth int, group []pendingFGOE) {
 	ctx := hs.ctx
-	tree := cptree.New(ctx.query)
-	stored := make([][]colData, len(group))
+	if hs.cpt == nil {
+		hs.cpt = cptree.New(ctx.query)
+	} else {
+		hs.cpt.Reset(ctx.query)
+	}
+	hs.vm, hs.vgb = hs.vm[:0], hs.vgb[:0]
+	hs.vcols = hs.vcols[:0]
+	hs.vstored = hs.vstored[:0]
 	for w, p := range group {
 		// Theorem 5: same-row FGOEs have equal scores. Reuse relies on
 		// it; compute plainly if it ever failed.
-		lcp, owner := tree.Insert(int(p.col-1), w)
+		lcp, owner := hs.cpt.Insert(int(p.col-1), w)
 		if p.v != group[0].v {
 			lcp, owner = 0, -1
 		}
-		stored[w] = hs.verticalFork(depth, p, lcp, owner, stored)
+		hs.vstored = append(hs.vstored, hs.verticalFork(depth, p, lcp, owner))
 	}
 }
 
 // verticalFork computes (or copies) the gap region of one fork column
-// by column. lcp/owner describe how many leading columns can be copied
-// from a previously processed fork in the same group.
-func (hs *hybridState) verticalFork(depth int, p pendingFGOE, lcp, owner int, stored [][]colData) []colData {
+// by column, returning its header run in the vcols arena. lcp/owner
+// describe how many leading columns can be copied from a previously
+// processed fork in the same group.
+func (hs *hybridState) verticalFork(depth int, p pendingFGOE, lcp, owner int) colsRange {
 	ctx := hs.ctx
 	mq := int32(len(ctx.query))
-	var cols []colData
+	start := int32(len(hs.vcols))
+	count := func() int32 { return int32(len(hs.vcols)) - start }
 
 	// Copy phase: Lemma 3 lets columns under the shared query prefix
-	// be taken verbatim from the owner fork.
+	// be taken verbatim from the owner fork (headers are copied, cells
+	// are shared).
 	if owner >= 0 {
-		own := stored[owner]
-		for d := 0; d < lcp && d < len(own); d++ {
+		own := hs.vstored[owner]
+		for d := 0; d < lcp && d < int(own.n); d++ {
 			j := p.col + int32(d)
 			if j > mq {
-				return cols
+				return colsRange{start: start, n: count()}
 			}
-			src := own[d]
-			cols = append(cols, src)
-			for k, mv := range src.m {
+			src := hs.vcols[own.start+int32(d)]
+			hs.vcols = append(hs.vcols, src)
+			for k, mv := range hs.vm[src.off : src.off+src.n] {
 				if mv > negInf {
 					ctx.st.ReusedEntries++
 					if int(mv) >= ctx.h {
@@ -266,35 +360,37 @@ func (hs *hybridState) verticalFork(depth int, p pendingFGOE, lcp, owner int, st
 				}
 			}
 		}
-		if len(own) < lcp && len(cols) == len(own) {
+		if int(own.n) < lcp && count() == own.n {
 			// The owner's region died within the shared prefix; ours
 			// dies at the same column (identical values).
-			return cols
+			return colsRange{start: start, n: count()}
 		}
 	}
 
 	// Compute phase: continue column by column until the region dies.
-	for d := len(cols); ; d++ {
+	for d := int(count()); ; d++ {
 		j := p.col + int32(d)
 		if j > mq {
 			break
 		}
-		var prev *colData
+		var prev colData
+		hasPrev := false
 		if d > 0 {
-			prev = &cols[d-1]
+			prev, hasPrev = hs.vcols[start+int32(d-1)], true
 		}
-		col, any := hs.computeColumn(depth, p, j, prev)
+		col, any := hs.computeColumn(depth, p, j, prev, hasPrev)
 		if !any {
 			break
 		}
-		cols = append(cols, col)
+		hs.vcols = append(hs.vcols, col)
 	}
-	return cols
+	return colsRange{start: start, n: count()}
 }
 
 // computeColumn evaluates one gap-region column j for fork p over the
-// current path. prev is column j−1 (nil for the FGOE column itself).
-func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev *colData) (colData, bool) {
+// current path, appending its cells to the vertical arenas. prev is
+// column j−1 (hasPrev false for the FGOE column itself).
+func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev colData, hasPrev bool) (colData, bool) {
 	ctx := hs.ctx
 	s := ctx.s
 	open := int32(s.GapOpen + s.GapExtend)
@@ -302,23 +398,27 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev *co
 	delta, mCols := ctx.delta, int32(len(ctx.query))
 
 	prevAt := func(i int32) (m, gb int32) {
-		if prev == nil {
+		if !hasPrev {
 			return negInf, negInf
 		}
 		k := i - prev.loRow
-		if k < 0 || int(k) >= len(prev.m) {
+		if k < 0 || k >= prev.n {
 			return negInf, negInf
 		}
-		return prev.m[k], prev.gb[k]
+		return hs.vm[prev.off+k], hs.vgb[prev.off+k]
+	}
+	push := func(m, gb int32) {
+		hs.vm = append(hs.vm, m)
+		hs.vgb = append(hs.vgb, gb)
 	}
 
-	var outM, outGb []int32
+	off := int32(len(hs.vm))
 	loRow := p.row
 	firstAlive, lastAlive := int32(-1), int32(-1)
 	gaCarry := negInf
 	prevHi := p.row - 1
-	if prev != nil {
-		prevHi = prev.loRow + int32(len(prev.m)) - 1
+	if hasPrev {
+		prevHi = prev.loRow + prev.n - 1
 	}
 	maxRow := int32(depth)
 	if int32(ctx.lmax) < maxRow {
@@ -326,11 +426,10 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev *co
 	}
 
 	for i := p.row; i <= maxRow; i++ {
-		if i == p.row && prev == nil {
+		if i == p.row && !hasPrev {
 			// The FGOE cell itself: assigned from the horizontal
 			// phase, not recalculated.
-			outM = append(outM, p.v)
-			outGb = append(outGb, negInf)
+			push(p.v, negInf)
 			firstAlive, lastAlive = i, i
 			gaCarry = p.v + open
 			if gaCarry <= 0 {
@@ -364,8 +463,7 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev *co
 		}
 		if sources == 0 {
 			if firstAlive >= 0 {
-				outM = append(outM, negInf)
-				outGb = append(outGb, negInf)
+				push(negInf, negInf)
 			} else {
 				loRow = i + 1
 			}
@@ -393,11 +491,9 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev *co
 				loRow = i
 			}
 			lastAlive = i
-			outM = append(outM, mv)
-			outGb = append(outGb, gbv)
+			push(mv, gbv)
 		} else if firstAlive >= 0 {
-			outM = append(outM, negInf)
-			outGb = append(outGb, negInf)
+			push(negInf, negInf)
 		} else {
 			loRow = i + 1
 		}
@@ -415,9 +511,10 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev *co
 		gaCarry = ng
 	}
 	if firstAlive < 0 {
+		hs.vm, hs.vgb = hs.vm[:off], hs.vgb[:off]
 		return colData{}, false
 	}
-	outM = outM[:lastAlive-loRow+1]
-	outGb = outGb[:lastAlive-loRow+1]
-	return colData{loRow: loRow, m: outM, gb: outGb}, true
+	n := lastAlive - loRow + 1
+	hs.vm, hs.vgb = hs.vm[:off+n], hs.vgb[:off+n]
+	return colData{loRow: loRow, off: off, n: n}, true
 }

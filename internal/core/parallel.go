@@ -17,23 +17,42 @@ import (
 // frequent gram walks a much larger subtree), so the scheduler uses an
 // atomic work-stealing cursor over the sorted family list instead of
 // static striping: idle workers immediately pull the next family.
+//
+// Hit recording is sharded: each worker owns one open-addressing table
+// of the session's ShardedCollector, so no Add ever contends, and the
+// shards merge into the caller's collector by table scan afterwards.
+// The shards (and the per-worker Stats) belong to the session and are
+// re-armed per query, so a serving session's parallel path reuses its
+// warm tables instead of allocating per search.
 
 // searchFamilies fans the pre-resolved fork families out over workers
-// goroutines and merges the per-worker collectors and statistics into
-// c and st. st must already carry Threshold/Q/Lmax (plus the
+// goroutines and merges the per-worker collector shards and statistics
+// into c and st. st must already carry Threshold/Q/Lmax (plus the
 // resolution-time fork accounting).
-func (e *Engine) searchFamilies(families []gramFamily, newCtx func(*align.Collector, *Stats) *searchCtx, workers int, c *align.Collector, st *Stats) {
+func (ses *Session) searchFamilies(families []gramFamily, newCtx func(*align.Collector, *Stats, *workspace) *searchCtx, workers int, c *align.Collector, st *Stats) {
+	e := ses.e
 	if workers > len(families) {
 		workers = len(families)
 	}
 	if workers <= 1 {
-		ctx := newCtx(c, st)
+		ctx := newCtx(c, st, ses.ws)
 		for i := range families {
 			ctx.processGram(&families[i])
 		}
-		e.putWorkspace(ctx.ws)
+		ses.ws.scrub()
 		return
 	}
+
+	if ses.shards == nil {
+		ses.shards = align.NewSharded(workers)
+	} else {
+		ses.shards.Resize(workers)
+	}
+	ses.shards.ResetAll()
+	if cap(ses.wstats) < workers {
+		ses.wstats = make([]Stats, workers)
+	}
+	wstats := ses.wstats[:workers]
 
 	var cursor atomic.Int64
 	ctxs := make([]*searchCtx, workers)
@@ -41,8 +60,12 @@ func (e *Engine) searchFamilies(families []gramFamily, newCtx func(*align.Collec
 	for w := 0; w < workers; w++ {
 		// Worker stats start from the search-level constants so the
 		// final Stats.Add merge preserves them.
-		wst := &Stats{Threshold: st.Threshold, Q: st.Q, Lmax: st.Lmax}
-		ctxs[w] = newCtx(align.NewCollector(), wst)
+		wstats[w] = Stats{Threshold: st.Threshold, Q: st.Q, Lmax: st.Lmax}
+		ws := ses.ws
+		if w > 0 {
+			ws = e.getWorkspace() // extra lanes borrow pooled workspaces
+		}
+		ctxs[w] = newCtx(ses.shards.Shard(w), &wstats[w], ws)
 		wg.Add(1)
 		go func(ctx *searchCtx) {
 			defer wg.Done()
@@ -56,9 +79,12 @@ func (e *Engine) searchFamilies(families []gramFamily, newCtx func(*align.Collec
 		}(ctxs[w])
 	}
 	wg.Wait()
-	for _, ctx := range ctxs {
+	for w, ctx := range ctxs {
 		st.Add(*ctx.st)
-		c.Merge(ctx.c)
-		e.putWorkspace(ctx.ws)
+		ctx.ws.scrub()
+		if w > 0 {
+			e.putWorkspace(ctx.ws)
+		}
 	}
+	ses.shards.MergeInto(c, workers)
 }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/align"
+	"repro/internal/domination"
+	"repro/internal/qgram"
+	"repro/internal/strie"
+)
+
+// Session owns every query-specific structure of a search: the q-gram
+// inverted index of the query, the δ score table, the Theorem 2 bound
+// tables, the resolved fork families with their backing gram buffer,
+// the traversal workspace, and (for parallel searches) the per-worker
+// collector shards and statistics. A session is re-armed in place for
+// each query, so in a serving loop — one index answering query after
+// query — the per-query path stops allocating once the buffers are
+// warm; only structures whose size is genuinely query-dependent
+// (qgram map internals) are rebuilt.
+//
+// A Session is NOT safe for concurrent use: it is one serving lane.
+// Concurrency comes from running many sessions against the shared
+// engine, whose structures (trie, domination index, gram cache) are
+// read-mostly and safe to share. Engine.AcquireSession and
+// Session.Release pool sessions so bursty callers reuse lanes instead
+// of building new ones.
+type Session struct {
+	e *Engine
+
+	delta    []int32 // δ table backing, rebuilt per query
+	colBound []int32 // Theorem 2 column bounds backing
+	fams     []gramFamily
+	gramBuf  []byte
+	resNodes []strie.Node // resolution prefix stack (resolve.go)
+	prevGram []byte
+
+	gc      *gramCache // memoised engine gram cache for gcQ (nil = disabled)
+	gcQ     int
+	gcValid bool
+
+	ws *workspace // the sequential (and worker-0) traversal workspace
+
+	// Parallel-search state, sized to the widest search seen.
+	shards *align.ShardedCollector
+	wstats []Stats
+}
+
+// AcquireSession returns a pooled session (or a fresh one) for this
+// engine. Callers re-arm it per query via Session.Search and hand it
+// back with Release.
+func (e *Engine) AcquireSession() *Session {
+	if s, ok := e.sessPool.Get().(*Session); ok {
+		return s
+	}
+	return &Session{e: e, ws: e.getWorkspace()}
+}
+
+// Release returns the session to the engine's pool.
+func (ses *Session) Release() { ses.e.sessPool.Put(ses) }
+
+// Engine returns the engine this session serves.
+func (ses *Session) Engine() *Engine { return ses.e }
+
+// Search runs one query through the session; see Engine.SearchParallel
+// for the contract. The session's buffers are re-armed in place, the
+// engine's shared structures are only read, and hits land in c.
+func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collector, workers int) (Stats, error) {
+	e := ses.e
+	if err := s.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if minH := s.MinThreshold(); h < minH {
+		return Stats{}, fmt.Errorf("core: threshold %d below the exactness floor %d for scheme %v", h, minH, s)
+	}
+	q := s.Q()
+	var st Stats
+	st.Threshold, st.Q = h, q
+	m := len(query)
+	if e.opts.DisableLengthFilter {
+		st.Lmax = s.Lmax(m, 1) // positivity bound only
+	} else {
+		st.Lmax = s.Lmax(m, h)
+	}
+	if m < q || e.trie.Index().Len() == 0 {
+		return st, nil
+	}
+
+	qidx, err := qgram.New(query, q, e.trie.Letters())
+	if err != nil {
+		return st, err
+	}
+	var dom *domination.Index
+	if !e.opts.DisableDomination {
+		if dom, err = e.DominationIndex(q); err != nil {
+			return st, err
+		}
+	}
+	var gm *gMatrix
+	if e.opts.EnableGMatrix {
+		gm, err = newGMatrix(e.trie.Index().Len(), m, e.opts.GMatrixMaxBytes)
+		if err != nil {
+			return st, err
+		}
+	}
+
+	// Resolve every distinct gram — against the cross-query cache where
+	// warm, by one prefix-shared trie pass otherwise (see resolve.go);
+	// absent grams die here, so the scheduler and the per-family filters
+	// only ever see live trie nodes.
+	families := ses.resolveFamilies(qidx, &st)
+	if len(families) == 0 {
+		return st, nil
+	}
+	// The δ(edge letter, query column) score table: the inner sweeps
+	// index it instead of calling Scheme.Delta per cell. Shared
+	// read-only by every worker.
+	ses.delta = buildDeltaTableInto(ses.delta, e.trie.Letters(), query, s)
+	ses.colBound = buildColBoundsInto(ses.colBound, m, h, s, e.opts.DisableScoreFilter)
+
+	newCtx := func(coll *align.Collector, stats *Stats, ws *workspace) *searchCtx {
+		return &searchCtx{
+			e: e, query: query, s: s, h: h, c: coll, st: stats,
+			lmax:     st.Lmax,
+			gOpen:    -(s.GapOpen + s.GapExtend), // |sg+ss|
+			delta:    ses.delta,
+			colBound: ses.colBound,
+			dom:      dom,
+			gm:       gm,
+			ws:       ws,
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if gm != nil {
+		workers = 1 // the G-matrix filter's state is traversal-order-dependent
+	}
+	if workers <= 1 {
+		ctx := newCtx(c, &st, ses.ws)
+		for i := range families {
+			ctx.processGram(&families[i])
+		}
+		ses.ws.scrub()
+		return st, nil
+	}
+	ses.searchFamilies(families, newCtx, workers, c, &st)
+	return st, nil
+}

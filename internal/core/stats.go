@@ -23,11 +23,21 @@ type Stats struct {
 	ForksGMatrixFiltered int64 // pruned: boolean-matrix global filter (Theorem 4)
 	ForksStarted         int64 // forks that produced a fork area
 
-	NodesVisited int64 // emulated suffix-trie nodes expanded
-	MaxDepth     int   // deepest row reached
-	Threshold    int   // the score threshold H in force
-	Q            int   // the q-prefix length in force
-	Lmax         int   // the length-filter bound in force
+	GramCacheHits   int64 // distinct grams resolved from the cross-query cache
+	GramCacheMisses int64 // distinct grams resolved by trie walk (and published)
+
+	// NodesVisited counts emulated suffix-trie nodes entered with live
+	// alignment state: the gram node of every started family plus each
+	// descendant whose row retained at least one live diagonal or band
+	// cell after the advance into it. The branching walk (dfsWalk), the
+	// width-1 LF walk (dfsLinear) and the hybrid descent all count by
+	// this one rule, so the diagnostic is comparable across engine
+	// modes and does not depend on where the linear handoff fires.
+	NodesVisited int64
+	MaxDepth     int // deepest row reached
+	Threshold    int // the score threshold H in force
+	Q            int // the q-prefix length in force
+	Lmax         int // the length-filter bound in force
 }
 
 // CalculatedEntries is the number of DP cells ALAE actually computed
@@ -69,6 +79,8 @@ func (st *Stats) Add(other Stats) {
 	st.ForksDominated += other.ForksDominated
 	st.ForksGMatrixFiltered += other.ForksGMatrixFiltered
 	st.ForksStarted += other.ForksStarted
+	st.GramCacheHits += other.GramCacheHits
+	st.GramCacheMisses += other.GramCacheMisses
 	st.NodesVisited += other.NodesVisited
 	if other.MaxDepth > st.MaxDepth {
 		st.MaxDepth = other.MaxDepth

@@ -114,7 +114,8 @@ func TestPrefixSharedResolutionMatchesWalk(t *testing.T) {
 				t.Fatal(err)
 			}
 			var st Stats
-			fams := e.resolveFamilies(qidx, &st)
+			ses := e.AcquireSession()
+			fams := ses.resolveFamilies(qidx, &st)
 
 			// Naive resolution: one root Walk per distinct gram.
 			type naive struct {
@@ -202,8 +203,8 @@ func TestFlatTraversalPropertyMixed(t *testing.T) {
 
 // benchTraversalCtx builds a ready-to-run searchCtx plus resolved
 // families over a planted-homology workload, mirroring what
-// SearchParallel sets up per search.
-func benchTraversalCtx(b testing.TB, n, runLen int) (*searchCtx, []gramFamily) {
+// Session.Search sets up per search.
+func benchTraversalCtx(b testing.TB, n, runLen int, opts Options) (*searchCtx, []gramFamily) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(77))
 	text := randDNA(n, rng)
@@ -217,13 +218,14 @@ func benchTraversalCtx(b testing.TB, n, runLen int) (*searchCtx, []gramFamily) {
 			seq.MutationConfig{SubstitutionRate: 0.05, IndelRate: 0.02}, rng),
 		randDNA(400, rng)...)...)
 	h := 25
-	e := New(text, Options{})
+	e := New(text, opts)
 	qidx, err := qgram.New(query, s.Q(), e.trie.Letters())
 	if err != nil {
 		b.Fatal(err)
 	}
 	st := &Stats{Threshold: h, Q: s.Q(), Lmax: s.Lmax(len(query), h)}
-	fams := e.resolveFamilies(qidx, st)
+	ses := e.AcquireSession()
+	fams := ses.resolveFamilies(qidx, st)
 	dom, err := e.DominationIndex(s.Q())
 	if err != nil {
 		b.Fatal(err)
@@ -233,10 +235,10 @@ func benchTraversalCtx(b testing.TB, n, runLen int) (*searchCtx, []gramFamily) {
 		c: align.NewCollector(), st: st,
 		lmax:     st.Lmax,
 		gOpen:    -(s.GapOpen + s.GapExtend),
-		delta:    buildDeltaTable(e.trie.Letters(), query, s),
-		colBound: buildColBounds(len(query), h, s, false),
+		delta:    buildDeltaTableInto(nil, e.trie.Letters(), query, s),
+		colBound: buildColBoundsInto(nil, len(query), h, s, false),
 		dom:      dom,
-		ws:       e.getWorkspace(),
+		ws:       ses.ws,
 	}
 	return ctx, fams
 }
@@ -247,7 +249,7 @@ func benchTraversalCtx(b testing.TB, n, runLen int) (*searchCtx, []gramFamily) {
 // after one warm pass, reprocessing every family must allocate
 // nothing.
 func TestPerGramPathAllocFree(t *testing.T) {
-	ctx, fams := benchTraversalCtx(t, 20_000, 200)
+	ctx, fams := benchTraversalCtx(t, 20_000, 200, Options{})
 	for i := range fams {
 		ctx.processGram(&fams[i]) // warm the workspace slabs and collector
 	}
@@ -261,13 +263,34 @@ func TestPerGramPathAllocFree(t *testing.T) {
 	}
 }
 
+// TestHybridPerGramPathAllocFree is the same contract for ModeHybrid:
+// with the oracle bands living in the per-level frame slabs, the
+// vertical columns in the workspace arenas and the common-prefix tree
+// Reset-able, the reuse engine's whole per-gram path (processGram →
+// hybridGram → descend → verticals) must be allocation-free once warm
+// — the steady-state-zero property the DFS engine has had since PR 2.
+func TestHybridPerGramPathAllocFree(t *testing.T) {
+	ctx, fams := benchTraversalCtx(t, 20_000, 200, Options{Mode: ModeHybrid})
+	for i := range fams {
+		ctx.processGram(&fams[i]) // warm frames, slabs, arenas, collector
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := range fams {
+			ctx.processGram(&fams[i])
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("hybrid per-gram path allocated %.1f objects per sweep; must be 0 in steady state", allocs)
+	}
+}
+
 // BenchmarkDFSTraversal times the per-gram hot path in isolation —
 // processGram → dfsGram → dfsWalk/dfsLinear → advanceMergedBand — over
 // pre-resolved families with a warm workspace. The headline metric is
 // allocs/op: the whole path must be allocation-free in steady state
 // (the collector and workspace are warmed before the timer starts).
 func BenchmarkDFSTraversal(b *testing.B) {
-	ctx, fams := benchTraversalCtx(b, 100_000, 300)
+	ctx, fams := benchTraversalCtx(b, 100_000, 300, Options{})
 	// Warm: size every workspace slab and the collector table.
 	for i := range fams {
 		ctx.processGram(&fams[i])

@@ -13,32 +13,74 @@
 // "reuse entries in gap regions" walk of calMatrixByColumn. Edge
 // labels are (start, end) offsets into the query, so the tree is
 // linear space regardless of suffix lengths.
+//
+// Nodes and edges live in flat arenas and children form intrusive
+// sibling lists, so a Tree can be Reset and reused across fork groups
+// without allocating — the hybrid engine keeps one per workspace and
+// its steady-state per-gram path stays allocation-free.
 package cptree
 
 import "strings"
 
-// Tree is the common-prefix tree of a query.
+// Tree is the common-prefix tree of a query. The zero value is not
+// usable; build with New and re-arm with Reset.
 type Tree struct {
-	p    []byte
-	root *node
+	p     []byte
+	nodes []tnode
+	edges []tedge
 }
 
-type node struct {
-	children map[byte]*edge
-	terminal bool // a whole inserted suffix ends here
+type tnode struct {
+	first    int32 // head of the child edge list, -1 when childless
+	terminal bool  // a whole inserted suffix ends here
 }
 
-type edge struct {
-	start, end int // label = p[start:end]
-	fork       int // the fork that first created this edge
-	to         *node
+type tedge struct {
+	start, end int32 // label = p[start:end]
+	fork       int32 // the fork that first created this edge
+	to         int32
+	next       int32 // next sibling edge, -1 at list end
 }
 
 // New returns an empty tree over query p. The paper builds one tree
 // per matrix and releases it afterwards ("TPs is only used locally");
-// callers simply drop the Tree.
+// callers either drop the Tree or Reset it for the next group.
 func New(p []byte) *Tree {
-	return &Tree{p: p, root: &node{children: map[byte]*edge{}}}
+	t := &Tree{}
+	t.Reset(p)
+	return t
+}
+
+// Reset re-arms the tree for query p, keeping the node and edge arenas
+// so repeated groups allocate nothing once the arenas are warm.
+func (t *Tree) Reset(p []byte) {
+	t.p = p
+	t.nodes = append(t.nodes[:0], tnode{first: -1})
+	t.edges = t.edges[:0]
+}
+
+func (t *Tree) newNode(terminal bool) int32 {
+	t.nodes = append(t.nodes, tnode{first: -1, terminal: terminal})
+	return int32(len(t.nodes) - 1)
+}
+
+// findChild returns the index of u's child edge whose label starts
+// with c, or -1.
+func (t *Tree) findChild(u int32, c byte) int32 {
+	for ei := t.nodes[u].first; ei >= 0; ei = t.edges[ei].next {
+		if t.p[t.edges[ei].start] == c {
+			return ei
+		}
+	}
+	return -1
+}
+
+// addEdge prepends a new child edge to u and returns its index.
+func (t *Tree) addEdge(u, start, end, fork, to int32) int32 {
+	t.edges = append(t.edges, tedge{start: start, end: end, fork: fork, to: to, next: t.nodes[u].first})
+	ei := int32(len(t.edges) - 1)
+	t.nodes[u].first = ei
+	return ei
 }
 
 // Insert adds the suffix p[start:] on behalf of the given fork id.
@@ -47,41 +89,43 @@ func New(p []byte) *Tree {
 // (owner is -1 when lcp is 0).
 func (t *Tree) Insert(start, fork int) (lcp int, owner int) {
 	owner = -1
-	u := t.root
-	pos := start
-	for pos < len(t.p) {
-		e, ok := u.children[t.p[pos]]
-		if !ok {
+	u := int32(0)
+	pos := int32(start)
+	n := int32(len(t.p))
+	for pos < n {
+		ei := t.findChild(u, t.p[pos])
+		if ei < 0 {
 			// No shared path onward: attach the remaining suffix.
-			u.children[t.p[pos]] = &edge{start: pos, end: len(t.p), fork: fork,
-				to: &node{children: map[byte]*edge{}, terminal: true}}
+			leaf := t.newNode(true)
+			t.addEdge(u, pos, n, int32(fork), leaf)
 			return lcp, owner
 		}
 		// Walk along the edge label while it matches.
-		d := 0
-		for d < e.end-e.start && pos+d < len(t.p) && t.p[e.start+d] == t.p[pos+d] {
+		e := &t.edges[ei]
+		d := int32(0)
+		for d < e.end-e.start && pos+d < n && t.p[e.start+d] == t.p[pos+d] {
 			d++
 		}
-		lcp += d
-		owner = e.fork
+		lcp += int(d)
+		owner = int(e.fork)
 		pos += d
 		if d < e.end-e.start {
 			// Mismatch (or suffix exhausted) inside the edge: split it.
-			mid := &node{children: map[byte]*edge{}}
-			mid.children[t.p[e.start+d]] = &edge{start: e.start + d, end: e.end, fork: e.fork, to: e.to}
+			mid := t.newNode(pos >= n)
+			e = &t.edges[ei] // newNode may have grown the arena
+			t.addEdge(mid, e.start+d, e.end, e.fork, e.to)
+			e = &t.edges[ei] // addEdge too
 			e.end = e.start + d
 			e.to = mid
-			if pos < len(t.p) {
-				mid.children[t.p[pos]] = &edge{start: pos, end: len(t.p), fork: fork,
-					to: &node{children: map[byte]*edge{}, terminal: true}}
-			} else {
-				mid.terminal = true
+			if pos < n {
+				leaf := t.newNode(true)
+				t.addEdge(mid, pos, n, int32(fork), leaf)
 			}
 			return lcp, owner
 		}
 		u = e.to
 	}
-	u.terminal = true
+	t.nodes[u].terminal = true
 	return lcp, owner
 }
 
@@ -90,16 +134,17 @@ func (t *Tree) Insert(start, fork int) (lcp int, owner int) {
 // tests and debugging.
 func (t *Tree) Paths() []string {
 	var out []string
-	var walk func(u *node, prefix string)
-	walk = func(u *node, prefix string) {
-		if u.terminal && prefix != "" {
+	var walk func(u int32, prefix string)
+	walk = func(u int32, prefix string) {
+		if t.nodes[u].terminal && prefix != "" {
 			out = append(out, prefix)
 		}
-		for _, e := range u.children {
+		for ei := t.nodes[u].first; ei >= 0; ei = t.edges[ei].next {
+			e := t.edges[ei]
 			walk(e.to, prefix+string(t.p[e.start:e.end]))
 		}
 	}
-	walk(t.root, "")
+	walk(0, "")
 	sortStrings(out)
 	return out
 }

@@ -138,3 +138,41 @@ func TestPathsSpellInsertedSuffixes(t *testing.T) {
 		t.Errorf("missing path %q", missing)
 	}
 }
+
+// TestResetReuse pins the serving contract of the arena tree: Reset
+// re-arms it for a new query, results match a fresh tree, and repeated
+// Reset+Insert cycles on warm arenas allocate nothing.
+func TestResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	letters := []byte("ACGT")
+	tr := New([]byte("A"))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(80)
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = letters[rng.Intn(4)]
+		}
+		fresh := New(p)
+		tr.Reset(p)
+		for w := 0; w < 8; w++ {
+			start := rng.Intn(n)
+			lcp1, own1 := fresh.Insert(start, w)
+			lcp2, own2 := tr.Insert(start, w)
+			if lcp1 != lcp2 || own1 != own2 {
+				t.Fatalf("trial %d insert %d: reset tree (%d,%d) vs fresh (%d,%d)",
+					trial, w, lcp2, own2, lcp1, own1)
+			}
+		}
+	}
+	// Warm arenas: further cycles must not allocate.
+	p := []byte("ACGTACGTACGTACGT")
+	allocs := testing.AllocsPerRun(10, func() {
+		tr.Reset(p)
+		for w := 0; w < 6; w++ {
+			tr.Insert(w*2, w)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Reset+Insert allocated %.1f objects", allocs)
+	}
+}

@@ -130,6 +130,12 @@ func New(query []byte, q int, letters []byte) (*Index, error) {
 // Q returns the gram length of the index.
 func (idx *Index) Q() int { return idx.q }
 
+// Packer returns the packed-key encoder of the index, or nil when the
+// alphabet does not pack (the string-keyed fallback is in use). The
+// packed key of a gram is stable across queries over the same alphabet,
+// which is what lets the search engines key cross-query caches by it.
+func (idx *Index) Packer() *Packer { return idx.packer }
+
 // Positions returns the 0-based starting positions of gram in the
 // query, or nil when it does not occur. The returned slice is shared;
 // callers must not modify it.
@@ -155,6 +161,15 @@ func (idx *Index) Distinct() int {
 	return len(idx.strKeys)
 }
 
+// Decode writes the gram encoded by key into buf, which must have
+// length q. The inverse of Pack.
+func (p *Packer) Decode(key uint64, buf []byte) {
+	for c := p.q - 1; c >= 0; c-- {
+		buf[c] = p.letters[key&(1<<p.bits-1)]
+		key >>= p.bits
+	}
+}
+
 // Grams calls fn for every distinct gram with its sorted position
 // list, in an unspecified gram order. fn must not retain the gram
 // slice across calls.
@@ -162,11 +177,7 @@ func (idx *Index) Grams(fn func(gram []byte, positions []int32)) {
 	buf := make([]byte, idx.q)
 	if idx.packer != nil {
 		for key, pos := range idx.lists {
-			k := key
-			for i := idx.q - 1; i >= 0; i-- {
-				buf[i] = idx.packer.letters[k&(1<<idx.packer.bits-1)]
-				k >>= idx.packer.bits
-			}
+			idx.packer.Decode(key, buf)
 			fn(buf, pos)
 		}
 		return
@@ -187,40 +198,53 @@ func (idx *Index) GramsSorted(fn func(gram []byte, positions []int32)) {
 	})
 }
 
+// GramsSortedKeys is GramsSorted additionally passing each gram's
+// packed key — the same keys Packer().Pack would produce, read off the
+// index's own lists so callers keying caches by gram avoid re-packing.
+// Packed keys sort in lexicographic gram order because dense codes are
+// assigned in ascending byte order. Only valid when Packer() != nil
+// (the packed layout is in use); it panics otherwise.
+func (idx *Index) GramsSortedKeys(fn func(gram []byte, key uint64, positions []int32)) {
+	if idx.packer == nil {
+		panic("qgram: GramsSortedKeys needs the packed-key layout; check Packer() != nil")
+	}
+	keys := make([]uint64, 0, len(idx.lists))
+	for key := range idx.lists {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	buf := make([]byte, idx.q)
+	for _, key := range keys {
+		idx.packer.Decode(key, buf)
+		fn(buf, key, idx.lists[key])
+	}
+}
+
 // GramsSortedLCP is GramsSorted extended with the length of the longest
 // common prefix between each gram and its predecessor (0 for the first
-// gram). Consecutive sorted grams share long prefixes — exactly the
-// shared backward-search steps the prefix-shared gram resolution of the
-// search engines exploits. fn must not retain the gram slice across
-// calls.
+// gram). Consecutive sorted grams share long prefixes — the shared
+// backward-search steps prefix-shared resolution exploits. fn must not
+// retain the gram slice across calls.
 func (idx *Index) GramsSortedLCP(fn func(gram []byte, lcp int, positions []int32)) {
 	if idx.packer != nil {
-		// Packed keys sort in lexicographic gram order because dense
-		// codes are assigned in ascending byte order, and the LCP of two
-		// grams is read off the highest differing bit of their keys.
-		keys := make([]uint64, 0, len(idx.lists))
-		for key := range idx.lists {
-			keys = append(keys, key)
-		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-		buf := make([]byte, idx.q)
+		// The LCP of two consecutive grams is read off the highest
+		// differing bit of their packed keys.
 		cbits := int(idx.packer.bits)
-		for i, key := range keys {
+		first := true
+		var prevKey uint64
+		idx.GramsSortedKeys(func(gram []byte, key uint64, positions []int32) {
 			lcp := 0
-			if i > 0 {
-				if diff := keys[i-1] ^ key; diff != 0 {
+			if !first {
+				if diff := prevKey ^ key; diff != 0 {
 					lcp = idx.q - 1 - (63-bits.LeadingZeros64(diff))/cbits
 				} else {
 					lcp = idx.q
 				}
 			}
-			k := key
-			for c := idx.q - 1; c >= 0; c-- {
-				buf[c] = idx.packer.letters[k&(1<<idx.packer.bits-1)]
-				k >>= idx.packer.bits
-			}
-			fn(buf, lcp, idx.lists[key])
-		}
+			first = false
+			prevKey = key
+			fn(gram, lcp, positions)
+		})
 		return
 	}
 	keys := make([]string, 0, len(idx.strKeys))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bwt"
 	"repro/internal/core"
@@ -125,25 +126,34 @@ func (ix *Index) SearchBothStrands(query []byte, opts SearchOptions) ([]StrandHi
 	return out, nil
 }
 
+// searchAllStarted, when non-nil, observes each query index a
+// SearchAll worker picks up. Test hook for the cancellation contract;
+// never set in production code.
+var searchAllStarted func(qi int)
+
 // SearchAll runs many queries concurrently over the shared index with
 // the given parallelism (0 means one worker per query up to 8).
-// Results are returned in query order; the first error aborts the
-// remaining work.
+// Results are returned in query order; the first error cancels the
+// remaining work — queries not yet started are never launched (their
+// result slots stay nil) and the first error in query order is
+// returned.
 //
 // Warm-up contract: before any worker starts, SearchAll builds the
 // shared lazy structures once — the engine for the requested
 // configuration and (for the ALAE engines) the domination index of the
 // scheme's q — so workers never race to build them redundantly; from
-// then on those structures are read-only and shared. Per-query state
-// is NOT shared: each worker's search builds its own q-gram inverted
-// index and δ score table for its query (they are query-specific by
-// definition) and draws its traversal workspace from the engine's
-// sync.Pool, so steady-state searches allocate only per-query
-// structures, never traversal scratch.
+// then on those structures are read-only and shared. Each worker then
+// holds ONE Session for its whole run: per-query state (q-gram
+// inverted index, δ score table, bound tables, collector, traversal
+// workspace) is re-armed in place between queries instead of rebuilt,
+// and the engine's cross-query gram cache is shared read-mostly across
+// the workers, so repeated or overlapping queries resolve their hot
+// grams by hash probe.
 func (ix *Index) SearchAll(queries [][]byte, opts SearchOptions, workers int) ([]*Result, error) {
 	if workers <= 0 {
-		workers = min(len(queries), 8)
+		workers = 8
 	}
+	workers = min(workers, len(queries))
 	if workers == 0 {
 		return nil, nil
 	}
@@ -162,16 +172,41 @@ func (ix *Index) SearchAll(queries [][]byte, opts SearchOptions, workers int) ([
 	}
 	results := make([]*Result, len(queries))
 	errs := make([]error, len(queries))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for qi := range queries {
+	var (
+		wg     sync.WaitGroup
+		cursor atomic.Int64
+		failed atomic.Bool // context-style cancellation flag
+	)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(qi int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			results[qi], errs[qi] = ix.Search(queries[qi], opts)
-		}(qi)
+			ses, err := ix.OpenSession(opts)
+			if err != nil {
+				// Configuration errors apply to every query; report on
+				// the first unclaimed one and stop.
+				if qi := int(cursor.Add(1)) - 1; qi < len(queries) {
+					errs[qi] = err
+				}
+				failed.Store(true)
+				return
+			}
+			defer ses.Close()
+			for {
+				qi := int(cursor.Add(1)) - 1
+				if qi >= len(queries) || failed.Load() {
+					return
+				}
+				if searchAllStarted != nil {
+					searchAllStarted(qi)
+				}
+				results[qi], errs[qi] = ses.Search(queries[qi])
+				if errs[qi] != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

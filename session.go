@@ -1,0 +1,116 @@
+package alae
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/core"
+)
+
+// Session is a reusable serving lane over an Index: one configuration
+// (algorithm, scheme, filters, parallelism) answering query after
+// query. The session owns every query-specific structure — the q-gram
+// inverted index, δ score table, bound tables, traversal workspace,
+// result collector and (for parallel searches) the per-worker
+// collector shards — and re-arms them in place per call, so a serving
+// loop stops allocating once the buffers are warm. The heavy shared
+// structures (trie, domination index, cross-query gram cache) belong
+// to the Index's engines and are only read.
+//
+// A Session is NOT safe for concurrent use. Open one per serving
+// goroutine; sessions of the same Index share the engines and their
+// caches, which are concurrency-safe. Close returns the underlying
+// pooled state so later sessions (and plain Index.Search calls, which
+// draw from the same pool) reuse it.
+type Session struct {
+	ix     *Index
+	opts   SearchOptions
+	s      Scheme
+	cs     *core.Session    // nil for the baseline algorithms
+	coll   *align.Collector // reused result table
+	closed bool
+}
+
+// OpenSession returns a session for the given search configuration.
+// For the ALAE engines it binds the engine eagerly, so configuration
+// errors surface here instead of on the first query. Baseline
+// algorithms (BWT-SW, BLAST, Smith-Waterman) are stateless per query;
+// their sessions simply forward to Index.Search.
+func (ix *Index) OpenSession(opts SearchOptions) (*Session, error) {
+	s := opts.Scheme
+	if s == (Scheme{}) {
+		s = DefaultDNAScheme
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	ses := &Session{ix: ix, opts: opts, s: s}
+	switch opts.Algorithm {
+	case ALAE, ALAEHybrid:
+		mode := core.ModeDFS
+		if opts.Algorithm == ALAEHybrid {
+			mode = core.ModeHybrid
+		}
+		e, err := ix.alaeEngine(mode, opts)
+		if err != nil {
+			return nil, err
+		}
+		ses.cs = e.AcquireSession()
+		ses.coll = align.NewCollector()
+	}
+	return ses, nil
+}
+
+// Search runs one query through the session; results are identical to
+// Index.Search with the session's options, whether the session is
+// fresh or re-armed and whatever ran through it before. A closed
+// session errors rather than silently degrading to one-shot searches.
+func (ses *Session) Search(query []byte) (*Result, error) {
+	if ses.closed {
+		return nil, fmt.Errorf("alae: Search on a closed Session")
+	}
+	if ses.cs == nil {
+		return ses.ix.Search(query, ses.opts)
+	}
+	h, err := ses.ix.ResolveThreshold(len(query), ses.opts)
+	if err != nil {
+		return nil, err
+	}
+	ses.coll.Reset()
+	st, err := ses.cs.Search(query, ses.s, h, ses.coll, ses.opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Threshold: h,
+		Algorithm: ses.opts.Algorithm,
+		Stats:     statsFromCore(st),
+		Hits:      ses.coll.Hits(),
+	}, nil
+}
+
+// Close hands the session's pooled state back to the engine. The
+// session must not be used afterwards; Close is idempotent.
+func (ses *Session) Close() {
+	if ses.cs != nil {
+		ses.cs.Release()
+		ses.cs = nil
+	}
+	ses.closed = true
+}
+
+// statsFromCore converts the core engine's counters to the public
+// Stats shape.
+func statsFromCore(st core.Stats) Stats {
+	return Stats{
+		CalculatedEntries: st.CalculatedEntries(),
+		ReusedEntries:     st.ReusedEntries,
+		AccessedEntries:   st.AccessedEntries(),
+		ComputationCost:   st.ComputationCost(),
+		NodesVisited:      st.NodesVisited,
+		ForksStarted:      st.ForksStarted,
+		ForksDominated:    st.ForksDominated,
+		GramCacheHits:     st.GramCacheHits,
+		GramCacheMisses:   st.GramCacheMisses,
+	}
+}
