@@ -256,6 +256,12 @@ func (ix *Index) ResolveThreshold(m int, opts SearchOptions) (int, error) {
 }
 
 // Search runs a local-alignment search for query against the index.
+//
+// For the ALAE engines (the q-gram-based modes), queries shorter than
+// the scheme's gram length q are rejected with a descriptive error: no
+// q-gram window fits, so the engines would otherwise return a silently
+// empty hit set — almost always a caller bug (truncated input, wrong
+// scheme). The Smith-Waterman baseline has no such floor.
 func (ix *Index) Search(query []byte, opts SearchOptions) (*Result, error) {
 	s := opts.Scheme
 	if s == (Scheme{}) {

@@ -75,6 +75,15 @@ func FuzzSearchExactness(f *testing.F) {
 		h := s.MinThreshold() + int(hOff%12)
 		ix := NewIndex(text)
 		res, err := ix.Search(query, SearchOptions{Threshold: h})
+		if len(query) < s.Q() {
+			// Too-short queries are diagnosed, not silently empty. The
+			// empty set would be exact here (m·sa < MinThreshold ≤ H),
+			// so nothing is lost by rejecting.
+			if err == nil {
+				t.Fatalf("short query %q accepted", query)
+			}
+			return
+		}
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -12,11 +12,17 @@ import (
 // the n+1 suffixes of text+$; row 0 is always the $ suffix. The index
 // is read-only after construction and safe for concurrent use.
 //
-// Rank support comes in two layouts. For σ ≤ 4 (DNA, the dominant
+// Rank support comes in three layouts. For σ ≤ 4 (DNA, the dominant
 // workload) the BWT is 2-bit-packed into 64-bit words with interleaved
 // occurrence checkpoints and ranks are answered bit-parallel via
-// popcount (packedRank). For larger alphabets (protein) the BWT stays
-// a byte slice with periodic checkpoints and a single-pass scan.
+// popcount (packedRank). For 4 < σ ≤ 32 (protein) the BWT is
+// decomposed into ⌈log2 σ⌉ checkpointed bit planes and ranks are
+// answered by masked popcounts over the planes (planeRank). Larger
+// alphabets — and ForceByteRank — keep the BWT as a byte slice with
+// periodic checkpoints and a single-pass scan. All three layouts also
+// answer the two rows of a backward-search step fused (rank2,
+// ranksAll2): when lo and hi share a block, the checkpoint is read and
+// the block scanned once for both.
 type FMIndex struct {
 	n           int    // text length
 	sigma       int    // number of distinct bytes in the text
@@ -34,6 +40,9 @@ type FMIndex struct {
 	// Packed layout (1 ≤ σ ≤ 4): bit-parallel rank core.
 	pk *packedRank
 
+	// Plane layout (4 < σ ≤ 32): bit-plane rank core.
+	pl *planeRank
+
 	sampleRate int
 	sampleMark *rankBitVector // rows carrying a position sample
 	samples    []int32        // sampled SA values, in row order
@@ -48,9 +57,11 @@ type Options struct {
 	// the byte layout (smaller = faster rank, more space). Default 64.
 	// The packed layout checkpoints every 128 rows regardless.
 	CheckpointEvery int
-	// ForceByteRank disables the 2-bit-packed rank core even when
-	// σ ≤ 4, keeping the byte-scan layout. Used by benchmarks and
-	// property tests that compare the two implementations.
+	// ForceByteRank disables the bit-parallel rank cores (the 2-bit
+	// packed layout for σ ≤ 4 and the bit-plane layout for σ ≤ 32),
+	// keeping the byte-scan layout. Used by benchmarks and property
+	// tests that compare the implementations; the byte layout is the
+	// reference the others are checked against.
 	ForceByteRank bool
 }
 
@@ -140,14 +151,20 @@ func NewWithOptions(text []byte, opt Options) *FMIndex {
 }
 
 // attachRank installs the rank structure over the dense-code BWT,
-// choosing the bit-parallel packed core when the alphabet allows it.
+// choosing a bit-parallel core when the alphabet allows it: the 2-bit
+// packed layout for σ ≤ 4, the bit-plane layout for 4 < σ ≤ 32.
 func (fm *FMIndex) attachRank(codes []byte, forceByte bool) {
+	fm.pk, fm.pl = nil, nil
 	if !forceByte && fm.sigma >= 1 && fm.sigma <= 4 {
 		fm.pk = buildPackedRank(codes)
 		fm.bwt, fm.occ = nil, nil
 		return
 	}
-	fm.pk = nil
+	if !forceByte && fm.sigma > 4 && fm.sigma <= 32 {
+		fm.pl = buildPlaneRank(codes, fm.sigma)
+		fm.bwt, fm.occ = nil, nil
+		return
+	}
 	fm.bwt = codes
 	fm.occ = buildOcc(codes, fm.sentinelRow, fm.ckptEvery, fm.sigma)
 }
@@ -192,6 +209,9 @@ func (fm *FMIndex) bwtCode(row int) byte {
 	if fm.pk != nil {
 		return fm.pk.at(row)
 	}
+	if fm.pl != nil {
+		return fm.pl.at(row)
+	}
 	return fm.bwt[row]
 }
 
@@ -200,6 +220,13 @@ func (fm *FMIndex) bwtCode(row int) byte {
 func (fm *FMIndex) rank(k int, row int) int32 {
 	if fm.pk != nil {
 		r := fm.pk.rank(k, row)
+		if k == 0 && row > fm.sentinelRow {
+			r-- // the placeholder is stored as code 0
+		}
+		return r
+	}
+	if fm.pl != nil {
+		r := fm.pl.rank(k, row)
 		if k == 0 && row > fm.sentinelRow {
 			r-- // the placeholder is stored as code 0
 		}
@@ -226,15 +253,75 @@ func (fm *FMIndex) rank(k int, row int) int32 {
 // [0, Sigma()) and row in [0, Rows()].
 func (fm *FMIndex) Rank(k, row int) int32 { return fm.rank(k, row) }
 
+// rank2 answers rank(k, lo) and rank(k, hi) fused: when both rows land
+// in the same checkpoint block the block is visited once — the
+// ExtendCode case, where lo and hi delimit one suffix-array range.
+// Requires lo ≤ hi.
+func (fm *FMIndex) rank2(k, lo, hi int) (rlo, rhi int32) {
+	switch {
+	case fm.pk != nil:
+		rlo, rhi = fm.pk.rank2(k, lo, hi)
+	case fm.pl != nil:
+		rlo, rhi = fm.pl.rank2(k, lo, hi)
+	default:
+		ckLo := lo / fm.ckptEvery
+		if ckLo != hi/fm.ckptEvery {
+			return fm.rank(k, lo), fm.rank(k, hi)
+		}
+		r := fm.occ[ckLo*fm.sigma+k]
+		kb := byte(k)
+		start := ckLo * fm.ckptEvery
+		for _, b := range fm.bwt[start:lo] {
+			if b == kb {
+				r++
+			}
+		}
+		rlo = r
+		for _, b := range fm.bwt[lo:hi] {
+			if b == kb {
+				r++
+			}
+		}
+		rhi = r
+		if sent := fm.sentinelRow; sent >= start && sent < hi && fm.bwt[sent] == kb {
+			if sent < lo {
+				rlo--
+			}
+			rhi--
+		}
+		return rlo, rhi
+	}
+	// Packed and plane layouts store the sentinel placeholder as code 0.
+	if k == 0 {
+		if lo > fm.sentinelRow {
+			rlo--
+		}
+		if hi > fm.sentinelRow {
+			rhi--
+		}
+	}
+	return rlo, rhi
+}
+
+// Rank2 is the exported form of rank2, for benchmarks and property
+// tests. Requires lo ≤ hi.
+func (fm *FMIndex) Rank2(k, lo, hi int) (int32, int32) { return fm.rank2(k, lo, hi) }
+
 // InitRange returns the suffix-array range of the empty pattern,
 // covering all rows.
 func (fm *FMIndex) InitRange() (lo, hi int) { return 0, fm.Rows() }
 
 // ExtendCode performs one backward-search step: given the range of a
 // pattern S it returns the range of cS, where c is the byte with dense
-// code k. An empty result is (x, x).
+// code k. An empty result is (x, x). The two boundary ranks are
+// answered fused (one checkpoint-block visit when lo and hi are
+// close, which deep trie nodes always are).
 func (fm *FMIndex) ExtendCode(lo, hi, k int) (int, int) {
-	return int(fm.c[k] + fm.rank(k, lo)), int(fm.c[k] + fm.rank(k, hi))
+	if lo > hi {
+		return int(fm.c[k] + fm.rank(k, lo)), int(fm.c[k] + fm.rank(k, hi))
+	}
+	rlo, rhi := fm.rank2(k, lo, hi)
+	return int(fm.c[k] + rlo), int(fm.c[k] + rhi)
 }
 
 // Extend is ExtendCode for a raw byte. Bytes absent from the text
@@ -258,6 +345,13 @@ func (fm *FMIndex) ranksAll(row int, counts []int32) {
 		}
 		return
 	}
+	if fm.pl != nil {
+		fm.pl.ranksAll(row, counts)
+		if row > fm.sentinelRow {
+			counts[0]-- // the placeholder is stored as code 0
+		}
+		return
+	}
 	ck := row / fm.ckptEvery
 	copy(counts, fm.occ[ck*fm.sigma:ck*fm.sigma+fm.sigma])
 	start := ck * fm.ckptEvery
@@ -275,13 +369,70 @@ func (fm *FMIndex) ranksAll(row int, counts []int32) {
 // property tests. counts must have length Sigma().
 func (fm *FMIndex) RanksAll(row int, counts []int32) { fm.ranksAll(row, counts) }
 
+// ranksAll2 fills los[k] = rank(k, lo) and his[k] = rank(k, hi) for
+// every code k. When both rows fall in the same checkpoint block —
+// the ExtendAll case, where they delimit one suffix-array range — the
+// block is visited once: the checkpoint is read once, the rows up to
+// hi are decomposed once, and both count vectors are derived from that
+// single pass. Requires lo ≤ hi.
+func (fm *FMIndex) ranksAll2(lo, hi int, los, his []int32) {
+	switch {
+	case fm.pk != nil:
+		fm.pk.ranksAll2(lo, hi, los, his)
+	case fm.pl != nil:
+		fm.pl.ranksAll2(lo, hi, los, his)
+	default:
+		ckLo := lo / fm.ckptEvery
+		if ckLo != hi/fm.ckptEvery {
+			fm.ranksAll(lo, los)
+			fm.ranksAll(hi, his)
+			return
+		}
+		sigma := fm.sigma
+		copy(los[:sigma], fm.occ[ckLo*sigma:ckLo*sigma+sigma])
+		start := ckLo * fm.ckptEvery
+		bwt := fm.bwt
+		for _, b := range bwt[start:lo] {
+			los[b]++
+		}
+		copy(his[:sigma], los[:sigma])
+		for _, b := range bwt[lo:hi] {
+			his[b]++
+		}
+		if sent := fm.sentinelRow; sent >= start && sent < hi {
+			if sent < lo {
+				los[bwt[sent]]--
+			}
+			his[bwt[sent]]--
+		}
+		return
+	}
+	// Packed and plane layouts store the sentinel placeholder as code 0.
+	if lo > fm.sentinelRow {
+		los[0]--
+	}
+	if hi > fm.sentinelRow {
+		his[0]--
+	}
+}
+
+// RanksAll2 is the exported form of ranksAll2, for benchmarks and
+// property tests. los and his must have length Sigma(); lo ≤ hi.
+func (fm *FMIndex) RanksAll2(lo, hi int, los, his []int32) { fm.ranksAll2(lo, hi, los, his) }
+
 // ExtendAll performs the backward-search step for every character at
 // once: after the call, the range of (letter k)+S is
-// [los[k], his[k]). los and his must have length Sigma(). The cost is
-// two rank passes regardless of σ, versus 2σ for σ ExtendCode calls.
+// [los[k], his[k]). los and his must have length Sigma(). The two row
+// ranks are fused: when lo and hi share a checkpoint block (every node
+// below the first few trie levels) the cost is ~one rank pass, versus
+// 2σ for σ ExtendCode calls.
 func (fm *FMIndex) ExtendAll(lo, hi int, los, his []int32) {
-	fm.ranksAll(lo, los)
-	fm.ranksAll(hi, his)
+	if lo <= hi {
+		fm.ranksAll2(lo, hi, los, his)
+	} else {
+		fm.ranksAll(lo, los)
+		fm.ranksAll(hi, his)
+	}
 	for k := 0; k < fm.sigma; k++ {
 		los[k] += fm.c[k]
 		his[k] += fm.c[k]
@@ -299,8 +450,24 @@ func (fm *FMIndex) LFStep(row int) (code, next int, ok bool) {
 	if row == fm.sentinelRow {
 		return 0, 0, false
 	}
+	k, r := fm.lfRank(row)
+	return k, int(fm.c[k] + r), true
+}
+
+// lfRank returns the dense code at row together with rank(code, row),
+// fused into one rank-structure visit where the layout supports it
+// (the plane layout would otherwise walk its planes twice). row must
+// not be the sentinel row.
+func (fm *FMIndex) lfRank(row int) (int, int32) {
+	if fm.pl != nil {
+		code, r := fm.pl.lfRank(row)
+		if code == 0 && row > fm.sentinelRow {
+			r-- // the placeholder is stored as code 0
+		}
+		return int(code), r
+	}
 	k := int(fm.bwtCode(row))
-	return k, int(fm.c[k] + fm.rank(k, row)), true
+	return k, fm.rank(k, row)
 }
 
 // Search returns the suffix-array range [lo, hi) of pattern in the
@@ -325,8 +492,8 @@ func (fm *FMIndex) lf(row int) int {
 	if row == fm.sentinelRow {
 		return 0
 	}
-	k := int(fm.bwtCode(row))
-	return int(fm.c[k] + fm.rank(k, row))
+	k, r := fm.lfRank(row)
+	return int(fm.c[k] + r)
 }
 
 // Position returns the text position (0-based) of the suffix at the
@@ -424,6 +591,9 @@ func (fm *FMIndex) SizeBytes() int {
 	if fm.pk != nil {
 		rank = fm.pk.sizeBytes()
 	}
+	if fm.pl != nil {
+		rank = fm.pl.sizeBytes()
+	}
 	return rank + 4*len(fm.c) + 4*len(fm.samples) + fm.sampleMark.SizeBytes()
 }
 
@@ -441,6 +611,9 @@ func (fm *FMIndex) PackedSizeBytes() int {
 	if fm.pk != nil {
 		occ = 8 * prCountWords * (len(fm.pk.blocks) / prStride)
 	}
+	if fm.pl != nil {
+		occ = 8 * fm.pl.ckptWords * (len(fm.pl.blocks) / fm.pl.stride)
+	}
 	return packed + 4*len(fm.c) + occ +
 		4*len(fm.samples) + fm.sampleMark.SizeBytes()
 }
@@ -450,6 +623,9 @@ func (fm *FMIndex) String() string {
 	layout := "byte"
 	if fm.pk != nil {
 		layout = "packed2"
+	}
+	if fm.pl != nil {
+		layout = fmt.Sprintf("plane%d", fm.pl.nPlanes)
 	}
 	return fmt.Sprintf("FMIndex(n=%d, sigma=%d, sample=%d, rank=%s)", fm.n, fm.sigma, fm.sampleRate, layout)
 }

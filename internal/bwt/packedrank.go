@@ -89,6 +89,42 @@ func (p *packedRank) rank(k, row int) int32 {
 	return cnt
 }
 
+// rank2 answers rank(k, lo) and rank(k, hi) in one block visit when
+// both rows fall in the same block — the backward-search case, where
+// lo and hi delimit one suffix-array range: the shared checkpoint is
+// read once and the data words up to hi are scanned once, splitting
+// each straddled word at lo. Requires lo ≤ hi.
+func (p *packedRank) rank2(k, lo, hi int) (int32, int32) {
+	bl := lo / prRowsPerBlock
+	if bl != hi/prRowsPerBlock {
+		return p.rank(k, lo), p.rank(k, hi)
+	}
+	base := bl * prStride
+	cnt := int32(uint32(p.blocks[base+k>>1] >> (uint(k&1) * 32)))
+	remLo, remHi := lo%prRowsPerBlock, hi%prRowsPerBlock
+	pat := prPat(k)
+	data := p.blocks[base+prCountWords : base+prStride]
+	var a, b int32 // matches in [0, remLo) and [remLo, remHi)
+	for w := 0; w*prSymsPerWord < remHi; w++ {
+		m := eqMask(data[w], pat)
+		start := w * prSymsPerWord
+		if n := remHi - start; n < prSymsPerWord {
+			m &= 1<<uint(2*n) - 1
+		}
+		switch {
+		case start+prSymsPerWord <= remLo:
+			a += int32(bits.OnesCount64(m))
+		case start >= remLo:
+			b += int32(bits.OnesCount64(m))
+		default:
+			split := uint64(1)<<uint(2*(remLo-start)) - 1
+			a += int32(bits.OnesCount64(m & split))
+			b += int32(bits.OnesCount64(m &^ split))
+		}
+	}
+	return cnt + a, cnt + a + b
+}
+
 // ranksAll fills counts[k] = rank(k, row) for every code k < len(counts)
 // in one block visit, separating each word into high/low bit planes so
 // all four symbol counts come from three popcounts per word.
@@ -125,6 +161,72 @@ func (p *packedRank) ranksAll(row int, counts []int32) {
 	c[2] += n2
 	c[3] += n3
 	copy(counts, c[:len(counts)])
+}
+
+// countWord adds one data word's symbol populations (restricted to the
+// 2-bit groups selected by clip, whose low bits must be set) onto the
+// n1/n2/n3 plane counters. Code-0 counts are derived from the scanned
+// row total by the callers.
+func countWord(word, clip uint64, n1, n2, n3 *int32) {
+	lo := word & clip
+	hi := word >> 1 & clip
+	*n3 += int32(bits.OnesCount64(lo & hi))
+	*n2 += int32(bits.OnesCount64(hi &^ lo))
+	*n1 += int32(bits.OnesCount64(lo &^ hi))
+}
+
+// ranksAll2 fills los[k] = rank(k, lo) and his[k] = rank(k, hi) for
+// every code k, visiting the shared block once when lo and hi fall in
+// the same block — the ExtendAll case, where the two rows delimit one
+// suffix-array range: the checkpoint words are read once and each data
+// word up to hi is decomposed into its bit planes once, with straddled
+// words split at lo. Requires lo ≤ hi; los and his must have length 4
+// (or the alphabet size).
+func (p *packedRank) ranksAll2(lo, hi int, los, his []int32) {
+	bl := lo / prRowsPerBlock
+	if bl != hi/prRowsPerBlock {
+		p.ranksAll(lo, los)
+		p.ranksAll(hi, his)
+		return
+	}
+	base := bl * prStride
+	var c [4]int32
+	c[0] = int32(uint32(p.blocks[base]))
+	c[1] = int32(uint32(p.blocks[base] >> 32))
+	c[2] = int32(uint32(p.blocks[base+1]))
+	c[3] = int32(uint32(p.blocks[base+1] >> 32))
+	remLo, remHi := lo%prRowsPerBlock, hi%prRowsPerBlock
+	data := p.blocks[base+prCountWords : base+prStride]
+	var a1, a2, a3, b1, b2, b3 int32 // [0, remLo) and [remLo, remHi)
+	for w := 0; w*prSymsPerWord < remHi; w++ {
+		word := data[w]
+		start := w * prSymsPerWord
+		clip := uint64(prLowBits)
+		if n := remHi - start; n < prSymsPerWord {
+			clip &= 1<<uint(2*n) - 1
+		}
+		switch {
+		case start+prSymsPerWord <= remLo:
+			countWord(word, clip, &a1, &a2, &a3)
+		case start >= remLo:
+			countWord(word, clip, &b1, &b2, &b3)
+		default:
+			split := (uint64(1)<<uint(2*(remLo-start)) - 1) & prLowBits
+			countWord(word, clip&split, &a1, &a2, &a3)
+			countWord(word, clip&^split, &b1, &b2, &b3)
+		}
+	}
+	n := min(len(los), 4)
+	loC := [4]int32{
+		c[0] + int32(remLo) - a1 - a2 - a3,
+		c[1] + a1, c[2] + a2, c[3] + a3,
+	}
+	hiC := [4]int32{
+		c[0] + int32(remHi) - a1 - a2 - a3 - b1 - b2 - b3,
+		c[1] + a1 + b1, c[2] + a2 + b2, c[3] + a3 + b3,
+	}
+	copy(los, loC[:n])
+	copy(his, hiC[:n])
 }
 
 // appendCodes unpacks the stored symbols into out, for serialization

@@ -16,11 +16,12 @@ func randomText(letters []byte, n int, seed int64) []byte {
 	return text
 }
 
-// TestPackedRankMatchesByteRank is the property test of the packed
-// core: on random texts over DNA-sized and protein-sized alphabets,
-// every rank answer of the default index equals the byte-scan
-// layout's, for every code, at exhaustive rows on small texts and
-// random rows on larger ones.
+// TestPackedRankMatchesByteRank is the property test of the
+// bit-parallel cores: on random texts over DNA-sized (2-bit packed
+// layout), protein-sized and maximal 32-letter (bit-plane layout)
+// alphabets, every rank answer of the default index equals the
+// byte-scan layout's, for every code, at exhaustive rows on small
+// texts and random rows on larger ones.
 func TestPackedRankMatchesByteRank(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -29,7 +30,10 @@ func TestPackedRankMatchesByteRank(t *testing.T) {
 	}{
 		{"dna", []byte("ACGT"), []int{0, 1, 2, 63, 64, 127, 128, 129, 1000, 20000}},
 		{"binary", []byte("AB"), []int{5, 300}},
-		{"protein", []byte("ACDEFGHIKLMNPQRSTVWY"), []int{500, 5000}},
+		{"protein", []byte("ACDEFGHIKLMNPQRSTVWY"), []int{1, 63, 64, 127, 128, 129, 500, 5000}},
+		{"sigma5", []byte("ACGTN"), []int{400}},
+		{"sigma32", []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZ012345"), []int{900}},
+		{"sigma33-byte-fallback", []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456"), []int{900}},
 	}
 	for _, tc := range cases {
 		for _, n := range tc.sizes {
@@ -133,5 +137,51 @@ func TestPackedRankSerializeRoundTrip(t *testing.T) {
 				t.Fatalf("Rank(%d, %d) changed across round trip", k, row)
 			}
 		}
+	}
+}
+
+// TestPlaneRankSerializeRoundTrip checks that a bit-plane protein
+// index survives WriteTo/ReadFMIndex at the current serialVersion and
+// comes back on the plane layout with identical rank behaviour.
+func TestPlaneRankSerializeRoundTrip(t *testing.T) {
+	text := randomText([]byte("ACDEFGHIKLMNPQRSTVWY"), 3000, 9)
+	fm := New(text)
+	if fm.pl == nil {
+		t.Fatal("protein index should use the plane layout")
+	}
+	var buf bytes.Buffer
+	if _, err := fm.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFMIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.pl == nil {
+		t.Error("loaded protein index should use the plane layout")
+	}
+	for k := 0; k < fm.Sigma(); k++ {
+		for row := 0; row <= fm.Rows(); row += 37 {
+			if fm.Rank(k, row) != back.Rank(k, row) {
+				t.Fatalf("Rank(%d, %d) changed across round trip", k, row)
+			}
+		}
+	}
+	// A byte-forced writer round-trips onto the plane layout too: the
+	// payload is layout-independent and the loader picks the best core.
+	ref := NewWithOptions(text, Options{ForceByteRank: true})
+	buf.Reset()
+	if _, err := ref.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ReadFMIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.pl == nil {
+		t.Error("byte-written protein index should load onto the plane layout")
+	}
+	if back2.Count(text[100:107]) != fm.Count(text[100:107]) {
+		t.Error("counts differ across byte-written round trip")
 	}
 }

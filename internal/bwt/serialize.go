@@ -16,18 +16,49 @@ import (
 // corrupted input.
 
 const (
-	serialMagic   = 0x414c4145 // "ALAE"
-	serialVersion = 1
+	serialMagic = 0x414c4145 // "ALAE"
+	// serialVersion 2 adds an explicit rank-layout tag to the header
+	// (the version-1 format predated the bit-plane protein core and
+	// carried no layout information). Version-1 files are rejected;
+	// rebuild the index.
+	serialVersion = 2
 )
 
+// Rank-layout tags stored in the version-2 header. The tag records
+// which rank core the writing index used; the BWT payload itself is
+// layout-independent (dense-code bytes plus periodic checkpoints), so
+// the tag is informational — the loader validates it and rebuilds the
+// best core for the alphabet.
+const (
+	layoutByte    = 0
+	layoutPacked2 = 1 // 2-bit packed, σ ≤ 4
+	layoutPlane   = 2 // bit planes, 4 < σ ≤ 32
+)
+
+// layoutTag reports the rank-layout tag of the index's current core.
+func (fm *FMIndex) layoutTag() uint32 {
+	switch {
+	case fm.pk != nil:
+		return layoutPacked2
+	case fm.pl != nil:
+		return layoutPlane
+	}
+	return layoutByte
+}
+
 // WriteTo serialises the index. It implements io.WriterTo. The format
-// is layout-independent: a packed-rank index materialises its BWT
-// bytes and periodic checkpoints on the way out, so indexes written by
-// either layout load identically.
+// is layout-independent: a packed- or plane-rank index materialises
+// its BWT bytes and periodic checkpoints on the way out, so indexes
+// written by any layout load identically.
 func (fm *FMIndex) WriteTo(w io.Writer) (int64, error) {
 	bwtBytes, occ := fm.bwt, fm.occ
-	if fm.pk != nil {
-		bwtBytes = fm.pk.appendCodes(make([]byte, 0, fm.Rows()))
+	if fm.pk != nil || fm.pl != nil {
+		bwtBytes = make([]byte, 0, fm.Rows())
+		if fm.pk != nil {
+			bwtBytes = fm.pk.appendCodes(bwtBytes)
+		} else {
+			bwtBytes = fm.pl.appendCodes(bwtBytes)
+		}
 		occ = buildOcc(bwtBytes, fm.sentinelRow, fm.ckptEvery, fm.sigma)
 	}
 	cw := &countingWriter{w: bufio.NewWriter(w)}
@@ -40,7 +71,7 @@ func (fm *FMIndex) WriteTo(w io.Writer) (int64, error) {
 		return nil
 	}
 	header := []any{
-		uint32(serialMagic), uint32(serialVersion),
+		uint32(serialMagic), uint32(serialVersion), fm.layoutTag(),
 		uint64(fm.n), uint32(fm.sigma), uint32(fm.sentinelRow),
 		uint32(fm.ckptEvery), uint32(fm.sampleRate),
 	}
@@ -87,13 +118,17 @@ func ReadFMIndex(r io.Reader) (*FMIndex, error) {
 		return nil, fmt.Errorf("bwt: bad magic %#x; not an ALAE index", magic)
 	}
 	if version != serialVersion {
-		return nil, fmt.Errorf("bwt: unsupported index version %d (want %d)", version, serialVersion)
+		return nil, fmt.Errorf("bwt: unsupported index version %d (want %d); rebuild the index", version, serialVersion)
 	}
 	fm := &FMIndex{}
+	var layout uint32
 	var n uint64
 	var sigma, sentinelRow, ckptEvery, sampleRate uint32
-	if err := read(&n, &sigma, &sentinelRow, &ckptEvery, &sampleRate); err != nil {
+	if err := read(&layout, &n, &sigma, &sentinelRow, &ckptEvery, &sampleRate); err != nil {
 		return nil, fmt.Errorf("bwt: reading index dimensions: %w", err)
+	}
+	if layout > layoutPlane {
+		return nil, fmt.Errorf("bwt: unknown rank-layout tag %d", layout)
 	}
 	const maxReasonable = 1 << 40
 	if n > maxReasonable || sigma > 256 || ckptEvery == 0 || sampleRate == 0 {
@@ -106,6 +141,10 @@ func ReadFMIndex(r io.Reader) (*FMIndex, error) {
 	fm.sampleRate = int(sampleRate)
 	if fm.sentinelRow > fm.n {
 		return nil, fmt.Errorf("bwt: sentinel row %d out of range", fm.sentinelRow)
+	}
+	if (layout == layoutPacked2 && fm.sigma > 4) ||
+		(layout == layoutPlane && (fm.sigma <= 4 || fm.sigma > 32)) {
+		return nil, fmt.Errorf("bwt: rank-layout tag %d inconsistent with σ=%d", layout, fm.sigma)
 	}
 
 	var nLetters uint32
@@ -199,9 +238,11 @@ func ReadFMIndex(r io.Reader) (*FMIndex, error) {
 	if err := fm.verifyConsistency(); err != nil {
 		return nil, err
 	}
-	// Swap the validated byte layout for the bit-parallel packed core
-	// when the alphabet allows it, matching what NewWithOptions builds.
-	if fm.sigma >= 1 && fm.sigma <= 4 {
+	// Swap the validated byte layout for a bit-parallel core when the
+	// alphabet allows it (2-bit packed for σ ≤ 4, bit planes for
+	// 4 < σ ≤ 32), matching what NewWithOptions builds — regardless of
+	// which layout the writer happened to use.
+	if fm.sigma >= 1 && fm.sigma <= 32 {
 		fm.attachRank(fm.bwt, false)
 	}
 	return fm, nil

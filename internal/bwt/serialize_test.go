@@ -3,6 +3,7 @@ package bwt
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -98,9 +99,31 @@ func TestSerializeRejectsCorruption(t *testing.T) {
 	if _, err := ReadFMIndex(bytes.NewReader(bad)); err == nil {
 		t.Error("bad version accepted")
 	}
-	// Implausible n (length field blown up).
+	// The previous on-disk version (1, which predates the rank-layout
+	// tag) must be rejected with a version message, not misparsed.
 	bad = append([]byte(nil), good...)
-	for i := 8; i < 16; i++ {
+	bad[4] = 1
+	if _, err := ReadFMIndex(bytes.NewReader(bad)); err == nil {
+		t.Error("version-1 index accepted")
+	} else if !strings.Contains(err.Error(), "version 1") {
+		t.Errorf("version-1 rejection unclear: %v", err)
+	}
+	// Unknown rank-layout tag (bytes 8..11 of the v2 header).
+	bad = append([]byte(nil), good...)
+	bad[8] = 77
+	if _, err := ReadFMIndex(bytes.NewReader(bad)); err == nil {
+		t.Error("unknown layout tag accepted")
+	}
+	// Layout tag inconsistent with the alphabet (plane tag on σ=4).
+	bad = append([]byte(nil), good...)
+	bad[8] = 2
+	if _, err := ReadFMIndex(bytes.NewReader(bad)); err == nil {
+		t.Error("layout tag inconsistent with σ accepted")
+	}
+	// Implausible n (length field blown up). In the v2 header n is the
+	// uint64 at bytes 12..19, after magic, version and the layout tag.
+	bad = append([]byte(nil), good...)
+	for i := 12; i < 20; i++ {
 		bad[i] = 0xff
 	}
 	if _, err := ReadFMIndex(bytes.NewReader(bad)); err == nil {

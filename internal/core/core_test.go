@@ -215,10 +215,11 @@ func TestSearchEdgeInputs(t *testing.T) {
 	s := align.DefaultDNA
 	e := New([]byte("ACGTACGT"), Options{})
 	c := align.NewCollector()
-	// Query shorter than q.
+	// Query shorter than q: diagnosed, not silently empty (qgram.New
+	// would emit zero grams and the engines would have nothing to do).
 	st, err := e.Search([]byte("AC"), s, s.MinThreshold(), c)
-	if err != nil || st.ForksConsidered != 0 {
-		t.Errorf("short query: st=%+v err=%v", st, err)
+	if err == nil || st.ForksConsidered != 0 {
+		t.Errorf("short query accepted: st=%+v err=%v", st, err)
 	}
 	// Empty text.
 	e2 := New(nil, Options{})
@@ -233,6 +234,39 @@ func TestSearchEdgeInputs(t *testing.T) {
 	}
 	if c.Len() != 0 {
 		t.Error("impossible hits emitted")
+	}
+}
+
+// TestShortQueryDiagnosedBothEngines pins the too-short-query
+// contract on both engine modes: a query shorter than the scheme's
+// gram length is rejected with a descriptive error — from one-shot
+// Search and from a re-armed Session alike — and the session stays
+// usable for well-formed queries afterwards.
+func TestShortQueryDiagnosedBothEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	text := randDNA(500, rng)
+	s := align.DefaultDNA
+	q := s.Q()
+	short := randDNA(q-1, rng)
+	good := randDNA(60, rng)
+	for _, mode := range []Mode{ModeDFS, ModeHybrid} {
+		e := New(text, Options{Mode: mode})
+		c := align.NewCollector()
+		if _, err := e.Search(short, s, s.MinThreshold(), c); err == nil {
+			t.Fatalf("mode %v: short query (m=%d < q=%d) accepted", mode, len(short), q)
+		}
+		if _, err := e.Search(nil, s, s.MinThreshold(), c); err == nil {
+			t.Fatalf("mode %v: empty query accepted", mode)
+		}
+		ses := e.AcquireSession()
+		if _, err := ses.Search(short, s, s.MinThreshold(), c, 1); err == nil {
+			t.Fatalf("mode %v: session accepted short query", mode)
+		}
+		// The rejection must not poison the session.
+		if _, err := ses.Search(good, s, s.MinThreshold(), c, 1); err != nil {
+			t.Fatalf("mode %v: session broken after short-query rejection: %v", mode, err)
+		}
+		ses.Release()
 	}
 }
 

@@ -22,7 +22,11 @@ import (
 // merged band rows of every depth share one structure-of-arrays slab
 // (js/m/ga backing arrays with per-frame offsets). Pushing a child
 // appends to the slab tops; popping truncates. Nothing in the per-gram
-// path allocates once the workspace is warm.
+// path allocates once the workspace is warm. Child enumeration — the
+// ExtendAll at the root and at every fork expansion — rides the rank
+// core's fused two-row scan: both boundary rows of a node's range are
+// answered from one checkpoint-block visit whenever they are close,
+// so an expanded node pays ~one scan instead of two.
 
 // seedCell is an FGOE entering the merged band at the current row.
 type seedCell struct {

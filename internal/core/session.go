@@ -47,6 +47,37 @@ type Session struct {
 	wstats []Stats
 }
 
+// errQueryTooShort is the shared diagnostic for queries the q-gram
+// engines cannot start a fork from: qgram.New would emit zero grams
+// (no window of length q fits), so a search would silently return an
+// empty hit set — almost always a caller bug (truncated input, wrong
+// scheme). Callers that want the degenerate answer can use the
+// Smith-Waterman baseline, which has no gram-length floor.
+func errQueryTooShort(m, q int, s align.Scheme) error {
+	return fmt.Errorf("core: query length %d is shorter than the scheme's gram length q=%d (scheme %v); the q-gram engines cannot search it", m, q, s)
+}
+
+// ResolveGrams runs only the gram-resolution stage of a search: every
+// distinct q-gram of query is resolved against the trie (through the
+// cross-query cache where warm, by the prefix-shared walk otherwise)
+// and the number of present families is returned, with the resolution
+// counters (ForksConsidered/Absent, GramCacheHits/Misses) in st. This
+// is the isolation surface the perf tooling (alae-exp -bench-json and
+// BenchmarkGramResolution) tracks across PRs; the family count is
+// layout-invariant, which is its exactness gate.
+func (ses *Session) ResolveGrams(query []byte, s align.Scheme) (families int, st Stats, err error) {
+	q := s.Q()
+	st.Q = q
+	if len(query) < q {
+		return 0, st, errQueryTooShort(len(query), q, s)
+	}
+	qidx, err := qgram.New(query, q, ses.e.trie.Letters())
+	if err != nil {
+		return 0, st, err
+	}
+	return len(ses.resolveFamilies(qidx, &st)), st, nil
+}
+
 // AcquireSession returns a pooled session (or a fresh one) for this
 // engine. Callers re-arm it per query via Session.Search and hand it
 // back with Release.
@@ -83,7 +114,13 @@ func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collect
 	} else {
 		st.Lmax = s.Lmax(m, h)
 	}
-	if m < q || e.trie.Index().Len() == 0 {
+	if m < q {
+		// The empty set happens to be exact here — a query of m < q
+		// characters scores at most m·sa < MinThreshold ≤ h — but it is
+		// diagnosed instead of returned; see errQueryTooShort.
+		return st, errQueryTooShort(m, q, s)
+	}
+	if e.trie.Index().Len() == 0 {
 		return st, nil
 	}
 

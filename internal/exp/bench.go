@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/align"
+	"repro/internal/core"
 )
 
 // Machine-readable benchmarking for the perf trajectory (BENCH_*.json).
@@ -145,6 +147,58 @@ func RunBenchJSON(w io.Writer, cfg Config, reps int) error {
 	}
 	if err := repeatPoint("p=1 repeat-hot", func() (*alae.Index, error) { return ix, nil }); err != nil {
 		return err
+	}
+
+	// Protein gram-resolution points: the resolution stage in
+	// isolation, over the same scale (n=200k text, m=5000 query) as the
+	// BenchmarkGramResolution harness. "walk" resolves uncached through
+	// the rank core every time (the number the plane-rank layout
+	// moves); "cached" runs against a warm cross-query gram cache.
+	// Entries carries the ForksConsidered count and Hits the resolved
+	// family count — both must be invariant across rank layouts and
+	// cache states, which is this point's exactness gate.
+	pwl := ProteinWorkload(n, m, 1, cfg.Seed)
+	pQuery := pwl.Queries[0]
+	const resolvesPerRep = 32
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"protein-resolve walk", core.Options{GramCacheSize: -1}},
+		{"protein-resolve cached", core.Options{}},
+	} {
+		e := core.New(pwl.Text, tc.opts)
+		ses := e.AcquireSession()
+		best := BenchResult{Name: tc.name, Reps: reps}
+		if _, _, err := ses.ResolveGrams(pQuery, align.DefaultProtein); err != nil {
+			return err // warm the cache and the session buffers
+		}
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			var fams int
+			var st core.Stats
+			var err error
+			for i := 0; i < resolvesPerRep; i++ {
+				fams, st, err = ses.ResolveGrams(pQuery, align.DefaultProtein)
+				if err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(start).Nanoseconds() / resolvesPerRep
+			if best.NsPerOp == 0 || elapsed < best.NsPerOp {
+				best.NsPerOp = elapsed
+			}
+			best.Entries = st.ForksConsidered
+			best.Hits = fams
+		}
+		ses.Release()
+		best.MsPerOp = float64(best.NsPerOp) / 1e6
+		if prev := len(suite.Results) - 1; suite.Results[prev].Name == "protein-resolve walk" &&
+			(suite.Results[prev].Entries != best.Entries || suite.Results[prev].Hits != best.Hits) {
+			return fmt.Errorf("exp: protein resolution diverged between walk and cached (%d/%d vs %d/%d)",
+				suite.Results[prev].Entries, suite.Results[prev].Hits, best.Entries, best.Hits)
+		}
+		suite.Results = append(suite.Results, best)
 	}
 
 	enc := json.NewEncoder(w)

@@ -13,7 +13,7 @@ package qgram
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 )
 
 // Index is the inverted q-gram index of a query string.
@@ -212,7 +212,10 @@ func (idx *Index) GramsSortedKeys(fn func(gram []byte, key uint64, positions []i
 	for key := range idx.lists {
 		keys = append(keys, key)
 	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	// slices.Sort, not sort.Slice: on a protein query (~m distinct
+	// grams) the reflection-based swapper dominated the whole
+	// resolution pass.
+	slices.Sort(keys)
 	buf := make([]byte, idx.q)
 	for _, key := range keys {
 		idx.packer.Decode(key, buf)
@@ -251,7 +254,7 @@ func (idx *Index) GramsSortedLCP(fn func(gram []byte, lcp int, positions []int32
 	for g := range idx.strKeys {
 		keys = append(keys, g)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	buf := make([]byte, idx.q)
 	prev := ""
 	for _, g := range keys {

@@ -63,22 +63,43 @@ func Load(r io.Reader) (*Index, error) {
 	}, nil
 }
 
-// complementTable maps each DNA base to its complement; every other
-// byte maps to itself. Built once so ReverseComplement is a table walk
-// rather than a per-byte switch.
+// complementTable maps each DNA base to its complement — upper AND
+// lower case, plus the IUPAC ambiguity codes — and every other byte to
+// itself. Built once so ReverseComplement is a table walk rather than
+// a per-byte switch.
+//
+// The original table only complemented uppercase ACGT, so soft-masked
+// (lowercase) or ambiguity-coded FASTA input passed through unchanged
+// and SearchBothStrands silently searched a *reversed but
+// uncomplemented* strand — wrong answers, no diagnostic.
 var complementTable = func() [256]byte {
 	var t [256]byte
 	for i := range t {
 		t[i] = byte(i)
 	}
-	t['A'], t['T'] = 'T', 'A'
-	t['C'], t['G'] = 'G', 'C'
+	// Watson–Crick pairs and the paired IUPAC ambiguity codes:
+	// R(AG)↔Y(CT), K(GT)↔M(AC), B(CGT)↔V(ACG), D(AGT)↔H(ACT).
+	// S(CG), W(AT) and N are their own complements and stay identity.
+	for _, p := range [...][2]byte{
+		{'A', 'T'}, {'C', 'G'},
+		{'R', 'Y'}, {'K', 'M'}, {'B', 'V'}, {'D', 'H'},
+	} {
+		a, b := p[0], p[1]
+		t[a], t[b] = b, a
+		t[a|0x20], t[b|0x20] = b|0x20, a|0x20 // lowercase, case-preserving
+	}
 	return t
 }()
 
 // ReverseComplement returns the reverse complement of a DNA sequence.
-// Bytes outside ACGT (e.g. collection separators) are preserved in
-// place so coordinates stay meaningful.
+// Lowercase (soft-masked) bases complement case-preservingly, and the
+// IUPAC ambiguity codes map to their complements (R↔Y, K↔M, B↔V, D↔H;
+// S, W and N are self-complementary). Bytes outside the DNA alphabet
+// (e.g. collection separators) are preserved in place so coordinates
+// stay meaningful. Note that Index matching is byte-exact: soft-masked
+// input should be case-normalised to the index's case before
+// searching, and N never matches an ACGT text (it can still sit inside
+// a hit as a mismatch).
 func ReverseComplement(s []byte) []byte {
 	out := make([]byte, len(s))
 	for i, c := range s {
@@ -135,8 +156,19 @@ var searchAllStarted func(qi int)
 // the given parallelism (0 means one worker per query up to 8).
 // Results are returned in query order; the first error cancels the
 // remaining work — queries not yet started are never launched (their
-// result slots stay nil) and the first error in query order is
-// returned.
+// result slots stay nil) and exactly the first error in query order is
+// returned, wrapped with its query index.
+//
+// First-error determinism: workers claim query indexes from an atomic
+// cursor in ascending order, so when any query fails, every
+// lower-indexed query has already been claimed and runs to completion
+// on its worker. Each failure CAS-min's its index into a shared slot;
+// after the pool drains, that slot therefore holds the globally lowest
+// failing index among the queries that ran — the same error every
+// time, however the workers interleave. (The previous implementation
+// raced two same-window failures on a boolean flag and could both
+// report the later error and, on a configuration error, drop the
+// error entirely while returning nil result slots.)
 //
 // Warm-up contract: before any worker starts, SearchAll builds the
 // shared lazy structures once — the engine for the requested
@@ -173,28 +205,47 @@ func (ix *Index) SearchAll(queries [][]byte, opts SearchOptions, workers int) ([
 	results := make([]*Result, len(queries))
 	errs := make([]error, len(queries))
 	var (
-		wg     sync.WaitGroup
-		cursor atomic.Int64
-		failed atomic.Bool // context-style cancellation flag
+		wg       sync.WaitGroup
+		cursor   atomic.Int64
+		failedAt atomic.Int64 // lowest failing query index; len(queries) = none
+		openOnce sync.Once
+		openErr  error // configuration error, when no query owns one
 	)
+	failedAt.Store(int64(len(queries)))
+	// markFailed CAS-min's qi into failedAt. errs[qi] must be written
+	// before the call; wg.Wait() publishes both to the final read.
+	markFailed := func(qi int) {
+		for {
+			cur := failedAt.Load()
+			if int64(qi) >= cur || failedAt.CompareAndSwap(cur, int64(qi)) {
+				return
+			}
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			ses, err := ix.OpenSession(opts)
 			if err != nil {
-				// Configuration errors apply to every query; report on
-				// the first unclaimed one and stop.
-				if qi := int(cursor.Add(1)) - 1; qi < len(queries) {
-					errs[qi] = err
-				}
-				failed.Store(true)
+				// Configuration errors apply to every query, not any
+				// particular one: keep the error in its own slot (so it
+				// is never misreported as "query N") and claim the next
+				// index only to stop later queries from launching. A
+				// genuine per-query failure at a lower index still wins
+				// the CAS-min and is reported instead.
+				openOnce.Do(func() { openErr = err })
+				qi := int(cursor.Add(1)) - 1
+				markFailed(min(qi, len(queries)-1))
 				return
 			}
 			defer ses.Close()
 			for {
+				if failedAt.Load() < int64(len(queries)) {
+					return
+				}
 				qi := int(cursor.Add(1)) - 1
-				if qi >= len(queries) || failed.Load() {
+				if qi >= len(queries) {
 					return
 				}
 				if searchAllStarted != nil {
@@ -202,17 +253,20 @@ func (ix *Index) SearchAll(queries [][]byte, opts SearchOptions, workers int) ([
 				}
 				results[qi], errs[qi] = ses.Search(queries[qi])
 				if errs[qi] != nil {
-					failed.Store(true)
+					markFailed(qi)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	if fa := int(failedAt.Load()); fa < len(queries) {
+		if errs[fa] != nil {
+			return nil, fmt.Errorf("alae: query %d: %w", fa, errs[fa])
 		}
+		// The failure mark came from a configuration error, which no
+		// query owns; report it unwrapped.
+		return nil, openErr
 	}
 	return results, nil
 }

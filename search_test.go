@@ -3,6 +3,7 @@ package alae
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/align"
@@ -71,9 +72,36 @@ func TestReverseComplement(t *testing.T) {
 	if !bytes.Equal(ReverseComplement(ReverseComplement(s)), s) {
 		t.Error("RC is not an involution")
 	}
-	// Non-ACGT bytes survive.
+	// Non-DNA bytes survive.
 	if got := ReverseComplement([]byte("A#T")); string(got) != "A#T" {
 		t.Errorf("RC(A#T) = %s", got)
+	}
+	// Lowercase (soft-masked) bases complement case-preservingly: the
+	// original table left them untouched, silently searching a wrong
+	// reverse strand on soft-masked FASTA input.
+	if got := ReverseComplement([]byte("acgt")); string(got) != "acgt" {
+		t.Errorf("RC(acgt) = %s, want acgt", got)
+	}
+	if got := ReverseComplement([]byte("AAcg")); string(got) != "cgTT" {
+		t.Errorf("RC(AAcg) = %s, want cgTT", got)
+	}
+	// IUPAC ambiguity codes map to their complements, both cases;
+	// S, W, N are self-complementary.
+	if got := ReverseComplement([]byte("RYKMBVDHSWN")); string(got) != "NWSDHBVKMRY" {
+		t.Errorf("RC(RYKMBVDHSWN) = %s, want NWSDHBVKMRY", got)
+	}
+	if got := ReverseComplement([]byte("ANa")); string(got) != "tNT" {
+		t.Errorf("RC(ANa) = %s, want tNT", got)
+	}
+	// Involution over the full IUPAC alphabet, mixed case.
+	iupac := []byte("ACGTRYKMBVDHSWNacgtrykmbvdhswn")
+	if !bytes.Equal(ReverseComplement(ReverseComplement(iupac)), iupac) {
+		t.Error("RC is not an involution over IUPAC codes")
+	}
+	// Case-preservation commutes with case-folding.
+	lower := bytes.ToLower(s)
+	if !bytes.Equal(ReverseComplement(lower), bytes.ToLower(ReverseComplement(s))) {
+		t.Error("lowercase RC diverges from case-folded RC")
 	}
 }
 
@@ -107,6 +135,61 @@ func TestSearchBothStrands(t *testing.T) {
 	}
 }
 
+// TestSearchBothStrandsSoftMaskedAndN is the regression test for the
+// complement-table bug: lowercase (soft-masked) and N-containing
+// queries must still find reverse-strand homology. Before the fix,
+// lowercase bases passed through ReverseComplement unchanged, so the
+// reverse search ran against a reversed-but-uncomplemented strand and
+// silently found nothing.
+func TestSearchBothStrandsSoftMaskedAndN(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	text := randDNA(4000, rng)
+	// Soft-mask a region, as repeat maskers emit it.
+	for i := 1000; i < 1120; i++ {
+		text[i] |= 0x20
+	}
+	ix := NewIndex(text) // σ=8: upper and lower case letters
+
+	// A lowercase query homologous to the soft-masked region's reverse
+	// strand: RC must complement case-preservingly for this to match.
+	segment := text[1010:1110]
+	query := append(randDNA(40, rng), append(ReverseComplement(segment), randDNA(40, rng)...)...)
+	hits, err := ix.SearchBothStrands(query, SearchOptions{Threshold: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reverse := 0
+	for _, h := range hits {
+		if h.Strand == Reverse {
+			reverse++
+		}
+	}
+	if reverse == 0 {
+		t.Error("soft-masked reverse-strand homology not found")
+	}
+
+	// An N-containing query: N matches nothing (it is absent from the
+	// text), but behaves as a mismatch inside an otherwise strong
+	// reverse-strand alignment.
+	nQuery := ReverseComplement(text[2000:2100])
+	for _, p := range []int{20, 50, 80} {
+		nQuery[p] = 'N'
+	}
+	hits, err = ix.SearchBothStrands(nQuery, SearchOptions{Threshold: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reverse = 0
+	for _, h := range hits {
+		if h.Strand == Reverse {
+			reverse++
+		}
+	}
+	if reverse == 0 {
+		t.Error("N-containing reverse-strand homology not found")
+	}
+}
+
 func TestSearchAllMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(303))
 	text := randDNA(10000, rng)
@@ -130,6 +213,51 @@ func TestSearchAllMatchesSequential(t *testing.T) {
 		if !align.EqualHits(parallel[qi].Hits, seqRes.Hits) {
 			t.Fatalf("query %d: parallel and sequential disagree", qi)
 		}
+	}
+}
+
+// TestSearchAllFirstErrorDeterministic pins first-error determinism:
+// when several queries fail in the same scheduling window on different
+// workers, exactly the lowest-indexed failure is reported, every time.
+// (The pre-fix implementation raced the failures on a boolean flag and
+// could report whichever worker lost the race.) Run under -race this
+// also exercises the CAS-min path concurrently.
+func TestSearchAllFirstErrorDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	text := randDNA(2000, rng)
+	ix := NewIndex(text)
+	queries := make([][]byte, 24)
+	for i := range queries {
+		queries[i] = randDNA(60, rng)
+	}
+	// A block of adjacent failing queries (shorter than q): several
+	// workers hit their errors in the same window.
+	q := DefaultDNAScheme.Q()
+	for _, bad := range []int{7, 8, 9, 10} {
+		queries[bad] = randDNA(q-1, rng)
+	}
+	opts := SearchOptions{Threshold: 25}
+	for round := 0; round < 8; round++ {
+		res, err := ix.SearchAll(queries, opts, 4)
+		if err == nil {
+			t.Fatal("failing queries reported no error")
+		}
+		if res != nil {
+			t.Fatal("results returned alongside an error")
+		}
+		if !strings.Contains(err.Error(), "query 7:") {
+			t.Fatalf("round %d: reported %q, want the first failing query (7)", round, err)
+		}
+	}
+
+	// A configuration error (invalid scheme fails OpenSession) applies
+	// to every query: it must come back raw, not misattributed to a
+	// "query N".
+	bad := SearchOptions{Scheme: Scheme{Match: -1}, Threshold: 25}
+	if _, err := ix.SearchAll(queries[:4], bad, 2); err == nil {
+		t.Fatal("invalid scheme reported no error")
+	} else if strings.Contains(err.Error(), "query ") {
+		t.Fatalf("configuration error misattributed to a query: %q", err)
 	}
 }
 

@@ -63,8 +63,10 @@ func (ix *Index) OpenSession(opts SearchOptions) (*Session, error) {
 
 // Search runs one query through the session; results are identical to
 // Index.Search with the session's options, whether the session is
-// fresh or re-armed and whatever ran through it before. A closed
-// session errors rather than silently degrading to one-shot searches.
+// fresh or re-armed and whatever ran through it before — including the
+// rejection of queries shorter than the scheme's gram length (see
+// Index.Search). A closed session errors rather than silently
+// degrading to one-shot searches.
 func (ses *Session) Search(query []byte) (*Result, error) {
 	if ses.closed {
 		return nil, fmt.Errorf("alae: Search on a closed Session")

@@ -82,6 +82,39 @@ func TestSessionReuseParity(t *testing.T) {
 	}
 }
 
+// TestShortQueryRejectedPublicSurface pins the too-short-query
+// contract at the public layer: Index.Search and Session.Search reject
+// queries shorter than the scheme's gram length for both ALAE engines
+// with a descriptive error, while the Smith-Waterman baseline (which
+// has no gram-length floor) still answers them.
+func TestShortQueryRejectedPublicSurface(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	ix := NewIndex(randDNA(400, rng))
+	q := DefaultDNAScheme.Q()
+	short := randDNA(q-1, rng)
+	for _, alg := range []Algorithm{ALAE, ALAEHybrid} {
+		opts := SearchOptions{Algorithm: alg, Threshold: 25}
+		if _, err := ix.Search(short, opts); err == nil {
+			t.Errorf("%v: Index.Search accepted a query of length %d < q=%d", alg, len(short), q)
+		}
+		ses, err := ix.OpenSession(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ses.Search(short); err == nil {
+			t.Errorf("%v: Session.Search accepted a short query", alg)
+		}
+		// The session must stay usable after the rejection.
+		if _, err := ses.Search(randDNA(50, rng)); err != nil {
+			t.Errorf("%v: session broken after short-query rejection: %v", alg, err)
+		}
+		ses.Close()
+	}
+	if _, err := ix.Search(short, SearchOptions{Algorithm: SmithWaterman, Threshold: 25}); err != nil {
+		t.Errorf("Smith-Waterman rejected a short query: %v", err)
+	}
+}
+
 // TestSessionBaselineAlgorithms pins the fallback: sessions over the
 // stateless baseline engines forward to Index.Search.
 func TestSessionBaselineAlgorithms(t *testing.T) {
