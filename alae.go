@@ -129,7 +129,26 @@ type Stats struct {
 	ForksDominated    int64 // forks pruned by q-prefix domination
 	GramCacheHits     int64 // distinct q-grams resolved from the cross-query cache
 	GramCacheMisses   int64 // distinct q-grams resolved by trie walk
+	QueryCacheHits    int64 // Store only: whole results served from the query cache
+	QueryCacheMisses  int64 // Store only: results computed and published to the cache
 	Seeds             int64 // BLAST only: word hits examined
+}
+
+// add accumulates another search's counters into st — the gather step
+// of the sharded store sums its per-shard statistics with it.
+func (st *Stats) add(o Stats) {
+	st.CalculatedEntries += o.CalculatedEntries
+	st.ReusedEntries += o.ReusedEntries
+	st.AccessedEntries += o.AccessedEntries
+	st.ComputationCost += o.ComputationCost
+	st.NodesVisited += o.NodesVisited
+	st.ForksStarted += o.ForksStarted
+	st.ForksDominated += o.ForksDominated
+	st.GramCacheHits += o.GramCacheHits
+	st.GramCacheMisses += o.GramCacheMisses
+	st.QueryCacheHits += o.QueryCacheHits
+	st.QueryCacheMisses += o.QueryCacheMisses
+	st.Seeds += o.Seeds
 }
 
 // Result is one search's outcome.
@@ -223,15 +242,15 @@ func (ix *Index) alaeEngine(mode core.Mode, opts SearchOptions) (*core.Engine, e
 	return e, nil
 }
 
-// ResolveThreshold returns the raw score threshold a search with
-// these options would use for a query of length m. Negative thresholds
-// and negative E-values are rejected: both are always caller bugs, and
-// silently falling back to the defaults would hide them.
-func (ix *Index) ResolveThreshold(m int, opts SearchOptions) (int, error) {
-	s := opts.Scheme
-	if s == (Scheme{}) {
-		s = DefaultDNAScheme
-	}
+// resolveThresholdOver derives the raw score threshold for a query of
+// length m against a database of length n and alphabet size dbSigma —
+// the one shared derivation behind Index.ResolveThreshold and the
+// store's global-threshold resolution, so the two can never diverge
+// (the store's shard-parity gates depend on them agreeing). Negative
+// thresholds and negative E-values are rejected: both are always
+// caller bugs, and silently falling back to the defaults would hide
+// them.
+func resolveThresholdOver(s Scheme, opts SearchOptions, m, n, dbSigma int) (int, error) {
 	if opts.Threshold < 0 {
 		return 0, fmt.Errorf("alae: negative threshold %d; use 0 to derive the threshold from the E-value", opts.Threshold)
 	}
@@ -247,12 +266,53 @@ func (ix *Index) ResolveThreshold(m int, opts SearchOptions) (int, error) {
 	}
 	sigma := opts.AlphabetSize
 	if sigma == 0 {
-		sigma = ix.trie.Index().Sigma()
+		sigma = dbSigma
 		if sigma < 2 {
 			sigma = 4
 		}
 	}
-	return evalue.ThresholdFor(s, sigma, m, max(ix.Len(), 1), ev)
+	return evalue.ThresholdFor(s, sigma, m, max(n, 1), ev)
+}
+
+// ResolveThreshold returns the raw score threshold a search with
+// these options would use for a query of length m; see
+// resolveThresholdOver for the derivation and rejection rules.
+func (ix *Index) ResolveThreshold(m int, opts SearchOptions) (int, error) {
+	s := opts.Scheme
+	if s == (Scheme{}) {
+		s = DefaultDNAScheme
+	}
+	return resolveThresholdOver(s, opts, m, ix.Len(), ix.trie.Index().Sigma())
+}
+
+// validateSearchOptions rejects search configurations that are always
+// caller bugs, independently of any query: negative thresholds and
+// E-values (silently falling back to the defaults would hide them),
+// negative parallelism, unknown algorithms, and schemes the selected
+// baseline cannot run. Index.Search applies it per call; OpenSession
+// applies it eagerly so a misconfigured serving lane fails at open —
+// for every algorithm, not only the ALAE engines — instead of on its
+// first query.
+func validateSearchOptions(opts SearchOptions, s Scheme) error {
+	if opts.Threshold < 0 {
+		return fmt.Errorf("alae: negative threshold %d; use 0 to derive the threshold from the E-value", opts.Threshold)
+	}
+	if opts.EValue < 0 {
+		return fmt.Errorf("alae: negative E-value %g; use 0 for the default of 10", opts.EValue)
+	}
+	if opts.Parallelism < 0 {
+		return fmt.Errorf("alae: negative parallelism %d; use 0 for all cores, 1 for the sequential engine", opts.Parallelism)
+	}
+	switch opts.Algorithm {
+	case ALAE, ALAEHybrid, BLAST, SmithWaterman:
+	case BWTSW:
+		if !s.BWTSWCompatible() {
+			return fmt.Errorf("alae: BWT-SW requires |sb| ≥ 3·|sa| (scheme %v); see §2.4", s)
+		}
+	default:
+		return fmt.Errorf("alae: unknown algorithm %v", opts.Algorithm)
+	}
+	return nil
 }
 
 // Search runs a local-alignment search for query against the index.
@@ -268,6 +328,9 @@ func (ix *Index) Search(query []byte, opts SearchOptions) (*Result, error) {
 		s = DefaultDNAScheme
 	}
 	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSearchOptions(opts, s); err != nil {
 		return nil, err
 	}
 	h, err := ix.ResolveThreshold(len(query), opts)
@@ -293,9 +356,7 @@ func (ix *Index) Search(query []byte, opts SearchOptions) (*Result, error) {
 		}
 		res.Stats = statsFromCore(st)
 	case BWTSW:
-		if !s.BWTSWCompatible() {
-			return nil, fmt.Errorf("alae: BWT-SW requires |sb| ≥ 3·|sa| (scheme %v); see §2.4", s)
-		}
+		// Scheme compatibility was vetted by validateSearchOptions.
 		ix.mu.Lock()
 		if ix.bwtsw == nil {
 			ix.bwtsw = bwtsw.NewFromTrie(ix.trie)

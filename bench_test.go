@@ -463,3 +463,86 @@ func BenchmarkIndexSaveLoad(b *testing.B) {
 		}
 	})
 }
+
+// --- Serving store: sharded scatter-gather and the result cache ---
+
+// storeCache shares built stores across sub-benchmark invocations.
+var storeCache sync.Map
+
+func getStore(b *testing.B, text []byte, shards, cacheSize int) *alae.Store {
+	b.Helper()
+	type key struct{ shards, cacheSize int }
+	k := key{shards, cacheSize}
+	if v, ok := storeCache.Load(k); ok {
+		return v.(*alae.Store)
+	}
+	const chunks = 8
+	recs := make([]alae.SeqRecord, 0, chunks)
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*len(text)/chunks, (i+1)*len(text)/chunks
+		recs = append(recs, alae.SeqRecord{Name: itoa(i), Seq: text[lo:hi]})
+	}
+	st, err := alae.NewStore(recs, alae.StoreOptions{Shards: shards, QueryCacheSize: cacheSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	storeCache.Store(k, st)
+	return st
+}
+
+// BenchmarkStoreSearch serves the Table 2 workload (8 named chunks)
+// through stores of 1, 2 and 4 shards with the result cache disabled —
+// the scatter-gather cost — plus the cache-hot exact-repeat point. The
+// hits metric must be identical across shard counts (sharding is
+// invisible); entries grow with K (the partition loses cross-shard
+// trie sharing — see DESIGN.md) and are reported, not asserted.
+func BenchmarkStoreSearch(b *testing.B) {
+	k := wlKey{kind: "dna", n: 200_000, m: 5_000, queries: 2, seed: 42}
+	cw := getWorkload(b, k)
+	opts := alae.SearchOptions{Algorithm: alae.ALAE, Parallelism: 1}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run("k="+itoa(shards), func(b *testing.B) {
+			st := getStore(b, cw.wl.Text, shards, -1)
+			run := func() (entries int64, hits int) {
+				results, err := st.SearchAll(cw.wl.Queries, opts, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					entries += res.Stats.CalculatedEntries
+					hits += len(res.Hits)
+				}
+				return entries, hits
+			}
+			run() // warm sessions and lazy structures
+			b.ResetTimer()
+			var entries int64
+			var hits int
+			for i := 0; i < b.N; i++ {
+				entries, hits = run()
+			}
+			b.ReportMetric(float64(hits), "hits")
+			b.ReportMetric(float64(entries), "entries")
+		})
+	}
+	b.Run("cache-hot", func(b *testing.B) {
+		st := getStore(b, cw.wl.Text, 4, 0)
+		query := cw.wl.Queries[0]
+		if _, err := st.Search(query, opts); err != nil { // populate the cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var res *alae.StoreResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			if res, err = st.Search(query, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(res.Hits)), "hits")
+		if res.Stats.QueryCacheHits != 1 {
+			b.Fatal("cache-hot point missed the cache")
+		}
+	})
+}

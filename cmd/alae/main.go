@@ -1,15 +1,21 @@
-// Command alae runs local-alignment searches: it indexes a FASTA text
-// (a genome or a sequence database) and aligns every record of a FASTA
-// query file against it, printing hits and, optionally, full
-// alignments.
+// Command alae runs local-alignment searches: it builds a sharded
+// serving store over one or more FASTA database files and aligns every
+// record of a FASTA query file against it, printing hits mapped to
+// their member sequences and, optionally, full alignments.
 //
 // Usage:
 //
 //	alae -text genome.fa -query reads.fa [flags]
+//	alae -text chr1.fa,chr2.fa -shards 4 -query reads.fa
 //
-// Flags select the engine (alae, alae-hybrid, bwtsw, blast, sw), the
-// scoring scheme ⟨sa,sb,sg,ss⟩ and either a raw score threshold or an
-// E-value. Exit status is non-zero on any error.
+// -text accepts a comma-separated list of FASTA files; every record of
+// every file becomes one named member of the store. -shards picks the
+// number of index shards the members are partitioned into (searches
+// fan out over shards in parallel and gather one mapped hit set).
+// Repeated identical queries are answered from the store's result
+// cache. Flags select the engine (alae, alae-hybrid, bwtsw, blast,
+// sw), the scoring scheme ⟨sa,sb,sg,ss⟩ and either a raw score
+// threshold or an E-value. Exit status is non-zero on any error.
 package main
 
 import (
@@ -31,28 +37,30 @@ func main() {
 
 func run() error {
 	var (
-		textPath  = flag.String("text", "", "FASTA file with the text/database sequences (required)")
+		textPath  = flag.String("text", "", "comma-separated FASTA file(s) with the database sequences (required)")
 		queryPath = flag.String("query", "", "FASTA file with the query sequences (required)")
 		algorithm = flag.String("algorithm", "alae", "engine: alae, alae-hybrid, bwtsw, blast, sw")
 		schemeStr = flag.String("scheme", "1,-3,-5,-2", "scoring scheme sa,sb,sg,ss")
 		threshold = flag.Int("threshold", 0, "raw score threshold H (0 = derive from -evalue)")
 		eValue    = flag.Float64("evalue", 10, "expectation value used when -threshold is 0")
 		parallel  = flag.Int("p", 0, "ALAE worker goroutines per search (0 = all cores, 1 = sequential)")
+		shards    = flag.Int("shards", 1, "number of index shards the database is partitioned into")
+		cacheSize = flag.Int("query-cache", 0, "result-cache capacity in queries (0 = default, -1 = disabled)")
 		showAlign = flag.Bool("align", false, "print the best alignment per query")
 		maxHits   = flag.Int("max-hits", 10, "hits printed per query (0 = all)")
 		stats     = flag.Bool("stats", false, "print work statistics per query")
-		saveIndex = flag.String("save-index", "", "write the built index to this file and exit")
-		loadIndex = flag.String("load-index", "", "load a previously saved index instead of -text")
+		saveStore = flag.String("save-store", "", "write the built store (manifest + shard indexes) to this file and exit")
+		loadStore = flag.String("load-store", "", "load a previously saved store instead of -text")
 		strands   = flag.Bool("both-strands", false, "also search the reverse complement (DNA)")
 	)
 	flag.Parse()
-	if *loadIndex == "" && *textPath == "" {
+	if *loadStore == "" && *textPath == "" {
 		flag.Usage()
-		return fmt.Errorf("-text (or -load-index) is required")
+		return fmt.Errorf("-text (or -load-store) is required")
 	}
-	if *saveIndex == "" && *queryPath == "" {
+	if *saveStore == "" && *queryPath == "" {
 		flag.Usage()
-		return fmt.Errorf("-query is required unless only building an index with -save-index")
+		return fmt.Errorf("-query is required unless only building a store with -save-store")
 	}
 
 	scheme, err := parseScheme(*schemeStr)
@@ -64,46 +72,60 @@ func run() error {
 		return err
 	}
 
-	var ix *alae.Index
-	var coll *seq.Collection
-	if *loadIndex != "" {
-		f, err := os.Open(*loadIndex)
+	var store *alae.Store
+	if *loadStore != "" {
+		f, err := os.Open(*loadStore)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if ix, err = alae.Load(f); err != nil {
-			return fmt.Errorf("loading %s: %w", *loadIndex, err)
+		if store, err = alae.LoadStore(f, alae.StoreOptions{QueryCacheSize: *cacheSize}); err != nil {
+			return fmt.Errorf("loading %s: %w", *loadStore, err)
 		}
-		coll = seq.NewCollection([]seq.Record{{Header: *loadIndex, Seq: ix.Text()}})
-		fmt.Printf("loaded index of %d characters from %s\n", ix.Len(), *loadIndex)
+		fmt.Printf("loaded store: %d member(s), %d shard(s), %d characters\n",
+			store.Sequences().Len(), store.Shards(), store.Sequences().TotalLen())
 	} else {
-		textFile, err := os.Open(*textPath)
-		if err != nil {
-			return err
+		var records []alae.SeqRecord
+		for _, path := range strings.Split(*textPath, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			recs, err := seq.ReadFASTA(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("reading %s: %w", path, err)
+			}
+			for _, rec := range recs {
+				records = append(records, alae.SeqRecord{Name: rec.Header, Seq: rec.Seq})
+			}
 		}
-		defer textFile.Close()
-		textRecs, err := seq.ReadFASTA(textFile)
-		if err != nil {
-			return fmt.Errorf("reading %s: %w", *textPath, err)
-		}
-		if len(textRecs) == 0 {
+		if len(records) == 0 {
 			return fmt.Errorf("%s contains no sequences", *textPath)
 		}
-		coll = seq.NewCollection(textRecs)
-		fmt.Printf("indexing %d sequence(s), %d characters\n", coll.Len(), len(coll.Text()))
-		ix = alae.NewIndex(coll.Text())
+		total := 0
+		for _, r := range records {
+			total += len(r.Seq)
+		}
+		fmt.Printf("indexing %d sequence(s), %d characters, %d shard(s)\n", len(records), total, *shards)
+		if store, err = alae.NewStore(records, alae.StoreOptions{Shards: *shards, QueryCacheSize: *cacheSize}); err != nil {
+			return err
+		}
 	}
-	if *saveIndex != "" {
-		f, err := os.Create(*saveIndex)
+	if *saveStore != "" {
+		f, err := os.Create(*saveStore)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := ix.Save(f); err != nil {
-			return fmt.Errorf("saving index: %w", err)
+		if err := store.Save(f); err != nil {
+			return fmt.Errorf("saving store: %w", err)
 		}
-		fmt.Printf("index written to %s\n", *saveIndex)
+		fmt.Printf("store written to %s\n", *saveStore)
 		if *queryPath == "" {
 			return nil
 		}
@@ -119,46 +141,35 @@ func run() error {
 		return fmt.Errorf("reading %s: %w", *queryPath, err)
 	}
 
+	searchOpts := alae.SearchOptions{
+		Algorithm:   alg,
+		Scheme:      scheme,
+		Threshold:   *threshold,
+		EValue:      *eValue,
+		Parallelism: *parallel,
+	}
 	for _, rec := range queryRecs {
-		searchOpts := alae.SearchOptions{
-			Algorithm:   alg,
-			Scheme:      scheme,
-			Threshold:   *threshold,
-			EValue:      *eValue,
-			Parallelism: *parallel,
-		}
-		res, err := ix.Search(rec.Seq, searchOpts)
+		res, err := store.Search(rec.Seq, searchOpts)
 		if err != nil {
 			return fmt.Errorf("query %s: %w", rec.Header, err)
 		}
 		if *strands {
-			sh, err := ix.SearchBothStrands(rec.Seq, searchOpts)
+			rev, err := store.Search(alae.ReverseComplement(rec.Seq), searchOpts)
 			if err != nil {
 				return fmt.Errorf("query %s (both strands): %w", rec.Header, err)
 			}
-			reverse := 0
-			for _, h := range sh {
-				if h.Strand == alae.Reverse {
-					reverse++
-				}
-			}
-			fmt.Printf("query %s: %d reverse-strand hit(s)\n", rec.Header, reverse)
+			fmt.Printf("query %s: %d reverse-strand hit(s)\n", rec.Header, len(rev.Hits))
 		}
 		fmt.Printf("query %s: %d hit(s) at H=%d [%v]\n",
 			rec.Header, len(res.Hits), res.Threshold, res.Algorithm)
 		printed := 0
-		var best alae.Hit
+		var best alae.SeqHit
 		for _, h := range res.Hits {
 			if h.Score > best.Score {
 				best = h
 			}
 			if *maxHits == 0 || printed < *maxHits {
-				member, local, ok := coll.Locate(h.TEnd, h.TEnd+1)
-				where := fmt.Sprintf("pos %d", h.TEnd)
-				if ok {
-					where = fmt.Sprintf("%s:%d", coll.Name(member), local)
-				}
-				fmt.Printf("  text %s  query end %d  score %d\n", where, h.QEnd, h.Score)
+				fmt.Printf("  text %s:%d  query end %d  score %d\n", h.Name, h.LocalTEnd, h.QEnd, h.Score)
 				printed++
 			}
 		}
@@ -166,11 +177,11 @@ func run() error {
 			fmt.Printf("  ... %d more\n", len(res.Hits)-printed)
 		}
 		if *showAlign && best.Score > 0 {
-			a, err := ix.Align(rec.Seq, scheme, best)
+			a, err := store.Align(rec.Seq, scheme, best)
 			if err != nil {
 				return err
 			}
-			fmt.Println(ix.FormatAlignment(a, rec.Seq, 60))
+			fmt.Println(store.FormatAlignment(a, best, rec.Seq, 60))
 		}
 		if *stats {
 			fmt.Printf("  stats: %+v\n", res.Stats)

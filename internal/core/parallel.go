@@ -27,19 +27,28 @@ import (
 
 // searchFamilies fans the pre-resolved fork families out over workers
 // goroutines and merges the per-worker collector shards and statistics
-// into c and st. st must already carry Threshold/Q/Lmax (plus the
-// resolution-time fork accounting).
-func (ses *Session) searchFamilies(families []gramFamily, newCtx func(*align.Collector, *Stats, *workspace) *searchCtx, workers int, c *align.Collector, st *Stats) {
+// into c and st. base carries the search-shared context fields; each
+// lane copies it and fills in its own collector, stats and workspace.
+// st must already carry Threshold/Q/Lmax (plus the resolution-time
+// fork accounting).
+func (ses *Session) searchFamilies(families []gramFamily, base searchCtx, workers int, c *align.Collector, st *Stats) {
 	e := ses.e
 	if workers > len(families) {
 		workers = len(families)
 	}
 	if workers <= 1 {
-		ctx := newCtx(c, st, ses.ws)
+		// The sequential lane runs in the session-owned context, so a
+		// warm sequential search allocates nothing; the context is
+		// zeroed afterwards so a pooled idle session never pins the
+		// caller's collector or query.
+		ctx := &ses.ctx
+		*ctx = base
+		ctx.c, ctx.st, ctx.ws = c, st, ses.ws
 		for i := range families {
 			ctx.processGram(&families[i])
 		}
 		ses.ws.scrub()
+		*ctx = searchCtx{}
 		return
 	}
 
@@ -65,7 +74,9 @@ func (ses *Session) searchFamilies(families []gramFamily, newCtx func(*align.Col
 		if w > 0 {
 			ws = e.getWorkspace() // extra lanes borrow pooled workspaces
 		}
-		ctxs[w] = newCtx(ses.shards.Shard(w), &wstats[w], ws)
+		ctx := base
+		ctx.c, ctx.st, ctx.ws = ses.shards.Shard(w), &wstats[w], ws
+		ctxs[w] = &ctx
 		wg.Add(1)
 		go func(ctx *searchCtx) {
 			defer wg.Done()

@@ -11,14 +11,14 @@ import (
 )
 
 // Session owns every query-specific structure of a search: the q-gram
-// inverted index of the query, the δ score table, the Theorem 2 bound
-// tables, the resolved fork families with their backing gram buffer,
-// the traversal workspace, and (for parallel searches) the per-worker
-// collector shards and statistics. A session is re-armed in place for
-// each query, so in a serving loop — one index answering query after
-// query — the per-query path stops allocating once the buffers are
-// warm; only structures whose size is genuinely query-dependent
-// (qgram map internals) are rebuilt.
+// inverted index of the query (an open-addressing gram table re-armed
+// in place — qgram.Index.Rearm), the δ score table, the Theorem 2
+// bound tables, the resolved fork families with their backing gram
+// buffer, the traversal workspace, the search context and statistics,
+// and (for parallel searches) the per-worker collector shards. A
+// session is re-armed in place for each query, so in a serving loop —
+// one index answering query after query — a warm sequential Search
+// performs zero allocations end to end (TestSessionSearchAllocFree).
 //
 // A Session is NOT safe for concurrent use: it is one serving lane.
 // Concurrency comes from running many sessions against the shared
@@ -29,8 +29,9 @@ import (
 type Session struct {
 	e *Engine
 
-	delta    []int32 // δ table backing, rebuilt per query
-	colBound []int32 // Theorem 2 column bounds backing
+	qidx     qgram.Index // the query's gram table, re-armed in place
+	delta    []int32     // δ table backing, rebuilt per query
+	colBound []int32     // Theorem 2 column bounds backing
 	fams     []gramFamily
 	gramBuf  []byte
 	resNodes []strie.Node // resolution prefix stack (resolve.go)
@@ -41,6 +42,13 @@ type Session struct {
 	gcValid bool
 
 	ws *workspace // the sequential (and worker-0) traversal workspace
+
+	// stats and ctx back the sequential search path: keeping them on
+	// the session (instead of stack variables whose addresses escape
+	// into the context) is what lets a warm Session.Search run without
+	// a single allocation — see TestSessionSearchAllocFree.
+	stats Stats
+	ctx   searchCtx
 
 	// Parallel-search state, sized to the widest search seen.
 	shards *align.ShardedCollector
@@ -71,11 +79,10 @@ func (ses *Session) ResolveGrams(query []byte, s align.Scheme) (families int, st
 	if len(query) < q {
 		return 0, st, errQueryTooShort(len(query), q, s)
 	}
-	qidx, err := qgram.New(query, q, ses.e.trie.Letters())
-	if err != nil {
+	if err := ses.qidx.Rearm(query, q, ses.e.trie.Letters()); err != nil {
 		return 0, st, err
 	}
-	return len(ses.resolveFamilies(qidx, &st)), st, nil
+	return len(ses.resolveFamilies(&ses.qidx, &st)), st, nil
 }
 
 // AcquireSession returns a pooled session (or a fresh one) for this
@@ -96,7 +103,11 @@ func (ses *Session) Engine() *Engine { return ses.e }
 
 // Search runs one query through the session; see Engine.SearchParallel
 // for the contract. The session's buffers are re-armed in place, the
-// engine's shared structures are only read, and hits land in c.
+// engine's shared structures are only read, and hits land in c. In
+// steady state — a warm session answering a repeated query shape
+// sequentially — the whole path performs zero allocations
+// (TestSessionSearchAllocFree); only the parallel fan-out allocates
+// its worker contexts and goroutines.
 func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collector, workers int) (Stats, error) {
 	e := ses.e
 	if err := s.Validate(); err != nil {
@@ -106,7 +117,8 @@ func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collect
 		return Stats{}, fmt.Errorf("core: threshold %d below the exactness floor %d for scheme %v", h, minH, s)
 	}
 	q := s.Q()
-	var st Stats
+	ses.stats = Stats{}
+	st := &ses.stats
 	st.Threshold, st.Q = h, q
 	m := len(query)
 	if e.opts.DisableLengthFilter {
@@ -118,27 +130,27 @@ func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collect
 		// The empty set happens to be exact here — a query of m < q
 		// characters scores at most m·sa < MinThreshold ≤ h — but it is
 		// diagnosed instead of returned; see errQueryTooShort.
-		return st, errQueryTooShort(m, q, s)
+		return *st, errQueryTooShort(m, q, s)
 	}
 	if e.trie.Index().Len() == 0 {
-		return st, nil
+		return *st, nil
 	}
 
-	qidx, err := qgram.New(query, q, e.trie.Letters())
-	if err != nil {
-		return st, err
+	if err := ses.qidx.Rearm(query, q, e.trie.Letters()); err != nil {
+		return *st, err
 	}
 	var dom *domination.Index
+	var err error
 	if !e.opts.DisableDomination {
 		if dom, err = e.DominationIndex(q); err != nil {
-			return st, err
+			return *st, err
 		}
 	}
 	var gm *gMatrix
 	if e.opts.EnableGMatrix {
 		gm, err = newGMatrix(e.trie.Index().Len(), m, e.opts.GMatrixMaxBytes)
 		if err != nil {
-			return st, err
+			return *st, err
 		}
 	}
 
@@ -146,9 +158,9 @@ func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collect
 	// warm, by one prefix-shared trie pass otherwise (see resolve.go);
 	// absent grams die here, so the scheduler and the per-family filters
 	// only ever see live trie nodes.
-	families := ses.resolveFamilies(qidx, &st)
+	families := ses.resolveFamilies(&ses.qidx, st)
 	if len(families) == 0 {
-		return st, nil
+		return *st, nil
 	}
 	// The δ(edge letter, query column) score table: the inner sweeps
 	// index it instead of calling Scheme.Delta per cell. Shared
@@ -156,17 +168,18 @@ func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collect
 	ses.delta = buildDeltaTableInto(ses.delta, e.trie.Letters(), query, s)
 	ses.colBound = buildColBoundsInto(ses.colBound, m, h, s, e.opts.DisableScoreFilter)
 
-	newCtx := func(coll *align.Collector, stats *Stats, ws *workspace) *searchCtx {
-		return &searchCtx{
-			e: e, query: query, s: s, h: h, c: coll, st: stats,
-			lmax:     st.Lmax,
-			gOpen:    -(s.GapOpen + s.GapExtend), // |sg+ss|
-			delta:    ses.delta,
-			colBound: ses.colBound,
-			dom:      dom,
-			gm:       gm,
-			ws:       ws,
-		}
+	// base carries everything the worker contexts share; collector,
+	// stats and workspace are lane-specific and filled in per lane. A
+	// plain value (not a closure) so the sequential path stays
+	// allocation-free.
+	base := searchCtx{
+		e: e, query: query, s: s, h: h,
+		lmax:     st.Lmax,
+		gOpen:    -(s.GapOpen + s.GapExtend), // |sg+ss|
+		delta:    ses.delta,
+		colBound: ses.colBound,
+		dom:      dom,
+		gm:       gm,
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -174,14 +187,6 @@ func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collect
 	if gm != nil {
 		workers = 1 // the G-matrix filter's state is traversal-order-dependent
 	}
-	if workers <= 1 {
-		ctx := newCtx(c, &st, ses.ws)
-		for i := range families {
-			ctx.processGram(&families[i])
-		}
-		ses.ws.scrub()
-		return st, nil
-	}
-	ses.searchFamilies(families, newCtx, workers, c, &st)
-	return st, nil
+	ses.searchFamilies(families, base, workers, c, st)
+	return *st, nil
 }

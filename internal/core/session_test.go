@@ -226,3 +226,52 @@ func BenchmarkGramResolution(b *testing.B) {
 		bench(b, randProt(200_000), randProt(5_000), align.DefaultProtein)
 	})
 }
+
+// TestSessionSearchAllocFree is the end-to-end steady-state contract
+// the ROADMAP's "qgram index reuse" item completes: with the gram
+// table, the search context and the stats all session-owned and
+// re-armed in place, a warm sequential Session.Search must not
+// allocate at all — not just the per-gram traversal path
+// (TestPerGramPathAllocFree) but the whole query: gram-table rearm,
+// resolution, δ/bound table rebuild, traversal and emission.
+func TestSessionSearchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	text := randDNA(20_000, rng)
+	query := seq.Mutate(seq.DNA, text[2_000:2_300],
+		seq.MutationConfig{SubstitutionRate: 0.05, IndelRate: 0.01}, rng)
+	s := align.DefaultDNA
+	h := 25
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"dfs-cached", Options{}},
+		{"dfs-walk", Options{GramCacheSize: -1}},
+		{"hybrid-cached", Options{Mode: ModeHybrid}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(text, tc.opts)
+			if _, err := e.DominationIndex(s.Q()); err != nil {
+				t.Fatal(err)
+			}
+			ses := e.AcquireSession()
+			defer ses.Release()
+			c := align.NewCollector()
+			for warm := 0; warm < 2; warm++ {
+				c.Reset()
+				if _, err := ses.Search(query, s, h, c, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				c.Reset()
+				if _, err := ses.Search(query, s, h, c, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Fatalf("warm sequential Session.Search allocated %.1f objects per query; must be 0", allocs)
+			}
+		})
+	}
+}

@@ -8,21 +8,46 @@
 // Keys are encoded as packed integers when the alphabet is small
 // enough (⌈log2 σ⌉·q ≤ 62 bits), the common case for both DNA and
 // protein q values; otherwise a string-keyed map is used.
+//
+// The packed-key index is a flat open-addressing table over reusable
+// slabs, not a Go map: Rearm re-fills the same storage for the next
+// query, so a serving session that owns one Index stops allocating for
+// warm query shapes — the last per-query allocation of the session
+// path (the ROADMAP's "qgram index reuse" item).
 package qgram
 
 import (
+	"bytes"
 	"fmt"
 	"math/bits"
 	"slices"
 )
 
-// Index is the inverted q-gram index of a query string.
+// Index is the inverted q-gram index of a query string. The zero value
+// is empty and re-armable: build with New, or re-arm an existing Index
+// in place with Rearm.
+// The index deliberately does NOT retain the query slice: everything
+// it answers is read from its own slabs, so a pooled idle session
+// holding a re-armable Index never pins a caller's query buffer.
 type Index struct {
-	q       int
-	query   []byte
-	lists   map[uint64][]int32 // packed-key lists
+	q      int
+	packer *Packer
+
+	// Packed-key layout: an open-addressing table on the packed gram
+	// key plus one flat position buffer, all re-armed in place. A
+	// gram's inverted list is pos[starts[o]:starts[o+1]] where o is the
+	// gram's ordinal (first-seen order).
+	slotKeys []uint64 // packed key + 1; 0 marks an empty slot
+	slotOrd  []int32  // slot → gram ordinal
+	shift    uint     // 64 − log2(len(slotKeys)), the Fibonacci-hash shift
+	keys     []uint64 // ordinal → packed key
+	starts   []int32  // ordinal → range of pos (len = distinct + 1)
+	pos      []int32  // every gram position, grouped by ordinal, ascending
+	counts   []int32  // scratch: per-ordinal counts, then fill cursors
+	sorted   []uint64 // scratch: keys in sorted order (GramsSorted*)
+	buf      []byte   // scratch: decoded gram handed to callbacks
+
 	strKeys map[string][]int32 // fallback for unpackable alphabets
-	packer  *Packer
 }
 
 // Packer encodes fixed-length grams over a byte alphabet into uint64
@@ -84,47 +109,198 @@ func (p *Packer) Next(prev uint64, c byte) (uint64, bool) {
 // Q returns the gram length.
 func (p *Packer) Q() int { return p.q }
 
+// fibMix is 2^64/φ, the Fibonacci-hashing multiplier: consecutive
+// packed keys (grams sharing long prefixes) scatter across the table.
+const fibMix = 0x9E3779B97F4A7C15
+
 // New builds the inverted index of the q-grams of query. letters is
 // the alphabet of interest (grams containing other bytes are skipped,
 // which is how separator bytes in concatenated databases are kept out
 // of the filter).
 func New(query []byte, q int, letters []byte) (*Index, error) {
+	idx := &Index{}
+	if err := idx.Rearm(query, q, letters); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// Rearm rebuilds the index in place for a new query, reusing every
+// slab the previous query sized: in a serving loop over queries of a
+// stable shape (same alphabet and length class) it allocates nothing.
+// The packer is kept when (q, letters) are unchanged. Position slices
+// previously returned by Positions/Grams are invalidated.
+func (idx *Index) Rearm(query []byte, q int, letters []byte) error {
 	if q <= 0 {
-		return nil, fmt.Errorf("qgram: q = %d must be positive", q)
+		return fmt.Errorf("qgram: q = %d must be positive", q)
 	}
-	idx := &Index{q: q, query: query, packer: NewPacker(letters, q)}
-	if idx.packer != nil {
-		idx.lists = make(map[uint64][]int32)
-		for i := 0; i+q <= len(query); i++ {
-			if key, ok := idx.packer.Pack(query[i : i+q]); ok {
-				idx.lists[key] = append(idx.lists[key], int32(i))
-			}
+	if idx.packer == nil || idx.packer.q != q || !bytes.Equal(idx.packer.letters, letters) {
+		idx.packer = NewPacker(letters, q)
+	}
+	idx.q = q
+	idx.strKeys = nil
+	if idx.packer == nil {
+		return idx.rearmFallback(query, letters)
+	}
+	if cap(idx.buf) < q {
+		idx.buf = make([]byte, q)
+	} else {
+		idx.buf = idx.buf[:q]
+	}
+
+	windows := len(query) - q + 1
+	if windows < 0 {
+		windows = 0
+	}
+	// Table capacity: next power of two holding every window at ≤ 50%
+	// load. A larger table from an earlier query is kept as-is (a
+	// clear is a memset; shrinking would only cost reallocation later).
+	size := 64
+	for size < 2*windows {
+		size <<= 1
+	}
+	if len(idx.slotKeys) < size {
+		idx.slotKeys = make([]uint64, size)
+		idx.slotOrd = make([]int32, size)
+	} else {
+		size = len(idx.slotKeys)
+		clear(idx.slotKeys)
+	}
+	idx.shift = uint(64 - bits.TrailingZeros(uint(size)))
+	mask := uint64(size - 1)
+
+	// Pass 1: slide the packed window across the query (O(m), invalid
+	// bytes reset the run), assigning ordinals first-seen and counting
+	// occurrences per gram.
+	keys, counts := idx.keys[:0], idx.counts[:0]
+	p := idx.packer
+	total := 0
+	var key uint64
+	run := 0
+	for j := 0; j < len(query); j++ {
+		v := p.code[query[j]]
+		if v < 0 {
+			run = 0
+			continue
 		}
-		return idx, nil
+		key = (key<<p.bits | uint64(v)) & p.mask
+		if run++; run < q {
+			continue
+		}
+		total++
+		k := key + 1
+		s := (k * fibMix) >> idx.shift
+		for {
+			stored := idx.slotKeys[s]
+			if stored == k {
+				counts[idx.slotOrd[s]]++
+				break
+			}
+			if stored == 0 {
+				idx.slotKeys[s] = k
+				idx.slotOrd[s] = int32(len(keys))
+				keys = append(keys, key)
+				counts = append(counts, 1)
+				break
+			}
+			s = (s + 1) & mask
+		}
 	}
+
+	// Prefix-sum the counts into list boundaries, then reuse counts as
+	// the fill cursors of pass 2.
+	n := len(keys)
+	if cap(idx.starts) < n+1 {
+		idx.starts = make([]int32, n+1)
+	} else {
+		idx.starts = idx.starts[:n+1]
+	}
+	off := int32(0)
+	for o := 0; o < n; o++ {
+		idx.starts[o] = off
+		off += counts[o]
+		counts[o] = idx.starts[o]
+	}
+	idx.starts[n] = off
+	if cap(idx.pos) < total {
+		idx.pos = make([]int32, total)
+	} else {
+		idx.pos = idx.pos[:total]
+	}
+
+	// Pass 2: the same slide, now writing each occurrence into its
+	// gram's slice of the flat position buffer (ascending within a
+	// gram, since windows are visited left to right).
+	key, run = 0, 0
+	for j := 0; j < len(query); j++ {
+		v := p.code[query[j]]
+		if v < 0 {
+			run = 0
+			continue
+		}
+		key = (key<<p.bits | uint64(v)) & p.mask
+		if run++; run < q {
+			continue
+		}
+		s := ((key + 1) * fibMix) >> idx.shift
+		for idx.slotKeys[s] != key+1 {
+			s = (s + 1) & mask
+		}
+		o := idx.slotOrd[s]
+		idx.pos[counts[o]] = int32(j - q + 1)
+		counts[o]++
+	}
+	idx.keys, idx.counts = keys, counts
+	return nil
+}
+
+// rearmFallback is the string-keyed map path for alphabets whose grams
+// do not pack into 62 bits. It rebuilds the map per call — the
+// fallback never serves the hot DNA/protein configurations, so its
+// allocations do not matter.
+func (idx *Index) rearmFallback(query, letters []byte) error {
 	idx.strKeys = make(map[string][]int32)
 	valid := func(gram []byte) bool {
 		for _, c := range gram {
-			found := false
-			for _, l := range letters {
-				if c == l {
-					found = true
-					break
-				}
-			}
-			if !found {
+			if bytes.IndexByte(letters, c) < 0 {
 				return false
 			}
 		}
 		return true
 	}
-	for i := 0; i+q <= len(query); i++ {
-		gram := query[i : i+q]
+	for i := 0; i+idx.q <= len(query); i++ {
+		gram := query[i : i+idx.q]
 		if valid(gram) {
 			idx.strKeys[string(gram)] = append(idx.strKeys[string(gram)], int32(i))
 		}
 	}
-	return idx, nil
+	return nil
+}
+
+// ordPositions returns gram ordinal o's inverted list.
+func (idx *Index) ordPositions(o int32) []int32 {
+	return idx.pos[idx.starts[o]:idx.starts[o+1]]
+}
+
+// lookup probes the table for key; ok is false when the gram is not
+// indexed.
+func (idx *Index) lookup(key uint64) (ord int32, ok bool) {
+	if len(idx.slotKeys) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(idx.slotKeys) - 1)
+	k := key + 1
+	s := (k * fibMix) >> idx.shift
+	for {
+		stored := idx.slotKeys[s]
+		if stored == k {
+			return idx.slotOrd[s], true
+		}
+		if stored == 0 {
+			return 0, false
+		}
+		s = (s + 1) & mask
+	}
 }
 
 // Q returns the gram length of the index.
@@ -134,31 +310,40 @@ func (idx *Index) Q() int { return idx.q }
 // alphabet does not pack (the string-keyed fallback is in use). The
 // packed key of a gram is stable across queries over the same alphabet,
 // which is what lets the search engines key cross-query caches by it.
-func (idx *Index) Packer() *Packer { return idx.packer }
+func (idx *Index) Packer() *Packer {
+	if idx.strKeys != nil {
+		return nil
+	}
+	return idx.packer
+}
 
 // Positions returns the 0-based starting positions of gram in the
-// query, or nil when it does not occur. The returned slice is shared;
-// callers must not modify it.
+// query, or nil when it does not occur. The returned slice is shared
+// and only valid until the next Rearm; callers must not modify it.
 func (idx *Index) Positions(gram []byte) []int32 {
 	if len(gram) != idx.q {
 		return nil
 	}
-	if idx.packer != nil {
-		key, ok := idx.packer.Pack(gram)
-		if !ok {
-			return nil
-		}
-		return idx.lists[key]
+	if idx.strKeys != nil {
+		return idx.strKeys[string(gram)]
 	}
-	return idx.strKeys[string(gram)]
+	key, ok := idx.packer.Pack(gram)
+	if !ok {
+		return nil
+	}
+	o, ok := idx.lookup(key)
+	if !ok {
+		return nil
+	}
+	return idx.ordPositions(o)
 }
 
 // Distinct returns the number of distinct q-grams indexed.
 func (idx *Index) Distinct() int {
-	if idx.packer != nil {
-		return len(idx.lists)
+	if idx.strKeys != nil {
+		return len(idx.strKeys)
 	}
-	return len(idx.strKeys)
+	return len(idx.keys)
 }
 
 // Decode writes the gram encoded by key into buf, which must have
@@ -174,17 +359,17 @@ func (p *Packer) Decode(key uint64, buf []byte) {
 // list, in an unspecified gram order. fn must not retain the gram
 // slice across calls.
 func (idx *Index) Grams(fn func(gram []byte, positions []int32)) {
-	buf := make([]byte, idx.q)
-	if idx.packer != nil {
-		for key, pos := range idx.lists {
-			idx.packer.Decode(key, buf)
+	if idx.strKeys != nil {
+		buf := make([]byte, idx.q)
+		for gram, pos := range idx.strKeys {
+			copy(buf, gram)
 			fn(buf, pos)
 		}
 		return
 	}
-	for gram, pos := range idx.strKeys {
-		copy(buf, gram)
-		fn(buf, pos)
+	for o, key := range idx.keys {
+		idx.packer.Decode(key, idx.buf)
+		fn(idx.buf, idx.ordPositions(int32(o)))
 	}
 }
 
@@ -200,26 +385,24 @@ func (idx *Index) GramsSorted(fn func(gram []byte, positions []int32)) {
 
 // GramsSortedKeys is GramsSorted additionally passing each gram's
 // packed key — the same keys Packer().Pack would produce, read off the
-// index's own lists so callers keying caches by gram avoid re-packing.
+// index's own table so callers keying caches by gram avoid re-packing.
 // Packed keys sort in lexicographic gram order because dense codes are
 // assigned in ascending byte order. Only valid when Packer() != nil
 // (the packed layout is in use); it panics otherwise.
 func (idx *Index) GramsSortedKeys(fn func(gram []byte, key uint64, positions []int32)) {
-	if idx.packer == nil {
+	if idx.Packer() == nil {
 		panic("qgram: GramsSortedKeys needs the packed-key layout; check Packer() != nil")
 	}
-	keys := make([]uint64, 0, len(idx.lists))
-	for key := range idx.lists {
-		keys = append(keys, key)
-	}
-	// slices.Sort, not sort.Slice: on a protein query (~m distinct
-	// grams) the reflection-based swapper dominated the whole
-	// resolution pass.
-	slices.Sort(keys)
-	buf := make([]byte, idx.q)
-	for _, key := range keys {
-		idx.packer.Decode(key, buf)
-		fn(buf, key, idx.lists[key])
+	// slices.Sort over a reused scratch copy, not sort.Slice: on a
+	// protein query (~m distinct grams) the reflection-based swapper
+	// dominated the whole resolution pass.
+	sorted := append(idx.sorted[:0], idx.keys...)
+	slices.Sort(sorted)
+	idx.sorted = sorted
+	for _, key := range sorted {
+		o, _ := idx.lookup(key)
+		idx.packer.Decode(key, idx.buf)
+		fn(idx.buf, key, idx.ordPositions(o))
 	}
 }
 
@@ -229,7 +412,7 @@ func (idx *Index) GramsSortedKeys(fn func(gram []byte, key uint64, positions []i
 // backward-search steps prefix-shared resolution exploits. fn must not
 // retain the gram slice across calls.
 func (idx *Index) GramsSortedLCP(fn func(gram []byte, lcp int, positions []int32)) {
-	if idx.packer != nil {
+	if idx.Packer() != nil {
 		// The LCP of two consecutive grams is read off the highest
 		// differing bit of their packed keys.
 		cbits := int(idx.packer.bits)
@@ -268,18 +451,15 @@ func (idx *Index) GramsSortedLCP(fn func(gram []byte, lcp int, positions []int32
 	}
 }
 
-// SizeBytes estimates the index footprint (list headers plus
-// positions), for completeness in space accounting.
+// SizeBytes estimates the index footprint (table slots, list headers
+// and positions), for completeness in space accounting.
 func (idx *Index) SizeBytes() int {
-	size := 0
-	if idx.packer != nil {
-		for _, l := range idx.lists {
-			size += 8 + 4*len(l) + 24
+	if idx.strKeys != nil {
+		size := 0
+		for g, l := range idx.strKeys {
+			size += len(g) + 4*len(l) + 40
 		}
 		return size
 	}
-	for g, l := range idx.strKeys {
-		size += len(g) + 4*len(l) + 40
-	}
-	return size
+	return 12*len(idx.slotKeys) + 12*len(idx.keys) + 4*len(idx.pos) + 4*len(idx.starts)
 }

@@ -2,6 +2,7 @@ package qgram
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -323,4 +324,103 @@ func TestGramsSortedLCPStringFallback(t *testing.T) {
 		query[i] = letters[rng.Intn(4)]
 	}
 	checkSortedLCP(t, query, 11, letters)
+}
+
+// TestRearmMatchesFresh re-arms one Index across a stream of queries
+// with varying lengths, gram lengths and alphabets and checks every
+// state is indistinguishable from a freshly built index — the
+// open-addressing slabs must not leak state between queries.
+func TestRearmMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	protein := []byte("ACDEFGHIKLMNPQRSTVWY")
+	var idx Index
+	for trial := 0; trial < 60; trial++ {
+		letters := dnaLetters
+		if trial%3 == 2 {
+			letters = protein
+		}
+		n := 1 + rng.Intn(400)
+		query := make([]byte, n)
+		for i := range query {
+			if rng.Intn(20) == 0 {
+				query[i] = '#' // separator: grams overlapping it are skipped
+			} else {
+				query[i] = letters[rng.Intn(len(letters))]
+			}
+		}
+		q := 1 + rng.Intn(6)
+		if err := idx.Rearm(query, q, letters); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(query, q, letters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx.Distinct() != fresh.Distinct() {
+			t.Fatalf("trial %d: Distinct %d after rearm, fresh %d", trial, idx.Distinct(), fresh.Distinct())
+		}
+		type entry struct {
+			gram string
+			lcp  int
+			pos  string
+		}
+		collect := func(ix *Index) []entry {
+			var out []entry
+			ix.GramsSortedLCP(func(gram []byte, lcp int, pos []int32) {
+				out = append(out, entry{string(gram), lcp, fmt.Sprint(pos)})
+			})
+			return out
+		}
+		got, want := collect(&idx), collect(fresh)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d grams after rearm, fresh %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d gram %d: rearm %+v, fresh %+v", trial, i, got[i], want[i])
+			}
+		}
+		// Spot-check Positions through the probe path too.
+		for probe := 0; probe < 5 && n >= q; probe++ {
+			i := rng.Intn(n - q + 1)
+			gram := query[i : i+q]
+			g1, g2 := idx.Positions(gram), fresh.Positions(gram)
+			if fmt.Sprint(g1) != fmt.Sprint(g2) {
+				t.Fatalf("trial %d: Positions(%q) = %v after rearm, fresh %v", trial, gram, g1, g2)
+			}
+		}
+	}
+}
+
+// TestRearmWarmAllocFree pins the point of the open-addressing layout:
+// re-arming for a same-shape query (the serving loop's steady state)
+// allocates nothing, including the sorted-key enumeration the engines
+// run per query.
+func TestRearmWarmAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	queries := make([][]byte, 4)
+	for qi := range queries {
+		queries[qi] = make([]byte, 3000)
+		for i := range queries[qi] {
+			queries[qi][i] = dnaLetters[rng.Intn(4)]
+		}
+	}
+	var idx Index
+	for _, q := range queries { // warm every slab at this shape
+		if err := idx.Rearm(q, 11, dnaLetters); err != nil {
+			t.Fatal(err)
+		}
+		idx.GramsSortedKeys(func([]byte, uint64, []int32) {})
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(5, func() {
+		qi++
+		if err := idx.Rearm(queries[qi%len(queries)], 11, dnaLetters); err != nil {
+			t.Fatal(err)
+		}
+		idx.GramsSortedKeys(func([]byte, uint64, []int32) {})
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Rearm+GramsSortedKeys allocated %.1f objects; must be 0", allocs)
+	}
 }

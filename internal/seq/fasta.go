@@ -75,31 +75,115 @@ func WriteFASTA(w io.Writer, recs []Record, width int) error {
 	return bw.Flush()
 }
 
+// Separator is the byte placed between concatenated sequences.
+const Separator byte = '#'
+
+// Table is the name/offset directory of a concatenated sequence
+// database laid out as §2.2 prescribes — T = T1 # T2 # … # Tn, one
+// Separator byte between consecutive members. It answers the
+// hit-mapping questions (which member does a text interval fall in,
+// and at what local offset) without needing the text itself, which is
+// what lets a sharded store keep one global directory over texts it
+// never materialises as one buffer.
+type Table struct {
+	names   []string
+	starts  []int // start offset of each member in the concatenated text
+	lengths []int
+	total   int // length of the concatenated text, separators included
+}
+
+// NewTable builds the directory for members with the given names and
+// sequence lengths. names and lengths must have equal length; both are
+// copied.
+func NewTable(names []string, lengths []int) *Table {
+	if len(names) != len(lengths) {
+		panic("seq: NewTable needs one length per name")
+	}
+	t := &Table{
+		names:   append([]string(nil), names...),
+		lengths: append([]int(nil), lengths...),
+		starts:  make([]int, 0, len(names)),
+	}
+	off := 0
+	for i, n := range lengths {
+		if i > 0 {
+			off++ // the separator byte
+		}
+		t.starts = append(t.starts, off)
+		off += n
+	}
+	t.total = off
+	return t
+}
+
+// Len returns the number of member sequences.
+func (t *Table) Len() int { return len(t.names) }
+
+// Name returns the name of member i.
+func (t *Table) Name(i int) string { return t.names[i] }
+
+// SeqLen returns the sequence length of member i.
+func (t *Table) SeqLen(i int) int { return t.lengths[i] }
+
+// Start returns member i's start offset in the concatenated text.
+func (t *Table) Start(i int) int { return t.starts[i] }
+
+// TotalLen returns the length of the concatenated text, separator
+// bytes included.
+func (t *Table) TotalLen() int { return t.total }
+
+// Locate maps a half-open global interval [start, end) of the
+// concatenated text to (member index, local start). ok is false when
+// the interval is empty, out of bounds, or touches a separator — in
+// particular, Locate(p, p+1) reports whether position p belongs to a
+// member at all, the gather-side test for hits ending on separator
+// rows.
+func (t *Table) Locate(start, end int) (member, local int, ok bool) {
+	if start < 0 || end > t.total || start >= end || len(t.starts) == 0 {
+		return 0, 0, false
+	}
+	// Binary search for the member whose range contains start.
+	lo, hi := 0, len(t.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if t.starts[mid] <= start {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if end > t.starts[lo]+t.lengths[lo] {
+		return 0, 0, false // runs past the member into a separator
+	}
+	return lo, start - t.starts[lo], true
+}
+
 // Collection is a set of named sequences concatenated into one text so
 // a single index serves the whole database, exactly as §2.2 of the
 // paper prescribes ("given all the sequences T1..Tn in the database, we
 // concatenate them into a single sequence T"). A separator byte keeps
 // alignments from silently spanning two database sequences: it is not a
 // letter of any alphabet, so it can never contribute a match, and
-// Locate rejects hits that cross it.
+// Locate rejects hits that cross it. The name/offset bookkeeping lives
+// in the embedded Table.
 type Collection struct {
-	text   []byte
-	names  []string
-	starts []int // start offset of each member in text
+	text []byte
+	tab  *Table
 }
-
-// Separator is the byte placed between concatenated sequences.
-const Separator byte = '#'
 
 // NewCollection concatenates the records into a single searchable text.
 func NewCollection(recs []Record) *Collection {
-	c := &Collection{}
+	names := make([]string, len(recs))
+	lengths := make([]int, len(recs))
+	for i, rec := range recs {
+		names[i], lengths[i] = rec.Header, len(rec.Seq)
+	}
+	c := &Collection{tab: NewTable(names, lengths)}
+	c.text = make([]byte, 0, c.tab.TotalLen())
 	for i, rec := range recs {
 		if i > 0 {
 			c.text = append(c.text, Separator)
 		}
-		c.starts = append(c.starts, len(c.text))
-		c.names = append(c.names, rec.Header)
 		c.text = append(c.text, rec.Seq...)
 	}
 	return c
@@ -108,35 +192,18 @@ func NewCollection(recs []Record) *Collection {
 // Text returns the concatenated text. The caller must not modify it.
 func (c *Collection) Text() []byte { return c.text }
 
+// Table returns the collection's name/offset directory.
+func (c *Collection) Table() *Table { return c.tab }
+
 // Len returns the number of member sequences.
-func (c *Collection) Len() int { return len(c.names) }
+func (c *Collection) Len() int { return c.tab.Len() }
 
 // Name returns the header of member i.
-func (c *Collection) Name(i int) string { return c.names[i] }
+func (c *Collection) Name(i int) string { return c.tab.Name(i) }
 
 // Locate maps a half-open global interval [start, end) of the
 // concatenated text to (member index, local start). ok is false when
 // the interval is empty, out of bounds, or crosses a separator.
 func (c *Collection) Locate(start, end int) (member, local int, ok bool) {
-	if start < 0 || end > len(c.text) || start >= end {
-		return 0, 0, false
-	}
-	// Binary search for the member whose range contains start.
-	lo, hi := 0, len(c.starts)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if c.starts[mid] <= start {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	memberEnd := len(c.text)
-	if lo+1 < len(c.starts) {
-		memberEnd = c.starts[lo+1] - 1 // exclude the separator
-	}
-	if end > memberEnd {
-		return 0, 0, false
-	}
-	return lo, start - c.starts[lo], true
+	return c.tab.Locate(start, end)
 }

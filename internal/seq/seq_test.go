@@ -339,3 +339,58 @@ func TestHomologousQueries(t *testing.T) {
 	// Segment length above qlen and tiny texts must not panic.
 	HomologousQueries(DNA, text[:50], 1, 30, 100, 100, MutationConfig{}, rng)
 }
+
+// TestTableLayoutAndLocate pins the promoted directory type against
+// the collection it indexes: starts/lengths describe exactly the
+// concatenated text, every in-member position locates to its member
+// and offset, and every separator position (and every interval
+// touching one) is rejected.
+func TestTableLayoutAndLocate(t *testing.T) {
+	recs := []Record{
+		{Header: "a", Seq: []byte("ACGTACGT")},
+		{Header: "b", Seq: []byte("GG")},
+		{Header: "c", Seq: []byte("TTTTT")},
+	}
+	c := NewCollection(recs)
+	tab := c.Table()
+	if tab.TotalLen() != len(c.Text()) {
+		t.Fatalf("TotalLen %d, text %d", tab.TotalLen(), len(c.Text()))
+	}
+	if tab.Len() != 3 || tab.Name(1) != "b" || tab.SeqLen(2) != 5 {
+		t.Fatalf("directory fields wrong: %d members, name(1)=%q, seqlen(2)=%d",
+			tab.Len(), tab.Name(1), tab.SeqLen(2))
+	}
+	for i, rec := range recs {
+		start := tab.Start(i)
+		if got := c.Text()[start : start+len(rec.Seq)]; string(got) != string(rec.Seq) {
+			t.Fatalf("member %d text %q, want %q", i, got, rec.Seq)
+		}
+		for off := range rec.Seq {
+			m, local, ok := tab.Locate(start+off, start+off+1)
+			if !ok || m != i || local != off {
+				t.Fatalf("Locate(%d) = (%d,%d,%v), want (%d,%d,true)", start+off, m, local, ok, i, off)
+			}
+		}
+	}
+	for _, sep := range []int{8, 11} { // the two separator positions
+		if c.Text()[sep] != Separator {
+			t.Fatalf("position %d is %q, want separator", sep, c.Text()[sep])
+		}
+		if _, _, ok := tab.Locate(sep, sep+1); ok {
+			t.Fatalf("Locate accepted separator position %d", sep)
+		}
+		if _, _, ok := tab.Locate(sep-1, sep+1); ok {
+			t.Fatalf("Locate accepted interval crossing separator at %d", sep)
+		}
+	}
+	// Degenerate intervals.
+	if _, _, ok := tab.Locate(-1, 1); ok {
+		t.Error("negative start accepted")
+	}
+	if _, _, ok := tab.Locate(3, 3); ok {
+		t.Error("empty interval accepted")
+	}
+	if _, _, ok := tab.Locate(0, tab.TotalLen()+1); ok {
+		t.Error("out-of-bounds end accepted")
+	}
+}

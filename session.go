@@ -32,8 +32,10 @@ type Session struct {
 }
 
 // OpenSession returns a session for the given search configuration.
-// For the ALAE engines it binds the engine eagerly, so configuration
-// errors surface here instead of on the first query. Baseline
+// Configuration errors — an invalid scheme, negative Threshold, EValue
+// or Parallelism, an unknown algorithm, a baseline-incompatible scheme
+// — surface here for every algorithm, not on the first query; for the
+// ALAE engines the engine is additionally bound eagerly. Baseline
 // algorithms (BWT-SW, BLAST, Smith-Waterman) are stateless per query;
 // their sessions simply forward to Index.Search.
 func (ix *Index) OpenSession(opts SearchOptions) (*Session, error) {
@@ -42,6 +44,9 @@ func (ix *Index) OpenSession(opts SearchOptions) (*Session, error) {
 		s = DefaultDNAScheme
 	}
 	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSearchOptions(opts, s); err != nil {
 		return nil, err
 	}
 	ses := &Session{ix: ix, opts: opts, s: s}
@@ -77,6 +82,24 @@ func (ses *Session) Search(query []byte) (*Result, error) {
 	h, err := ses.ix.ResolveThreshold(len(query), ses.opts)
 	if err != nil {
 		return nil, err
+	}
+	return ses.searchThreshold(query, h)
+}
+
+// searchThreshold is Search with the score threshold pinned by the
+// caller instead of derived from the session's options. The sharded
+// store's scatter step needs it: E-value statistics depend on the
+// database length n, so every shard must search at the threshold of
+// the WHOLE store — per-shard re-derivation over the shard's smaller n
+// would loosen thresholds and break parity with a monolithic index.
+func (ses *Session) searchThreshold(query []byte, h int) (*Result, error) {
+	if ses.closed {
+		return nil, fmt.Errorf("alae: Search on a closed Session")
+	}
+	if ses.cs == nil {
+		o := ses.opts
+		o.Threshold, o.EValue = h, 0
+		return ses.ix.Search(query, o)
 	}
 	ses.coll.Reset()
 	st, err := ses.cs.Search(query, ses.s, h, ses.coll, ses.opts.Parallelism)

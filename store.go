@@ -1,0 +1,357 @@
+package alae
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"repro/internal/seq"
+)
+
+// This file is the serving store: the paper's §2.2 database model
+// (concatenate the sequences T1..Tn, search one index, map hits back
+// to members) productionised as a first-class subsystem. A Store
+// partitions a named sequence collection into K byte-balanced shards,
+// builds one Index per shard, and serves searches by scatter-gather:
+// every shard is searched at the threshold of the whole database, the
+// per-shard hit tables are gathered in shard order, hits ending on
+// separator rows are rejected once at the gather (no caller-side
+// Locate loops), and every surviving hit is mapped to global
+// coordinates plus a member-level SeqHit view through the store's
+// sequence table. On top sits a result-level query cache: the indexes
+// are immutable, so a repeated (query, options) pair is answered by
+// one hash probe.
+
+// SeqRecord is one named input sequence of a Store.
+type SeqRecord struct {
+	Name string
+	Seq  []byte
+}
+
+// SeqTable is the name/offset directory of a concatenated sequence
+// database: it maps global text intervals to (member, local offset)
+// pairs and rejects intervals that touch the separator byte between
+// members. Store.Sequences exposes the store's global directory; the
+// same type serves single-index collections.
+type SeqTable = seq.Table
+
+// NewSeqTable builds the directory for members with the given names
+// and sequence lengths, laid out in input order with one separator
+// byte between consecutive members (§2.2's T = T1 # T2 # … # Tn).
+func NewSeqTable(names []string, lengths []int) *SeqTable {
+	return seq.NewTable(names, lengths)
+}
+
+// SeqHit is a hit mapped to a member sequence of a Store. The embedded
+// Hit carries global coordinates — TEnd is a position in the virtual
+// concatenation T1 # T2 # … # Tn, comparable across shard counts —
+// while Member, Name and LocalTEnd give the member-level view.
+type SeqHit struct {
+	Hit
+	Member    int    // index of the member sequence, in input order
+	Name      string // the member's name
+	LocalTEnd int    // TEnd in the member's own coordinates
+}
+
+// StoreResult is one Store search's outcome. Results may be shared
+// with the store's query cache: callers must not modify Hits.
+type StoreResult struct {
+	Hits      []SeqHit
+	Threshold int // the H actually used, derived from the WHOLE store's length
+	Algorithm Algorithm
+	Stats     Stats // summed over shards; QueryCacheHits/Misses are per-call
+}
+
+// StoreOptions configures NewStore.
+type StoreOptions struct {
+	// Shards is K, the number of index shards the records are
+	// partitioned into (byte-balanced, contiguous in input order).
+	// 0 means 1; values above the record count are clamped.
+	Shards int
+	// QueryCacheSize is the capacity, in cached results, of the
+	// result-level query cache. 0 means the default (1024 results);
+	// negative disables the cache. The cache never changes results —
+	// the shard indexes are immutable, so a cached entry is valid for
+	// the store's whole lifetime and eviction is pure capacity
+	// management.
+	QueryCacheSize int
+}
+
+// defaultQueryCacheSize is the default query-cache capacity in cached
+// results. An entry holds the mapped hit slice of one search, so the
+// footprint is workload-dependent; serving workloads that cache large
+// result sets should size this deliberately.
+const defaultQueryCacheSize = 1024
+
+// Store is a sharded, multi-sequence serving layer above Index.
+// Building one costs K index builds (run in parallel); afterwards any
+// number of concurrent searches can run against it. See the file
+// comment for the search pipeline.
+type Store struct {
+	seqs   *SeqTable
+	shards []storeShard
+	sigma  int         // distinct bytes of the virtual concatenation
+	cache  *queryCache // nil when disabled
+
+	mu    sync.Mutex
+	pools map[string]*sync.Pool // options fingerprint → *StoreSession pool
+}
+
+// storeShard is one shard: an Index over the concatenation of a
+// contiguous run of members, plus the run's local directory.
+type storeShard struct {
+	ix   *Index
+	tab  *seq.Table // directory local to the shard's own text
+	base int        // global index of the shard's first member
+}
+
+// NewStore partitions the records into byte-balanced shards and builds
+// one Index per shard (in parallel). The records' sequences are copied
+// into the shard texts; the inputs are not retained.
+func NewStore(records []SeqRecord, opts StoreOptions) (*Store, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("alae: NewStore needs at least one record")
+	}
+	k := opts.Shards
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(records) {
+		k = len(records)
+	}
+	names := make([]string, len(records))
+	lengths := make([]int, len(records))
+	var present [256]bool
+	for i, r := range records {
+		names[i], lengths[i] = r.Name, len(r.Seq)
+		for _, b := range r.Seq {
+			present[b] = true
+		}
+	}
+	st := &Store{
+		seqs:  seq.NewTable(names, lengths),
+		sigma: storeSigma(present, len(records)),
+		pools: make(map[string]*sync.Pool),
+	}
+	cuts := partitionRecords(lengths, k)
+	st.shards = make([]storeShard, k)
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		lo, hi := cuts[s], cuts[s+1]
+		recs := make([]seq.Record, hi-lo)
+		for i, r := range records[lo:hi] {
+			recs[i] = seq.Record{Header: r.Name, Seq: r.Seq}
+		}
+		wg.Add(1)
+		go func(s, lo int, recs []seq.Record) {
+			defer wg.Done()
+			col := seq.NewCollection(recs)
+			st.shards[s] = storeShard{ix: NewIndex(col.Text()), tab: col.Table(), base: lo}
+		}(s, lo, recs)
+	}
+	wg.Wait()
+	st.cache = newQueryCache(opts.QueryCacheSize)
+	return st, nil
+}
+
+// storeSigma counts the distinct bytes of the virtual concatenation:
+// the members' bytes plus, when there is more than one member, the
+// separator. This matches what a monolithic index over the same
+// concatenation reports as its alphabet size, so E-value-derived
+// thresholds agree between a Store and a single Index regardless of K.
+func storeSigma(present [256]bool, members int) int {
+	if members > 1 {
+		present[seq.Separator] = true
+	}
+	sigma := 0
+	for _, p := range present {
+		if p {
+			sigma++
+		}
+	}
+	return sigma
+}
+
+// partitionRecords chooses contiguous byte-balanced shard boundaries:
+// cuts[s] is the first record of shard s, cuts[k] = len(lengths).
+// Greedy with a half-record overshoot rule — a record joins the
+// current shard while that lands the shard closer to the remaining
+// average — while always leaving at least one record for every
+// remaining shard.
+func partitionRecords(lengths []int, k int) []int {
+	cuts := make([]int, 1, k+1)
+	remaining := 0
+	for _, n := range lengths {
+		remaining += n
+	}
+	idx := 0
+	for s := 0; s < k; s++ {
+		target := remaining / (k - s)
+		maxEnd := len(lengths) - (k - s - 1)
+		end, acc := idx, 0
+		for end < maxEnd && (end == idx || acc+lengths[end]/2 <= target) {
+			acc += lengths[end]
+			end++
+		}
+		remaining -= acc
+		idx = end
+		cuts = append(cuts, end)
+	}
+	return cuts
+}
+
+// Sequences returns the store's global sequence directory: member
+// names, lengths, and the global offsets hits are mapped through.
+func (st *Store) Sequences() *SeqTable { return st.seqs }
+
+// Shards returns the number of index shards.
+func (st *Store) Shards() int { return len(st.shards) }
+
+// shardFor returns the shard holding global member g.
+func (st *Store) shardFor(g int) *storeShard {
+	lo, hi := 0, len(st.shards)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if st.shards[mid].base <= g {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return &st.shards[lo]
+}
+
+// resolveThreshold derives the score threshold for a query of length m
+// exactly as a monolithic Index over the whole concatenation would
+// (resolveThresholdOver with the store's TOTAL length and alphabet).
+// Sharding must never change thresholds — that is what keeps the K>1
+// hit sets byte-identical to the K=1 ones.
+func (st *Store) resolveThreshold(m int, opts SearchOptions, s Scheme) (int, error) {
+	return resolveThresholdOver(s, opts, m, st.seqs.TotalLen(), st.sigma)
+}
+
+// optionsFingerprint canonically serialises every SearchOptions field.
+// It keys both the per-options session pools and the query cache: two
+// options values with equal fingerprints are interchangeable.
+func optionsFingerprint(o SearchOptions) string {
+	b := make([]byte, 0, 64)
+	for _, v := range [...]int64{
+		int64(o.Scheme.Match), int64(o.Scheme.Mismatch),
+		int64(o.Scheme.GapOpen), int64(o.Scheme.GapExtend),
+		int64(o.Threshold), int64(o.Algorithm),
+		int64(o.AlphabetSize), int64(o.Parallelism),
+	} {
+		b = strconv.AppendInt(b, v, 10)
+		b = append(b, ',')
+	}
+	b = strconv.AppendUint(b, math.Float64bits(o.EValue), 16)
+	for _, f := range [...]bool{o.DisableLengthFilter, o.DisableScoreFilter, o.DisableDomination} {
+		if f {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
+	return string(b)
+}
+
+// sessionPool returns (building if needed) the StoreSession pool for
+// one options fingerprint. Pools hold warm sessions — per-shard lanes
+// whose core sessions, collectors and gram tables are already sized —
+// so bursty Store.Search traffic reuses lanes instead of opening per
+// call.
+func (st *Store) sessionPool(fp string) *sync.Pool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p := st.pools[fp]
+	if p == nil {
+		p = &sync.Pool{}
+		st.pools[fp] = p
+	}
+	return p
+}
+
+// Search runs one query through the store: a query-cache probe, then —
+// on a miss — a pooled scatter-gather session (see StoreSession). The
+// returned result may be shared with the cache; callers must not
+// modify its Hits.
+func (st *Store) Search(query []byte, opts SearchOptions) (*StoreResult, error) {
+	s := opts.Scheme
+	if s == (Scheme{}) {
+		s = DefaultDNAScheme
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSearchOptions(opts, s); err != nil {
+		return nil, err
+	}
+	fp := optionsFingerprint(opts)
+	pool := st.sessionPool(fp)
+	var ss *StoreSession
+	if v := pool.Get(); v != nil {
+		ss = v.(*StoreSession)
+	} else {
+		var err error
+		if ss, err = st.OpenSession(opts); err != nil {
+			return nil, err
+		}
+	}
+	res, err := st.cachedSearch(ss, fp, query)
+	pool.Put(ss)
+	return res, err
+}
+
+// cachedSearch answers query through the cache when possible,
+// computing and publishing through ss otherwise. fp must be the
+// fingerprint of ss's options.
+func (st *Store) cachedSearch(ss *StoreSession, fp string, query []byte) (*StoreResult, error) {
+	if st.cache == nil {
+		return ss.Search(query)
+	}
+	key := cacheKey(fp, query)
+	if cached, ok := st.cache.get(key); ok {
+		// A shallow copy shares the immutable hit slice but gives the
+		// caller its own counters.
+		cp := *cached
+		cp.Stats.QueryCacheHits = 1
+		return &cp, nil
+	}
+	res, err := ss.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	canon := *res
+	canon.Stats.QueryCacheHits, canon.Stats.QueryCacheMisses = 0, 0
+	st.cache.put(key, &canon)
+	res.Stats.QueryCacheMisses = 1
+	return res, nil
+}
+
+// QueryCacheStats reports the store-lifetime query-cache hit and miss
+// totals (both zero when the cache is disabled).
+func (st *Store) QueryCacheStats() (hits, misses int64) {
+	if st.cache == nil {
+		return 0, 0
+	}
+	return st.cache.hits.Load(), st.cache.misses.Load()
+}
+
+// Align reconstructs the best alignment ending at a store hit, for
+// display. The traceback runs inside the hit's member shard.
+func (st *Store) Align(query []byte, s Scheme, hit SeqHit) (Alignment, error) {
+	sh := st.shardFor(hit.Member)
+	local := Hit{
+		TEnd:  sh.tab.Start(hit.Member-sh.base) + hit.LocalTEnd,
+		QEnd:  hit.QEnd,
+		Score: hit.Score,
+	}
+	return sh.ix.Align(query, s, local)
+}
+
+// FormatAlignment renders an alignment produced by Store.Align for the
+// given hit.
+func (st *Store) FormatAlignment(a Alignment, hit SeqHit, query []byte, width int) string {
+	return st.shardFor(hit.Member).ix.FormatAlignment(a, query, width)
+}

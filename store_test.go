@@ -1,0 +1,673 @@
+package alae
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// Store acceptance tests: sharding must be invisible (K shards return
+// the monolithic index's mapped hit set, byte for byte), persistence
+// must round-trip the partition, and the query cache must only move
+// work, never change it.
+
+// storeWorkload builds a multi-member database whose queries are
+// homologous to segments placed well inside chosen members — far
+// enough from member boundaries that no above-threshold alignment can
+// reach a separator, which is what makes K>1 parity exact.
+type storeWorkload struct {
+	records []SeqRecord
+	queries [][]byte
+}
+
+func buildStoreWorkload(alpha *seq.Alphabet, members, memberLen, segLen int, seed int64) storeWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	letters := alpha.Letters()
+	randSeq := func(n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = letters[rng.Intn(len(letters))]
+		}
+		return out
+	}
+	var wl storeWorkload
+	for i := 0; i < members; i++ {
+		wl.records = append(wl.records, SeqRecord{
+			Name: fmt.Sprintf("member%02d", i),
+			Seq:  randSeq(memberLen),
+		})
+	}
+	// Two queries, each homologous to segments of three members, the
+	// segments centred in their members.
+	for qi := 0; qi < 2; qi++ {
+		query := randSeq(3*segLen + 300)
+		for k := 0; k < 3; k++ {
+			src := (qi*3 + k*2 + 1) % members
+			mid := memberLen/2 - segLen/2
+			seg := seq.Mutate(alpha, wl.records[src].Seq[mid:mid+segLen],
+				seq.MutationConfig{SubstitutionRate: 0.05, IndelRate: 0.01}, rng)
+			copy(query[100+k*(segLen+50):], seg)
+		}
+		wl.queries = append(wl.queries, query)
+	}
+	return wl
+}
+
+// monolithicSeqHits maps a monolithic Index result over the same
+// concatenation into the store's SeqHit view — the reference the
+// scatter-gather must reproduce.
+func monolithicSeqHits(res *Result, tab *seq.Table) []SeqHit {
+	out := make([]SeqHit, 0, len(res.Hits))
+	for _, h := range res.Hits {
+		m, local, ok := tab.Locate(h.TEnd, h.TEnd+1)
+		if !ok {
+			continue
+		}
+		out = append(out, SeqHit{Hit: h, Member: m, Name: tab.Name(m), LocalTEnd: local})
+	}
+	return out
+}
+
+func seqHitsEqual(a, b []SeqHit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStoreShardParity is the tentpole acceptance gate: over DNA and
+// protein workloads, for sequential and parallel searches, through
+// one-shot Store.Search and fresh and re-armed StoreSessions, a store
+// with K ∈ {1, 2, 5} shards returns exactly the monolithic index's
+// mapped hit set — same members, same local and global coordinates,
+// same scores, same E-value-derived threshold.
+func TestStoreShardParity(t *testing.T) {
+	cases := []struct {
+		name   string
+		alpha  *seq.Alphabet
+		opts   SearchOptions
+		seed   int64
+		mlen   int
+		seglen int
+	}{
+		{"dna-alae", seq.DNA, SearchOptions{}, 700, 3000, 300},
+		{"dna-alae-par", seq.DNA, SearchOptions{Parallelism: 0}, 700, 3000, 300},
+		{"dna-hybrid", seq.DNA, SearchOptions{Algorithm: ALAEHybrid}, 701, 2500, 250},
+		{"dna-evalue", seq.DNA, SearchOptions{EValue: 1e-5}, 702, 3000, 300},
+		{"protein-alae", seq.Protein, SearchOptions{Scheme: DefaultProteinScheme}, 703, 1500, 200},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wl := buildStoreWorkload(tc.alpha, 7, tc.mlen, tc.seglen, tc.seed)
+			recs := make([]seq.Record, len(wl.records))
+			for i, r := range wl.records {
+				recs[i] = seq.Record{Header: r.Name, Seq: r.Seq}
+			}
+			col := seq.NewCollection(recs)
+			mono := NewIndex(col.Text())
+			wantThreshold := make([]int, len(wl.queries))
+			wantHits := make([][]SeqHit, len(wl.queries))
+			for qi, query := range wl.queries {
+				want, err := mono.Search(query, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantThreshold[qi] = want.Threshold
+				wantHits[qi] = monolithicSeqHits(want, col.Table())
+				if qi == 0 && len(wantHits[qi]) == 0 {
+					t.Fatal("vacuous workload: monolithic search found nothing")
+				}
+			}
+			for _, k := range []int{1, 2, 5} {
+				st, err := NewStore(wl.records, StoreOptions{Shards: k})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Shards() != k {
+					t.Fatalf("built %d shards, want %d", st.Shards(), k)
+				}
+				ss, err := st.OpenSession(tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pass := 0; pass < 2; pass++ { // fresh, then re-armed
+					for qi, query := range wl.queries {
+						got, err := st.Search(query, tc.opts) // pooled scatter-gather
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Threshold != wantThreshold[qi] {
+							t.Fatalf("K=%d pass %d query %d: store threshold %d, monolithic %d",
+								k, pass, qi, got.Threshold, wantThreshold[qi])
+						}
+						if !seqHitsEqual(got.Hits, wantHits[qi]) {
+							t.Fatalf("K=%d pass %d query %d: store hits diverge from monolithic (%d vs %d)",
+								k, pass, qi, len(got.Hits), len(wantHits[qi]))
+						}
+						ses, err := ss.Search(query) // session path, cache bypassed
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !seqHitsEqual(ses.Hits, wantHits[qi]) {
+							t.Fatalf("K=%d pass %d query %d: store session hits diverge", k, pass, qi)
+						}
+						if ses.Stats.CalculatedEntries != got.Stats.CalculatedEntries &&
+							got.Stats.QueryCacheHits == 0 {
+							t.Fatalf("K=%d pass %d query %d: session entries %d, one-shot %d",
+								k, pass, qi, ses.Stats.CalculatedEntries, got.Stats.CalculatedEntries)
+						}
+					}
+				}
+				ss.Close()
+				ss.Close() // idempotent
+				if _, err := ss.Search(wl.queries[0]); err == nil {
+					t.Fatal("Search on a closed StoreSession succeeded")
+				}
+			}
+		})
+	}
+}
+
+// TestStoreSingleRecordMatchesIndex pins the K=1 degenerate case: a
+// store over one record is the raw index — no separators, global
+// coordinates equal to text coordinates, identical hit set and work.
+func TestStoreSingleRecordMatchesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(710))
+	letters := seq.DNA.Letters()
+	text := make([]byte, 12_000)
+	for i := range text {
+		text[i] = letters[rng.Intn(4)]
+	}
+	query := seq.Mutate(seq.DNA, text[4_000:4_400],
+		seq.MutationConfig{SubstitutionRate: 0.05, IndelRate: 0.01}, rng)
+	ix := NewIndex(text)
+	want, err := ix.Search(query, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Hits) == 0 {
+		t.Fatal("vacuous workload")
+	}
+	st, err := NewStore([]SeqRecord{{Name: "only", Seq: text}}, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Search(query, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threshold != want.Threshold {
+		t.Fatalf("threshold %d, index %d", got.Threshold, want.Threshold)
+	}
+	if len(got.Hits) != len(want.Hits) {
+		t.Fatalf("%d hits, index %d", len(got.Hits), len(want.Hits))
+	}
+	for i, sh := range got.Hits {
+		if sh.Hit != want.Hits[i] || sh.Member != 0 || sh.Name != "only" || sh.LocalTEnd != want.Hits[i].TEnd {
+			t.Fatalf("hit %d: %+v, index hit %+v", i, sh, want.Hits[i])
+		}
+	}
+	if got.Stats.CalculatedEntries != want.Stats.CalculatedEntries {
+		t.Fatalf("entries %d, index %d", got.Stats.CalculatedEntries, want.Stats.CalculatedEntries)
+	}
+}
+
+// TestStoreRejectsSeparatorEndingHits pins the gather-side rejection:
+// an alignment strong enough to stay above threshold while consuming
+// the separator produces separator-row hits in a monolithic index, and
+// the store must return every monolithic hit EXCEPT those.
+func TestStoreRejectsSeparatorEndingHits(t *testing.T) {
+	rng := rand.New(rand.NewSource(711))
+	letters := seq.DNA.Letters()
+	randSeq := func(n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = letters[rng.Intn(4)]
+		}
+		return out
+	}
+	a, b := randSeq(1000), randSeq(1000)
+	// The query matches a's suffix exactly: the alignment reaches the
+	// member boundary with a score far above H, so cells on and past
+	// the separator stay above H too.
+	query := append([]byte(nil), a[700:]...)
+	opts := SearchOptions{Threshold: 40}
+
+	recs := []seq.Record{{Header: "a", Seq: a}, {Header: "b", Seq: b}}
+	col := seq.NewCollection(recs)
+	mono := NewIndex(col.Text())
+	want, err := mono.Search(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sepPos := col.Table().Start(1) - 1
+	onSeparator := 0
+	for _, h := range want.Hits {
+		if h.TEnd == sepPos {
+			onSeparator++
+		}
+	}
+	if onSeparator == 0 {
+		t.Fatal("workload failed to produce a separator-ending hit; the test is vacuous")
+	}
+
+	st, err := NewStore([]SeqRecord{{Name: "a", Seq: a}, {Name: "b", Seq: b}}, StoreOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Search(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seqHitsEqual(got.Hits, monolithicSeqHits(want, col.Table())) {
+		t.Fatal("store hits diverge from the separator-filtered monolithic set")
+	}
+	if len(got.Hits) != len(want.Hits)-onSeparator {
+		t.Fatalf("store returned %d hits; monolithic %d with %d on the separator",
+			len(got.Hits), len(want.Hits), onSeparator)
+	}
+	for _, sh := range got.Hits {
+		if sh.LocalTEnd < 0 || sh.LocalTEnd >= st.Sequences().SeqLen(sh.Member) {
+			t.Fatalf("hit local end %d outside member %d (len %d)", sh.LocalTEnd, sh.Member, st.Sequences().SeqLen(sh.Member))
+		}
+	}
+}
+
+// TestStoreManifestRoundTrip saves and reloads a sharded store and
+// checks the partition, directory and answers survive; corrupt files
+// are rejected with a message, not a panic.
+func TestStoreManifestRoundTrip(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 5, 2000, 250, 712)
+	st, err := NewStore(wl.records, StoreOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), buf.Bytes()...)
+
+	loaded, err := LoadStore(bytes.NewReader(saved), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Shards() != st.Shards() {
+		t.Fatalf("loaded %d shards, saved %d", loaded.Shards(), st.Shards())
+	}
+	if loaded.Sequences().Len() != st.Sequences().Len() {
+		t.Fatalf("loaded %d members, saved %d", loaded.Sequences().Len(), st.Sequences().Len())
+	}
+	for i := 0; i < st.Sequences().Len(); i++ {
+		if loaded.Sequences().Name(i) != st.Sequences().Name(i) ||
+			loaded.Sequences().SeqLen(i) != st.Sequences().SeqLen(i) ||
+			loaded.Sequences().Start(i) != st.Sequences().Start(i) {
+			t.Fatalf("member %d directory mismatch after reload", i)
+		}
+	}
+	for qi, query := range wl.queries {
+		want, err := st.Search(query, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Search(query, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Threshold != got.Threshold || !seqHitsEqual(want.Hits, got.Hits) {
+			t.Fatalf("query %d: loaded store diverges from saved", qi)
+		}
+	}
+
+	// Corruptions: bad magic, bad version, truncated payload,
+	// inconsistent shard boundaries.
+	bad := append([]byte(nil), saved...)
+	bad[0] = 'X'
+	if _, err := LoadStore(bytes.NewReader(bad), StoreOptions{}); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic accepted (err=%v)", err)
+	}
+	bad = append([]byte(nil), saved...)
+	bad[8] = 99 // version field
+	if _, err := LoadStore(bytes.NewReader(bad), StoreOptions{}); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version accepted (err=%v)", err)
+	}
+	if _, err := LoadStore(bytes.NewReader(saved[:len(saved)/2]), StoreOptions{}); err == nil {
+		t.Fatal("truncated store accepted")
+	}
+	// A hostile member length (the first member's seqLen field sits
+	// after magic+version+count+nameLen+name) must be rejected by the
+	// plausibility bounds, not answered with a giant allocation.
+	bad = append([]byte(nil), saved...)
+	off := 8 + 4 + 8 + 8 + len(st.Sequences().Name(0))
+	for i := 0; i < 8; i++ {
+		bad[off+i] = 0xFF
+	}
+	if _, err := LoadStore(bytes.NewReader(bad), StoreOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("hostile member length accepted (err=%v)", err)
+	}
+}
+
+// TestStoreQueryCache covers the result-level cache: exact repeats are
+// served from it with the hit/miss counters saying so, a disabled
+// cache changes nothing but the counters, options changes miss (the
+// fingerprint is part of the key), and eviction pressure never changes
+// answers.
+func TestStoreQueryCache(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 4, 2000, 250, 713)
+	query := wl.queries[0]
+
+	t.Run("repeat-hits", func(t *testing.T) {
+		st, err := NewStore(wl.records, StoreOptions{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := st.Search(query, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Stats.QueryCacheMisses != 1 || first.Stats.QueryCacheHits != 0 {
+			t.Fatalf("cold search counters: %+v", first.Stats)
+		}
+		second, err := st.Search(query, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Stats.QueryCacheHits != 1 || second.Stats.QueryCacheMisses != 0 {
+			t.Fatalf("hot search counters: hits=%d misses=%d",
+				second.Stats.QueryCacheHits, second.Stats.QueryCacheMisses)
+		}
+		if !seqHitsEqual(first.Hits, second.Hits) || first.Threshold != second.Threshold {
+			t.Fatal("cached result differs from computed result")
+		}
+		if hits, misses := st.QueryCacheStats(); hits != 1 || misses != 1 {
+			t.Fatalf("store counters hits=%d misses=%d, want 1/1", hits, misses)
+		}
+		// A different configuration must not share entries.
+		other, err := st.Search(query, SearchOptions{Threshold: first.Threshold + 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other.Stats.QueryCacheHits != 0 {
+			t.Fatal("different options hit the cache of another configuration")
+		}
+		if len(other.Hits) >= len(first.Hits) {
+			t.Fatalf("tighter threshold returned %d hits, loose %d", len(other.Hits), len(first.Hits))
+		}
+	})
+
+	t.Run("disabled", func(t *testing.T) {
+		st, err := NewStore(wl.records, StoreOptions{Shards: 2, QueryCacheSize: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			res, err := st.Search(query, SearchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.QueryCacheHits != 0 || res.Stats.QueryCacheMisses != 0 {
+				t.Fatalf("disabled cache counted: %+v", res.Stats)
+			}
+		}
+		if hits, misses := st.QueryCacheStats(); hits != 0 || misses != 0 {
+			t.Fatalf("disabled cache store counters %d/%d", hits, misses)
+		}
+	})
+
+	t.Run("eviction", func(t *testing.T) {
+		st, err := NewStore(wl.records, StoreOptions{Shards: 2, QueryCacheSize: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewStore(wl.records, StoreOptions{Shards: 2, QueryCacheSize: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := make([][]byte, 4)
+		for i := range queries {
+			queries[i] = append([]byte(nil), query...)
+			queries[i][i] = 'A' // distinct cache keys
+		}
+		for round := 0; round < 3; round++ {
+			for qi, q := range queries {
+				got, err := st.Search(q, SearchOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := ref.Search(q, SearchOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !seqHitsEqual(got.Hits, want.Hits) {
+					t.Fatalf("round %d query %d: eviction-pressured cache diverged", round, qi)
+				}
+			}
+			if st.cache.len() > 2 {
+				t.Fatalf("cache grew to %d entries, capacity 2", st.cache.len())
+			}
+		}
+	})
+}
+
+// TestStoreQueryCacheConcurrent hammers one store from many goroutines
+// mixing repeated and distinct queries; run under -race this is the
+// data-race check for the cache and the session pools, and every
+// result must equal the uncached reference.
+func TestStoreQueryCacheConcurrent(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 4, 1500, 200, 714)
+	st, err := NewStore(wl.records, StoreOptions{Shards: 2, QueryCacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewStore(wl.records, StoreOptions{Shards: 2, QueryCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make([][]SeqHit, len(wl.queries))
+	for qi, q := range wl.queries {
+		res, err := ref.Search(q, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[qi] = res.Hits
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				qi := (g + i) % len(wl.queries)
+				res, err := st.Search(wl.queries[qi], SearchOptions{})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !seqHitsEqual(res.Hits, wants[qi]) {
+					errc <- fmt.Errorf("goroutine %d iteration %d: cached result diverged", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreSearchAll pins the batch path: results in query order equal
+// one-shot searches, repeats collapse into cache probes, and the first
+// failing query index is reported deterministically.
+func TestStoreSearchAll(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 4, 1500, 200, 715)
+	st, err := NewStore(wl.records, StoreOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]byte{wl.queries[0], wl.queries[1], wl.queries[0], wl.queries[1]}
+	results, err := st.SearchAll(queries, SearchOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	for qi, res := range results {
+		want, err := st.Search(queries[qi], SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seqHitsEqual(res.Hits, want.Hits) {
+			t.Fatalf("query %d: batch result diverges from one-shot", qi)
+		}
+	}
+	if hits, _ := st.QueryCacheStats(); hits == 0 {
+		t.Fatal("repeated batch queries never hit the query cache")
+	}
+
+	// Error determinism: the shortest failing query wins, wrapped with
+	// its index.
+	bad := [][]byte{wl.queries[0], []byte("ACG"), []byte("ACG")}
+	_, err = st.SearchAll(bad, SearchOptions{}, 3)
+	if err == nil || !strings.Contains(err.Error(), "store query 1") {
+		t.Fatalf("SearchAll error = %v, want the lowest failing index (1)", err)
+	}
+	if _, err := st.SearchAll(nil, SearchOptions{}, 2); err != nil {
+		t.Fatalf("empty batch errored: %v", err)
+	}
+}
+
+// TestPartitionRecords checks the byte-balancing cut rule directly:
+// contiguous cover, no empty shard, clamping, and rough balance on
+// uniform inputs.
+func TestPartitionRecords(t *testing.T) {
+	check := func(lengths []int, k int) []int {
+		t.Helper()
+		cuts := partitionRecords(lengths, k)
+		if len(cuts) != k+1 || cuts[0] != 0 || cuts[k] != len(lengths) {
+			t.Fatalf("cuts %v do not cover %d records in %d shards", cuts, len(lengths), k)
+		}
+		for s := 0; s < k; s++ {
+			if cuts[s+1] <= cuts[s] {
+				t.Fatalf("cuts %v leave shard %d empty", cuts, s)
+			}
+		}
+		return cuts
+	}
+	check([]int{5}, 1)
+	check([]int{1, 1, 1, 1, 1}, 5)
+	cuts := check([]int{100, 100, 100, 100, 100, 100, 100, 100}, 4)
+	for s := 0; s < 4; s++ {
+		if cuts[s+1]-cuts[s] != 2 {
+			t.Fatalf("uniform records unbalanced: %v", cuts)
+		}
+	}
+	// One giant record dominates: it must sit alone in a shard while
+	// every other shard still gets at least one record.
+	check([]int{10, 10_000, 10, 10}, 3)
+
+	if _, err := NewStore(nil, StoreOptions{}); err == nil {
+		t.Fatal("NewStore accepted zero records")
+	}
+	st, err := NewStore([]SeqRecord{{Name: "a", Seq: []byte("ACGT")}}, StoreOptions{Shards: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards() != 1 {
+		t.Fatalf("shards not clamped to record count: %d", st.Shards())
+	}
+}
+
+// TestOpenSessionValidatesEagerly pins the satellite fix: for EVERY
+// algorithm — the baselines included — configuration errors surface at
+// OpenSession, not on the first Search.
+func TestOpenSessionValidatesEagerly(t *testing.T) {
+	ix := NewIndex([]byte("ACGTACGTACGTACGTACGTACGTACGT"))
+	algorithms := []Algorithm{ALAE, ALAEHybrid, BWTSW, BLAST, SmithWaterman}
+	for _, alg := range algorithms {
+		if _, err := ix.OpenSession(SearchOptions{Algorithm: alg, Threshold: -1}); err == nil {
+			t.Errorf("%v: negative threshold accepted at open", alg)
+		}
+		if _, err := ix.OpenSession(SearchOptions{Algorithm: alg, EValue: -2}); err == nil {
+			t.Errorf("%v: negative E-value accepted at open", alg)
+		}
+		if _, err := ix.OpenSession(SearchOptions{Algorithm: alg, Parallelism: -3}); err == nil {
+			t.Errorf("%v: negative parallelism accepted at open", alg)
+		}
+	}
+	if _, err := ix.OpenSession(SearchOptions{Algorithm: Algorithm(97)}); err == nil {
+		t.Error("unknown algorithm accepted at open")
+	}
+	// BWT-SW's scheme floor is a configuration error too.
+	if _, err := ix.OpenSession(SearchOptions{
+		Algorithm: BWTSW,
+		Scheme:    Scheme{Match: 1, Mismatch: -1, GapOpen: -5, GapExtend: -2},
+		Threshold: 10,
+	}); err == nil {
+		t.Error("BWT-SW-incompatible scheme accepted at open")
+	}
+	// Index.Search applies the same validation.
+	if _, err := ix.Search([]byte("ACGTACGTACGT"), SearchOptions{Parallelism: -1, Threshold: 20}); err == nil {
+		t.Error("Index.Search accepted negative parallelism")
+	}
+	// The store session inherits the eager contract.
+	st, err := NewStore([]SeqRecord{{Name: "a", Seq: bytes.Repeat([]byte("ACGT"), 16)}}, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.OpenSession(SearchOptions{Threshold: -1}); err == nil {
+		t.Error("StoreSession accepted a negative threshold at open")
+	}
+	if _, err := st.Search([]byte("ACGTACGTACGTACGT"), SearchOptions{EValue: -1}); err == nil {
+		t.Error("Store.Search accepted a negative E-value")
+	}
+}
+
+// TestStoreSearchAllStopsAfterError pins the store batch path's
+// cancellation contract, mirroring Index.SearchAll's: after the first
+// per-query failure no further queries are launched (a few may already
+// be in flight on other workers), and the lowest failing index is the
+// one reported.
+func TestStoreSearchAllStopsAfterError(t *testing.T) {
+	st, err := NewStore([]SeqRecord{{Name: "a", Seq: bytes.Repeat([]byte("ACGT"), 16)}},
+		StoreOptions{QueryCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]byte, 64)
+	for i := range queries {
+		queries[i] = []byte("ACG") // shorter than q: every query errors instantly
+	}
+	var (
+		mu      sync.Mutex
+		started int
+	)
+	storeSearchAllStarted = func(int) {
+		mu.Lock()
+		started++
+		mu.Unlock()
+	}
+	defer func() { storeSearchAllStarted = nil }()
+
+	_, err = st.SearchAll(queries, SearchOptions{}, 2)
+	if err == nil || !strings.Contains(err.Error(), "store query 0") {
+		t.Fatalf("SearchAll error = %v, want the lowest failing index (0)", err)
+	}
+	if started > 4 {
+		t.Fatalf("%d of %d queries were launched after the first error; cancellation is not stopping work", started, len(queries))
+	}
+}

@@ -1,0 +1,114 @@
+package alae
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The result-level query cache of the serving store. A server replays
+// identical queries — health checks, popular reads, retried requests —
+// and even with warm sessions and the cross-query gram cache each
+// replay re-runs the whole traversal. This cache closes that gap:
+// results are keyed by (options fingerprint, query bytes) and the
+// shard indexes are immutable, so a cached result is valid for the
+// store's whole lifetime, an exact repeat is one hash probe, and
+// eviction (CLOCK, approximately LRU) is pure capacity management —
+// there is no invalidation story to get wrong.
+//
+// Concurrency mirrors the gram cache: hits are an RLock-guarded map
+// probe plus one atomic reference-bit store. Population is NOT
+// single-flight — two sessions racing on the same cold query both
+// compute it and the last insert wins, which is sound (both computed
+// the same immutable result) and keeps misses lock-free while the
+// search runs.
+
+// cacheKey builds the cache key for one (options, query) pair. The
+// query bytes are copied into the key string, so cached entries never
+// alias caller buffers.
+func cacheKey(fp string, query []byte) string {
+	return fp + "\x00" + string(query)
+}
+
+// queryEntry is one cached result. res is immutable once inserted.
+type queryEntry struct {
+	key  string
+	used atomic.Bool // CLOCK reference bit
+	res  *StoreResult
+}
+
+// queryCache is the table. One exists per Store.
+type queryCache struct {
+	mu       sync.RWMutex
+	capacity int
+	m        map[string]*queryEntry
+	ring     []*queryEntry // CLOCK ring over the live entries
+	hand     int
+
+	hits, misses atomic.Int64 // store-lifetime counters
+}
+
+// newQueryCache returns a cache of the given capacity; 0 means the
+// default and a negative size disables caching (nil cache).
+func newQueryCache(size int) *queryCache {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = defaultQueryCacheSize
+	}
+	return &queryCache{capacity: size, m: make(map[string]*queryEntry, min(size, 1024))}
+}
+
+// get returns the cached result for key, counting the probe.
+func (qc *queryCache) get(key string) (*StoreResult, bool) {
+	qc.mu.RLock()
+	e := qc.m[key]
+	qc.mu.RUnlock()
+	if e == nil {
+		qc.misses.Add(1)
+		return nil, false
+	}
+	e.used.Store(true)
+	qc.hits.Add(1)
+	return e.res, true
+}
+
+// put publishes a result, evicting one CLOCK victim when the cache is
+// full. Racing puts of the same key keep the first entry (the results
+// are identical).
+func (qc *queryCache) put(key string, res *StoreResult) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	if _, ok := qc.m[key]; ok {
+		return
+	}
+	e := &queryEntry{key: key, res: res}
+	qc.m[key] = e
+	if len(qc.ring) < qc.capacity {
+		qc.ring = append(qc.ring, e)
+		return
+	}
+	// CLOCK sweep: clear reference bits until an unreferenced entry
+	// turns up; bounded, falling back to the hand's current slot.
+	victim := -1
+	for i := 0; i < 2*len(qc.ring); i++ {
+		if !qc.ring[qc.hand].used.Swap(false) {
+			victim = qc.hand
+			break
+		}
+		qc.hand = (qc.hand + 1) % len(qc.ring)
+	}
+	if victim < 0 {
+		victim = qc.hand
+	}
+	delete(qc.m, qc.ring[victim].key)
+	qc.ring[victim] = e
+	qc.hand = (victim + 1) % len(qc.ring)
+}
+
+// len reports the number of cached results (tests and diagnostics).
+func (qc *queryCache) len() int {
+	qc.mu.RLock()
+	defer qc.mu.RUnlock()
+	return len(qc.m)
+}

@@ -1,0 +1,229 @@
+package alae
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/seq"
+)
+
+// Store persistence: a versioned manifest — member names and lengths,
+// shard boundaries — framing the existing per-index serialization, so
+// a saved store reloads with the exact partition it was built with and
+// every shard index round-trips through the Index.Save format
+// (including its own versioning and rank-layout tags). Each shard
+// payload is length-prefixed, which keeps the indexes' internal
+// buffered readers from consuming past their own frame.
+
+// storeMagic opens every serialised store.
+var storeMagic = [8]byte{'A', 'L', 'A', 'E', 'S', 'T', 'O', 'R'}
+
+// storeVersion is the manifest format version.
+const storeVersion uint32 = 1
+
+// sane upper bounds for manifest fields: a reload of hostile or
+// corrupt bytes must fail with a message, not an allocation storm.
+const (
+	maxStoreMembers = 1 << 28
+	maxStoreNameLen = 1 << 20
+	maxStoreSeqLen  = 1 << 40
+)
+
+// Save serialises the store: the manifest followed by each shard's
+// index (text plus compressed suffix array). The format is versioned
+// and validated on load.
+func (st *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(storeMagic[:]); err != nil {
+		return err
+	}
+	u32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	u64 := func(v uint64) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := u32(storeVersion); err != nil {
+		return err
+	}
+	if err := u64(uint64(st.seqs.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < st.seqs.Len(); i++ {
+		name := st.seqs.Name(i)
+		if err := u64(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		if err := u64(uint64(st.seqs.SeqLen(i))); err != nil {
+			return err
+		}
+	}
+	if err := u64(uint64(len(st.shards))); err != nil {
+		return err
+	}
+	for _, sh := range st.shards {
+		if err := u64(uint64(sh.tab.Len())); err != nil {
+			return err
+		}
+	}
+	// Shard payloads, length-prefixed. Each is serialised to memory
+	// first: Index.Save/Load use their own buffered streams, and the
+	// frame keeps those buffers from reading into the next shard.
+	var buf bytes.Buffer
+	for _, sh := range st.shards {
+		buf.Reset()
+		if err := sh.ix.Save(&buf); err != nil {
+			return err
+		}
+		if err := u64(uint64(buf.Len())); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadStore reads a store written by Save. The shard partition comes
+// from the manifest; opts.Shards is ignored, while opts.QueryCacheSize
+// configures the (runtime-only, never persisted) query cache of the
+// loaded store.
+func LoadStore(r io.Reader, opts StoreOptions) (*Store, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("alae: reading store: %w", err)
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("alae: not a store file (bad magic %q)", magic[:])
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("alae: reading store version: %w", err)
+	}
+	if version != storeVersion {
+		return nil, fmt.Errorf("alae: unsupported store version %d (this build reads version %d)", version, storeVersion)
+	}
+	u64 := func(what string, limit uint64) (uint64, error) {
+		var v uint64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return 0, fmt.Errorf("alae: reading store %s: %w", what, err)
+		}
+		if v > limit {
+			return 0, fmt.Errorf("alae: implausible store %s %d", what, v)
+		}
+		return v, nil
+	}
+	members, err := u64("member count", maxStoreMembers)
+	if err != nil {
+		return nil, err
+	}
+	// Grow the directory incrementally rather than pre-allocating from
+	// the untrusted count: every member read consumes manifest bytes,
+	// so a truncated or hostile header fails on a short read instead
+	// of committing gigabytes up front.
+	names := make([]string, 0, min(int(members), 4096))
+	lengths := make([]int, 0, min(int(members), 4096))
+	total := uint64(0) // declared concatenation length, overflow-guarded
+	for i := 0; i < int(members); i++ {
+		nameLen, err := u64("name length", maxStoreNameLen)
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("alae: reading store member name: %w", err)
+		}
+		names = append(names, string(name))
+		seqLen, err := u64("member length", maxStoreSeqLen)
+		if err != nil {
+			return nil, err
+		}
+		lengths = append(lengths, int(seqLen))
+		if total += seqLen + 1; total > maxStoreSeqLen {
+			// Individually-plausible member lengths must also sum to a
+			// plausible database: this is what keeps every later length
+			// computation (seq.NewTable's offsets, the payload bound
+			// below) inside int range on hostile manifests.
+			return nil, fmt.Errorf("alae: implausible store total length (> %d)", int64(maxStoreSeqLen))
+		}
+	}
+	shardCount, err := u64("shard count", maxStoreMembers)
+	if err != nil {
+		return nil, err
+	}
+	if shardCount == 0 || shardCount > members {
+		return nil, fmt.Errorf("alae: store has %d shards for %d members", shardCount, members)
+	}
+	shardMembers := make([]int, shardCount)
+	sum := 0
+	for s := range shardMembers {
+		n, err := u64("shard member count", members)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("alae: store shard %d is empty", s)
+		}
+		shardMembers[s] = int(n)
+		sum += int(n)
+	}
+	if sum != int(members) {
+		return nil, fmt.Errorf("alae: store shard boundaries cover %d members, manifest has %d", sum, members)
+	}
+
+	st := &Store{
+		seqs:   seq.NewTable(names, lengths),
+		shards: make([]storeShard, shardCount),
+		pools:  make(map[string]*sync.Pool),
+	}
+	var present [256]bool
+	base := 0
+	for s := range st.shards {
+		lo, hi := base, base+shardMembers[s]
+		tab := seq.NewTable(names[lo:hi], lengths[lo:hi])
+		// The manifest already says how long this shard's text is, so
+		// the payload frame gets a tight plausibility bound (the index
+		// serialization is a small multiple of its text) instead of a
+		// blanket huge one.
+		maxPayload := 64*uint64(tab.TotalLen()) + (1 << 20)
+		payloadLen, err := u64("shard payload length", maxPayload)
+		if err != nil {
+			return nil, err
+		}
+		// Grow the payload buffer as bytes actually arrive (CopyN reads
+		// in chunks) rather than trusting the declared length with one
+		// up-front allocation: a crafted header pointing at a short
+		// file fails with an EOF after consuming what exists.
+		var payload bytes.Buffer
+		if _, err := io.CopyN(&payload, br, int64(payloadLen)); err != nil {
+			return nil, fmt.Errorf("alae: reading store shard %d: %w", s, err)
+		}
+		ix, err := Load(bytes.NewReader(payload.Bytes()))
+		if err != nil {
+			return nil, fmt.Errorf("alae: store shard %d: %w", s, err)
+		}
+		if ix.Len() != tab.TotalLen() {
+			return nil, fmt.Errorf("alae: store shard %d text length %d does not match manifest length %d",
+				s, ix.Len(), tab.TotalLen())
+		}
+		// Spot-check the separator layout the manifest promises.
+		for m := 1; m < tab.Len(); m++ {
+			if ix.Text()[tab.Start(m)-1] != seq.Separator {
+				return nil, fmt.Errorf("alae: store shard %d member %d is not separator-framed", s, m)
+			}
+		}
+		for _, b := range ix.Text() {
+			present[b] = true
+		}
+		st.shards[s] = storeShard{ix: ix, tab: tab, base: lo}
+		base = hi
+	}
+	st.sigma = storeSigma(present, int(members))
+	st.cache = newQueryCache(opts.QueryCacheSize)
+	return st, nil
+}

@@ -1,0 +1,245 @@
+package alae
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// StoreSession is a reusable scatter-gather serving lane over a Store:
+// one search configuration answering query after query, holding one
+// Session per shard (each of which owns pooled per-query state from
+// the shard engine's session pool — see Session). Like Session, a
+// StoreSession is NOT safe for concurrent use; concurrency comes from
+// many sessions over the shared store, which Store.Search manages
+// automatically through per-configuration pools.
+type StoreSession struct {
+	st     *Store
+	opts   SearchOptions
+	s      Scheme
+	lanes  []*Session // one per shard, opened eagerly
+	ress   []*Result  // per-shard scatter results, reused
+	errs   []error    // per-shard scatter errors, reused
+	closed bool
+}
+
+// OpenSession returns a scatter-gather session for one search
+// configuration. Configuration errors surface here (see
+// Index.OpenSession); one lane is opened per shard.
+func (st *Store) OpenSession(opts SearchOptions) (*StoreSession, error) {
+	s := opts.Scheme
+	if s == (Scheme{}) {
+		s = DefaultDNAScheme
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSearchOptions(opts, s); err != nil {
+		return nil, err
+	}
+	ss := &StoreSession{
+		st: st, opts: opts, s: s,
+		lanes: make([]*Session, 0, len(st.shards)),
+		ress:  make([]*Result, len(st.shards)),
+		errs:  make([]error, len(st.shards)),
+	}
+	for _, sh := range st.shards {
+		lane, err := sh.ix.OpenSession(opts)
+		if err != nil {
+			ss.Close()
+			return nil, err
+		}
+		ss.lanes = append(ss.lanes, lane)
+	}
+	return ss, nil
+}
+
+// Search scatter-gathers one query across the shards. The threshold is
+// resolved once against the WHOLE store (length and alphabet of the
+// virtual concatenation), every shard searches at that same H in
+// parallel, and the gather maps each shard's hits into global
+// coordinates — dropping hits that end on separator rows — in shard
+// order, which is global (TEnd, QEnd) order. Results are identical to
+// a monolithic index over the same concatenation, hit for hit, except
+// for alignments that would cross a shard boundary's separator (the
+// separator scores as a mismatch in the monolithic text; it does not
+// exist between shards).
+//
+// StoreSession.Search does not consult the store's query cache — that
+// is Store.Search's job — so it is also the cache-bypass path.
+func (ss *StoreSession) Search(query []byte) (*StoreResult, error) {
+	if ss.closed {
+		return nil, fmt.Errorf("alae: Search on a closed StoreSession")
+	}
+	h, err := ss.st.resolveThreshold(len(query), ss.opts, ss.s)
+	if err != nil {
+		return nil, err
+	}
+	// Scatter: every shard at the same pinned threshold, in parallel
+	// when there is more than one shard.
+	if len(ss.lanes) == 1 {
+		ss.ress[0], ss.errs[0] = ss.lanes[0].searchThreshold(query, h)
+	} else {
+		var wg sync.WaitGroup
+		for k, lane := range ss.lanes {
+			wg.Add(1)
+			go func(k int, lane *Session) {
+				defer wg.Done()
+				ss.ress[k], ss.errs[k] = lane.searchThreshold(query, h)
+			}(k, lane)
+		}
+		wg.Wait()
+	}
+	for k, err := range ss.errs {
+		if err != nil {
+			// Drop every shard's result before the session goes back to
+			// a pool: the gather below nils them as it goes, and the
+			// error path must not pin the successful shards' hit tables
+			// either.
+			clear(ss.ress)
+			return nil, fmt.Errorf("alae: shard %d: %w", k, err)
+		}
+	}
+	// Gather: map in shard order. Shards are contiguous in global
+	// coordinates and each shard's hits arrive (TEnd, QEnd)-sorted, so
+	// appending preserves the global order a monolithic search returns.
+	out := &StoreResult{Threshold: h, Algorithm: ss.opts.Algorithm}
+	nhits := 0
+	for _, res := range ss.ress {
+		nhits += len(res.Hits)
+	}
+	out.Hits = make([]SeqHit, 0, nhits)
+	for k := range ss.ress {
+		sh := &ss.st.shards[k]
+		res := ss.ress[k]
+		for _, hh := range res.Hits {
+			lm, local, ok := sh.tab.Locate(hh.TEnd, hh.TEnd+1)
+			if !ok {
+				continue // ends on a separator row: rejected here, at the gather
+			}
+			g := sh.base + lm
+			out.Hits = append(out.Hits, SeqHit{
+				Hit: Hit{
+					TEnd:  ss.st.seqs.Start(g) + local,
+					QEnd:  hh.QEnd,
+					Score: hh.Score,
+				},
+				Member:    g,
+				Name:      ss.st.seqs.Name(g),
+				LocalTEnd: local,
+			})
+		}
+		out.Stats.add(res.Stats)
+		ss.ress[k] = nil // do not pin shard results past the gather
+	}
+	return out, nil
+}
+
+// Close closes every shard lane, handing their pooled state back to
+// the shard engines. Idempotent; the session must not be used after.
+func (ss *StoreSession) Close() {
+	for _, lane := range ss.lanes {
+		lane.Close()
+	}
+	ss.closed = true
+}
+
+// storeSearchAllStarted mirrors searchAllStarted for Store.SearchAll;
+// test hook only.
+var storeSearchAllStarted func(qi int)
+
+// SearchAll runs many queries concurrently over the store with the
+// given worker count (0 means one worker per query up to 8). Results
+// come back in query order; the first error (lowest query index, same
+// determinism contract as Index.SearchAll) cancels the remaining work
+// and is returned wrapped with its query index. Each worker holds one
+// StoreSession for its whole run, and every query goes through the
+// query cache, so batches with repeated queries collapse into probes.
+func (st *Store) SearchAll(queries [][]byte, opts SearchOptions, workers int) ([]*StoreResult, error) {
+	if workers <= 0 {
+		workers = 8
+	}
+	workers = min(workers, len(queries))
+	if workers == 0 {
+		return nil, nil
+	}
+	// Warm the shared lazy structures once (domination indexes for the
+	// ALAE engines) so workers do not race to build them redundantly.
+	s := opts.Scheme
+	if s == (Scheme{}) {
+		s = DefaultDNAScheme
+	}
+	if opts.Algorithm == ALAE || opts.Algorithm == ALAEHybrid {
+		for _, sh := range st.shards {
+			if _, err := sh.ix.DominationIndexSize(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fp := optionsFingerprint(opts)
+	pool := st.sessionPool(fp)
+	results := make([]*StoreResult, len(queries))
+	errs := make([]error, len(queries))
+	var (
+		wg       sync.WaitGroup
+		cursor   atomic.Int64
+		failedAt atomic.Int64 // lowest failing query index; len(queries) = none
+		openOnce sync.Once
+		openErr  error
+	)
+	failedAt.Store(int64(len(queries)))
+	markFailed := func(qi int) {
+		for {
+			cur := failedAt.Load()
+			if int64(qi) >= cur || failedAt.CompareAndSwap(cur, int64(qi)) {
+				return
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ss *StoreSession
+			if v := pool.Get(); v != nil {
+				ss = v.(*StoreSession)
+			} else {
+				var err error
+				if ss, err = st.OpenSession(opts); err != nil {
+					// Configuration errors apply to every query; see
+					// Index.SearchAll for the claim-and-mark rationale.
+					openOnce.Do(func() { openErr = err })
+					qi := int(cursor.Add(1)) - 1
+					markFailed(min(qi, len(queries)-1))
+					return
+				}
+			}
+			defer pool.Put(ss)
+			for {
+				if failedAt.Load() < int64(len(queries)) {
+					return
+				}
+				qi := int(cursor.Add(1)) - 1
+				if qi >= len(queries) {
+					return
+				}
+				if storeSearchAllStarted != nil {
+					storeSearchAllStarted(qi)
+				}
+				results[qi], errs[qi] = st.cachedSearch(ss, fp, queries[qi])
+				if errs[qi] != nil {
+					markFailed(qi)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fa := int(failedAt.Load()); fa < len(queries) {
+		if errs[fa] != nil {
+			return nil, fmt.Errorf("alae: store query %d: %w", fa, errs[fa])
+		}
+		return nil, openErr
+	}
+	return results, nil
+}
