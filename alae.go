@@ -23,6 +23,7 @@
 package alae
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -323,6 +324,19 @@ func validateSearchOptions(opts SearchOptions, s Scheme) error {
 // empty hit set — almost always a caller bug (truncated input, wrong
 // scheme). The Smith-Waterman baseline has no such floor.
 func (ix *Index) Search(query []byte, opts SearchOptions) (*Result, error) {
+	return ix.SearchContext(context.Background(), query, opts)
+}
+
+// SearchContext is Search under a context. The ALAE engines poll the
+// context's done channel at entry-budget checkpoints inside the
+// traversal loops, so a deadline or cancellation aborts a running
+// search with the context's error within a bounded number of DP
+// entries per worker; the index and its pooled sessions remain fully
+// usable afterwards. The baseline algorithms (BWT-SW, BLAST,
+// Smith-Waterman) only check the context at admission — once running
+// they complete; they exist for offline evaluation, not serving. A
+// background context adds no measurable overhead to any path.
+func (ix *Index) SearchContext(cx context.Context, query []byte, opts SearchOptions) (*Result, error) {
 	s := opts.Scheme
 	if s == (Scheme{}) {
 		s = DefaultDNAScheme
@@ -332,6 +346,9 @@ func (ix *Index) Search(query []byte, opts SearchOptions) (*Result, error) {
 	}
 	if err := validateSearchOptions(opts, s); err != nil {
 		return nil, err
+	}
+	if err := cx.Err(); err != nil {
+		return nil, err // admission check; the only one the baselines get
 	}
 	h, err := ix.ResolveThreshold(len(query), opts)
 	if err != nil {
@@ -350,7 +367,9 @@ func (ix *Index) Search(query []byte, opts SearchOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := e.SearchParallel(query, s, h, c, opts.Parallelism)
+		ses := e.AcquireSession()
+		st, err := ses.SearchContext(cx, query, s, h, c, opts.Parallelism)
+		ses.Release()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,195 @@
+// Command alae-serve is the serving daemon: it loads a store built by
+// `alae -save-store` and serves local-alignment searches over
+// HTTP/JSON until told to stop.
+//
+// Usage:
+//
+//	alae -text genome.fa -shards 4 -save-store db.alae
+//	alae-serve -store db.alae -addr :7734
+//
+//	curl -s localhost:7734/healthz
+//	curl -s -d '{"query":"ACGT...","timeout_ms":2000}' localhost:7734/search
+//	curl -s localhost:7734/stats
+//
+// Endpoints: POST /search (JSON in, JSON out), GET /healthz (200
+// serving / 503 draining), GET /stats (counters, cache pressure, job
+// states). Concurrency is bounded by -lanes with a -queue-depth wait
+// queue behind it; overload answers 429 with a Retry-After hint, a
+// search that outlives -search-timeout answers 504 with the work
+// actually aborted mid-traversal. Background jobs — periodic store
+// reload from -store (-reload), query-cache pressure sweeps (-sweep),
+// and a self-probe that searches the store's own data (-probe) — run
+// with panic isolation and never take the daemon down; a failed
+// reload keeps the previous store serving.
+//
+// On SIGTERM or SIGINT the daemon drains: /healthz flips to 503, new
+// searches are refused, in-flight searches finish (bounded by
+// -drain-timeout), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "alae-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		storePath = flag.String("store", "", "store file written by `alae -save-store` (required)")
+		addr      = flag.String("addr", ":7734", "listen address")
+		algorithm = flag.String("algorithm", "alae", "engine: alae, alae-hybrid, bwtsw, blast, sw")
+		schemeStr = flag.String("scheme", "1,-3,-5,-2", "scoring scheme sa,sb,sg,ss")
+		threshold = flag.Int("threshold", 0, "raw score threshold H (0 = derive from -evalue)")
+		eValue    = flag.Float64("evalue", 10, "expectation value used when -threshold is 0")
+		parallel  = flag.Int("p", 1, "ALAE worker goroutines per search (serving default 1: lanes are the concurrency)")
+		cacheSize = flag.Int("query-cache", 0, "result-cache capacity in queries (0 = default, -1 = disabled)")
+
+		lanes      = flag.Int("lanes", 0, "max concurrent searches (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 0, "requests waiting beyond the lanes before 429 (0 = 2x lanes)")
+		searchTO   = flag.Duration("search-timeout", 30*time.Second, "per-search deadline (0 = none)")
+		maxHits    = flag.Int("max-hits", 1000, "hits returned per response (-1 = unlimited)")
+		maxQuery   = flag.Int("max-query", 1<<20, "max query length in bytes")
+		drainTO    = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight searches on shutdown")
+
+		reloadEvery = flag.Duration("reload", 0, "re-read -store on this period and swap it in (0 = off)")
+		sweepEvery  = flag.Duration("sweep", time.Minute, "query-cache pressure sweep period (0 = off)")
+		sweepHits   = flag.Int64("sweep-hits", 1_000_000, "max total hits the query cache may pin between sweeps")
+		probeEvery  = flag.Duration("probe", time.Minute, "self-probe period: search a member prefix, fail loudly if it misses (0 = off)")
+		probeLen    = flag.Int("probe-len", 64, "self-probe query length")
+	)
+	flag.Parse()
+	if *storePath == "" {
+		flag.Usage()
+		return fmt.Errorf("-store is required")
+	}
+
+	scheme, err := parseScheme(*schemeStr)
+	if err != nil {
+		return err
+	}
+	alg, err := parseAlgorithm(*algorithm)
+	if err != nil {
+		return err
+	}
+
+	storeOpts := alae.StoreOptions{QueryCacheSize: *cacheSize}
+	store, err := alae.LoadStoreFile(*storePath, storeOpts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded store: %d member(s), %d shard(s), %d characters\n",
+		store.Sequences().Len(), store.Shards(), store.Sequences().TotalLen())
+
+	srv, err := serve.New(serve.Config{
+		Store:     store,
+		StorePath: *storePath,
+		Options: alae.SearchOptions{
+			Scheme:      scheme,
+			Threshold:   *threshold,
+			EValue:      *eValue,
+			Algorithm:   alg,
+			Parallelism: *parallel,
+		},
+		Lanes:         *lanes,
+		QueueDepth:    *queueDepth,
+		SearchTimeout: *searchTO,
+		MaxQueryLen:   *maxQuery,
+		MaxHits:       *maxHits,
+	})
+	if err != nil {
+		return err
+	}
+	if *reloadEvery > 0 {
+		srv.AddJob(&serve.ReloadJob{Server: srv, Path: *storePath, Opts: storeOpts, Every: *reloadEvery})
+	}
+	if *sweepEvery > 0 {
+		srv.AddJob(&serve.SweepJob{Server: srv, MaxCachedHits: *sweepHits, Every: *sweepEvery})
+	}
+	if *probeEvery > 0 {
+		srv.AddJob(&serve.ProbeJob{Server: srv, QueryLen: *probeLen, Timeout: *searchTO, Every: *probeEvery})
+	}
+	srv.StartJobs()
+
+	hs := srv.HTTPServer(*addr)
+	errCh := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("serving on %s (lanes %d, queue %d, search timeout %s)\n",
+		*addr, *lanes, *queueDepth, *searchTO)
+
+	// Wait for a shutdown signal or a listener failure, then drain:
+	// stop admitting, let in-flight searches finish, exit 0.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCtx.Done():
+	}
+	fmt.Println("draining: refusing new searches, finishing in-flight")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	// Close the listener (bounded by the same drain deadline) and wait
+	// out the in-flight lanes; either failing still exits through the
+	// error path rather than hanging.
+	shutdownErr := hs.Shutdown(drainCtx)
+	if err := srv.Drain(drainCtx); err != nil {
+		return err
+	}
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	fmt.Println("drained, exiting")
+	return nil
+}
+
+func parseScheme(s string) (alae.Scheme, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return alae.Scheme{}, fmt.Errorf("scheme %q: want sa,sb,sg,ss", s)
+	}
+	var vals [4]int
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &vals[i]); err != nil {
+			return alae.Scheme{}, fmt.Errorf("scheme %q: %w", s, err)
+		}
+	}
+	sch := alae.Scheme{Match: vals[0], Mismatch: vals[1], GapOpen: vals[2], GapExtend: vals[3]}
+	return sch, sch.Validate()
+}
+
+func parseAlgorithm(s string) (alae.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "alae":
+		return alae.ALAE, nil
+	case "alae-hybrid", "hybrid":
+		return alae.ALAEHybrid, nil
+	case "bwtsw", "bwt-sw":
+		return alae.BWTSW, nil
+	case "blast":
+		return alae.BLAST, nil
+	case "sw", "smith-waterman":
+		return alae.SmithWaterman, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}

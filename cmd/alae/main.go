@@ -74,12 +74,7 @@ func run() error {
 
 	var store *alae.Store
 	if *loadStore != "" {
-		f, err := os.Open(*loadStore)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if store, err = alae.LoadStore(f, alae.StoreOptions{QueryCacheSize: *cacheSize}); err != nil {
+		if store, err = alae.LoadStoreFile(*loadStore, alae.StoreOptions{QueryCacheSize: *cacheSize}); err != nil {
 			return fmt.Errorf("loading %s: %w", *loadStore, err)
 		}
 		fmt.Printf("loaded store: %d member(s), %d shard(s), %d characters\n",
@@ -117,12 +112,10 @@ func run() error {
 		}
 	}
 	if *saveStore != "" {
-		f, err := os.Create(*saveStore)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := store.Save(f); err != nil {
+		// SaveFile is crash-safe: the store lands under a temp name and
+		// renames into place, so an interrupted build never leaves a torn
+		// file where a serving daemon's reload loop would find it.
+		if err := store.SaveFile(*saveStore); err != nil {
 			return fmt.Errorf("saving store: %w", err)
 		}
 		fmt.Printf("store written to %s\n", *saveStore)

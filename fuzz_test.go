@@ -55,6 +55,58 @@ func FuzzLoad(f *testing.F) {
 	})
 }
 
+// FuzzLoadStore hammers the store manifest loader: arbitrary bytes —
+// seeded with a real saved store plus truncations and bit-flips of it
+// — must be rejected cleanly (no panic, no runaway allocation), and
+// any bytes that DO load must produce a searchable store. This is the
+// same loader the serving daemon's reload job trusts to keep a corrupt
+// file from taking down a running server.
+func FuzzLoadStore(f *testing.F) {
+	st, err := NewStore([]SeqRecord{
+		{Name: "alpha", Seq: []byte("ACGTACGTACGTACGTACGT")},
+		{Name: "beta", Seq: []byte("TTTTACGTACGTGGGG")},
+		{Name: "gamma", Seq: []byte("ACACACACACACAC")},
+	}, StoreOptions{Shards: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := st.Save(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	// Truncations at awkward places: inside the magic, the manifest,
+	// the shard table, a payload.
+	for _, frac := range []int{1, 4, 7, 10, 13, 20, 40, 60, 80, 99} {
+		n := good.Len() * frac / 100
+		f.Add(append([]byte(nil), good.Bytes()[:n]...))
+	}
+	// Bit-flips sweeping the file: header, counts, lengths, payloads.
+	for pos := 0; pos < good.Len(); pos += 1 + good.Len()/16 {
+		flipped := append([]byte(nil), good.Bytes()...)
+		flipped[pos] ^= 1 << (pos % 8)
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadStore(bytes.NewReader(data), StoreOptions{})
+		if err != nil {
+			return
+		}
+		// Whatever loaded must serve: the directory is coherent and a
+		// search runs without panicking.
+		tab := loaded.Sequences()
+		for i := 0; i < tab.Len(); i++ {
+			_ = tab.Name(i)
+			_ = tab.SeqLen(i)
+		}
+		if _, err := loaded.Search([]byte("ACGTACGT"), SearchOptions{Threshold: 8}); err != nil {
+			t.Fatalf("search on loaded store: %v", err)
+		}
+	})
+}
+
 // FuzzSearchExactness is the differential fuzzer: for any DNA-mapped
 // input, ALAE must agree with the Smith-Waterman oracle.
 func FuzzSearchExactness(f *testing.F) {

@@ -275,6 +275,12 @@ func (ctx *searchCtx) dfsWalk(root strie.Node) {
 	var nodesVisited, ngrEntries int64
 	top := 0
 	for top >= 0 {
+		// One iteration advances at most one trie edge: O(m) diagonal
+		// steps plus one O(m) band sweep, so a cancellation lands within
+		// a bounded number of entries of the signal (cancel.go).
+		if ctx.cancelled(ngrEntries) {
+			break
+		}
 		fr := &ws.frames[top]
 		if fr.childIdx >= sigma {
 			ws.diags = ws.diags[:fr.forkStart]
@@ -401,6 +407,9 @@ func (ctx *searchCtx) dfsLinear(node strie.Node, forkStart, forkLen, bandStart, 
 	seeds := ws.seeds
 	u := node
 	for i := node.Depth + 1; i <= ctx.lmax; i++ {
+		if ctx.cancelled(ngrEntries) {
+			break // a level is one bounded unit, like a dfsWalk edge
+		}
 		var code int
 		if t := em.fixedT; t >= 0 {
 			pos := t + i - 1

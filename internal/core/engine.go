@@ -217,6 +217,13 @@ type searchCtx struct {
 	gm       *gMatrix
 	mute     bool // suppress gap-region entry counting (hybrid oracles)
 
+	// Cancellation state (cancel.go). done is shared by every worker of
+	// one search; stopped and nextPoll are per-worker (each worker owns
+	// its searchCtx copy).
+	done     <-chan struct{}
+	stopped  bool
+	nextPoll int64
+
 	ws *workspace
 }
 
@@ -344,6 +351,9 @@ func (ctx *searchCtx) minGainOK(score int32, i int, j int32) bool {
 // for cached grams it is memoised on the cache entry, so hot grams of
 // a repeated-query workload locate once per index lifetime.
 func (ctx *searchCtx) processGram(fam *gramFamily) {
+	if ctx.cancelled(0) {
+		return
+	}
 	node, gram, cols := fam.node, fam.gram, fam.cols
 	occ := ctx.ws.occBuf[:0] // lazily located occurrences of the gram
 	occGetter := func() []int {

@@ -194,6 +194,9 @@ func (hs *hybridState) emitRow(i int, j int32, score int32) {
 // its pendings (parallel slices).
 func (hs *hybridState) descend(level int, node strie.Node) {
 	ctx := hs.ctx
+	if ctx.cancelled(0) {
+		return // unwind the recursion; hits so far are discarded by the caller
+	}
 	ctx.st.NodesVisited++
 	if node.Depth > ctx.st.MaxDepth {
 		ctx.st.MaxDepth = node.Depth
@@ -319,6 +322,9 @@ func (hs *hybridState) verticalGroup(depth int, group []pendingFGOE) {
 	hs.vcols = hs.vcols[:0]
 	hs.vstored = hs.vstored[:0]
 	for w, p := range group {
+		if ctx.cancelled(0) {
+			return
+		}
 		// Theorem 5: same-row FGOEs have equal scores. Reuse relies on
 		// it; compute plainly if it ever failed.
 		lcp, owner := hs.cpt.Insert(int(p.col-1), w)
@@ -372,6 +378,9 @@ func (hs *hybridState) verticalFork(depth int, p pendingFGOE, lcp, owner int) co
 		j := p.col + int32(d)
 		if j > mq {
 			break
+		}
+		if ctx.cancelled(0) {
+			break // one column is a bounded unit (≤ Lmax cells)
 		}
 		var prev colData
 		hasPrev := false

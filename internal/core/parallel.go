@@ -45,6 +45,9 @@ func (ses *Session) searchFamilies(families []gramFamily, base searchCtx, worker
 		*ctx = base
 		ctx.c, ctx.st, ctx.ws = c, st, ses.ws
 		for i := range families {
+			if ctx.stopped {
+				break // cancelled (cancel.go); SearchContext reports the error
+			}
 			ctx.processGram(&families[i])
 		}
 		ses.ws.scrub()
@@ -81,6 +84,9 @@ func (ses *Session) searchFamilies(families []gramFamily, base searchCtx, worker
 		go func(ctx *searchCtx) {
 			defer wg.Done()
 			for {
+				if ctx.stopped {
+					return // cancelled (cancel.go); partial stats still merge
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= len(families) {
 					return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -109,6 +110,21 @@ func (ses *Session) Engine() *Engine { return ses.e }
 // (TestSessionSearchAllocFree); only the parallel fan-out allocates
 // its worker contexts and goroutines.
 func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collector, workers int) (Stats, error) {
+	return ses.SearchContext(context.Background(), query, s, h, c, workers)
+}
+
+// SearchContext is Search under a context: the traversal loops poll
+// cx's done channel at entry-budget checkpoints (cancel.go), so a
+// deadline or cancellation aborts a running search within a bounded
+// number of calculated entries per worker. On cancellation the
+// context's error is returned, the partial statistics describe the
+// work actually done, and the collector holds a partial (meaningless)
+// hit set the caller must discard; the session itself remains fully
+// reusable — the next Search re-arms it exactly as after a completed
+// query. A background (non-cancellable) context adds no per-entry
+// overhead: the done channel is nil and every checkpoint is one field
+// read.
+func (ses *Session) SearchContext(cx context.Context, query []byte, s align.Scheme, h int, c *align.Collector, workers int) (Stats, error) {
 	e := ses.e
 	if err := s.Validate(); err != nil {
 		return Stats{}, err
@@ -180,6 +196,7 @@ func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collect
 		colBound: ses.colBound,
 		dom:      dom,
 		gm:       gm,
+		done:     cx.Done(), // nil for background contexts: checkpoints are free
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -188,5 +205,8 @@ func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collect
 		workers = 1 // the G-matrix filter's state is traversal-order-dependent
 	}
 	ses.searchFamilies(families, base, workers, c, st)
+	if err := cx.Err(); err != nil {
+		return *st, err
+	}
 	return *st, nil
 }

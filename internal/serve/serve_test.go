@@ -1,0 +1,519 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	alae "repro"
+)
+
+// The fault-injection suite: every test here wounds the serving path
+// in a specific way — an expired deadline mid-search, a panicking
+// handler, a corrupt store file at reload, a slow-reading client, an
+// overload burst, a drain with requests in flight — and asserts the
+// daemon degrades (an error response, a counter, a kept-old-store)
+// without ever crashing or deadlocking.
+
+// testStore builds a small random-DNA store. Deterministic per seed.
+func testStore(t *testing.T, members, memberLen, shards int, cacheSize int) *alae.Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	letters := []byte("ACGT")
+	records := make([]alae.SeqRecord, members)
+	for i := range records {
+		s := make([]byte, memberLen)
+		for j := range s {
+			s[j] = letters[rng.Intn(4)]
+		}
+		records[i] = alae.SeqRecord{Name: fmt.Sprintf("m%d", i), Seq: s}
+	}
+	st, err := alae.NewStore(records, alae.StoreOptions{Shards: shards, QueryCacheSize: cacheSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Store == nil {
+		cfg.Store = testStore(t, 4, 3000, 2, 0)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// postSearch POSTs one search request and decodes the response.
+func postSearch(t *testing.T, url string, req SearchRequest) (int, *SearchResponse, map[string]string) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var sr SearchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatalf("decoding /search response: %v", err)
+		}
+		return resp.StatusCode, &sr, nil
+	}
+	var errBody map[string]string
+	json.NewDecoder(resp.Body).Decode(&errBody)
+	return resp.StatusCode, nil, errBody
+}
+
+func TestServeSearchAndStats(t *testing.T) {
+	srv := testServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A member's own prefix must hit.
+	query := string(srv.Store().SampleQuery(200))
+	code, res, _ := postSearch(t, ts.URL, SearchRequest{Query: query})
+	if code != http.StatusOK {
+		t.Fatalf("search returned %d", code)
+	}
+	if res.TotalHits == 0 {
+		t.Fatal("a member-prefix query returned no hits")
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OK != 1 || stats.Admitted != 1 {
+		t.Fatalf("stats counted ok=%d admitted=%d, want 1/1", stats.OK, stats.Admitted)
+	}
+	if stats.StoreShards != 2 {
+		t.Fatalf("stats store shards %d, want 2", stats.StoreShards)
+	}
+}
+
+// TestServeBadRequests: malformed and invalid inputs answer 4xx with a
+// JSON error, never 5xx.
+func TestServeBadRequests(t *testing.T) {
+	srv := testServer(t, Config{MaxQueryLen: 512})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"empty body":     {"", http.StatusBadRequest},
+		"not json":       {"ACGTACGT", http.StatusBadRequest},
+		"no query":       {"{}", http.StatusBadRequest},
+		"separator byte": {`{"query":"ACGT#ACGT"}`, http.StatusBadRequest},
+		"oversized":      {`{"query":"` + strings.Repeat("A", 600) + `"}`, http.StatusBadRequest},
+		"short query":    {`{"query":"A"}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/search", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: got %d, want %d", name, resp.StatusCode, tc.want)
+		}
+	}
+	if n := srv.nPanics.Load(); n != 0 {
+		t.Fatalf("bad requests caused %d panics", n)
+	}
+}
+
+// TestServeDeadlineExpiry: a deadline that lands mid-search answers
+// 504 — and the abort is real, bounded by the core's entry budget, so
+// the lane frees without finishing the traversal.
+func TestServeDeadlineExpiry(t *testing.T) {
+	store := testStore(t, 4, 15_000, 2, -1) // big enough that a search outlives 1ms
+	srv := testServer(t, Config{Store: store})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	query := string(store.SampleQuery(1200))
+	code, _, errBody := postSearch(t, ts.URL, SearchRequest{Query: query, TimeoutMS: 1})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("1ms-deadline search returned %d (%v), want 504", code, errBody)
+	}
+	if n := srv.nTimeouts.Load(); n != 1 {
+		t.Fatalf("timeout counter is %d, want 1", n)
+	}
+
+	// The daemon keeps serving: the same query without the deadline
+	// completes.
+	code, res, _ := postSearch(t, ts.URL, SearchRequest{Query: query})
+	if code != http.StatusOK || res.TotalHits == 0 {
+		t.Fatalf("post-timeout search: code %d, hits %v", code, res)
+	}
+}
+
+// TestServePanicIsolation: a panicking request answers 500; the daemon
+// and its other lanes keep serving.
+func TestServePanicIsolation(t *testing.T) {
+	srv := testServer(t, Config{})
+	srv.hooks.preSearch = func(query []byte) {
+		if bytes.HasPrefix(query, []byte("PANIC")) {
+			panic("injected request fault")
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _, _ := postSearch(t, ts.URL, SearchRequest{Query: "PANICAAAA"})
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking request returned %d, want 500", code)
+	}
+	if n := srv.nPanics.Load(); n != 1 {
+		t.Fatalf("panic counter is %d, want 1", n)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after a panic returned %d", resp.StatusCode)
+	}
+	query := string(srv.Store().SampleQuery(200))
+	if code, res, _ := postSearch(t, ts.URL, SearchRequest{Query: query}); code != http.StatusOK || res.TotalHits == 0 {
+		t.Fatalf("search after a panic: code %d", code)
+	}
+}
+
+// TestServeOverload: with one lane held and no queue, the next request
+// is rejected immediately with 429 and a Retry-After hint — and once
+// the lane frees, service resumes.
+func TestServeOverload(t *testing.T) {
+	srv := testServer(t, Config{Lanes: 1, QueueDepth: -1, SearchTimeout: 10 * time.Second})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.hooks.preSearch = func(query []byte) {
+		if bytes.HasPrefix(query, []byte("SLOW")) {
+			close(entered)
+			<-release
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postSearch(t, ts.URL, SearchRequest{Query: "SLOWAAAAA"})
+	}()
+	<-entered // the one lane is held
+
+	body, _ := json.Marshal(SearchRequest{Query: string(srv.Store().SampleQuery(100))})
+	resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded search returned %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	if n := srv.nRejected.Load(); n != 1 {
+		t.Fatalf("rejected counter is %d, want 1", n)
+	}
+
+	close(release)
+	wg.Wait()
+	if code, _, _ := postSearch(t, ts.URL, SearchRequest{Query: string(srv.Store().SampleQuery(100))}); code != http.StatusOK {
+		t.Fatalf("search after the burst returned %d", code)
+	}
+}
+
+// TestServeQueue: with a queue, a request beyond the lanes waits for a
+// free lane instead of being rejected, and completes.
+func TestServeQueue(t *testing.T) {
+	srv := testServer(t, Config{Lanes: 1, QueueDepth: 4})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.hooks.preSearch = func(query []byte) {
+		if bytes.HasPrefix(query, []byte("SLOW")) {
+			once.Do(func() { close(entered) })
+			<-release
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postSearch(t, ts.URL, SearchRequest{Query: "SLOWAAAAA"})
+	}()
+	<-entered
+
+	codeCh := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, _, _ := postSearch(t, ts.URL, SearchRequest{Query: string(srv.Store().SampleQuery(100))})
+		codeCh <- code
+	}()
+	// Give the queued request time to join the queue, then free the
+	// lane; the queued request must then run and succeed.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if code := <-codeCh; code != http.StatusOK {
+		t.Fatalf("queued search returned %d, want 200", code)
+	}
+}
+
+// TestServeDrain: the drain refuses new work, flips healthz, waits for
+// the in-flight search, and completes it successfully.
+func TestServeDrain(t *testing.T) {
+	srv := testServer(t, Config{Lanes: 2})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.hooks.preSearch = func(query []byte) {
+		if bytes.HasPrefix(query, []byte("SLOW")) {
+			close(entered)
+			<-release
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	codeCh := make(chan int, 1)
+	go func() {
+		code, _, _ := postSearch(t, ts.URL, SearchRequest{Query: "SLOWAAAAA"})
+		codeCh <- code
+	}()
+	<-entered // one search in flight
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(t.Context()) }()
+
+	// Drain must be observable quickly: healthz 503, new searches 503.
+	deadline := time.Now().Add(2 * time.Second)
+	for !srv.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining returned %d, want 503", resp.StatusCode)
+	}
+	if code, _, _ := postSearch(t, ts.URL, SearchRequest{Query: "ACGTACGTACGT"}); code != http.StatusServiceUnavailable {
+		t.Fatalf("search while draining returned %d, want 503", code)
+	}
+
+	// The drain must wait for the in-flight search...
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned (%v) with a search still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// ...and finish once it completes — with the in-flight search
+	// having been answered normally.
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	if code := <-codeCh; code != http.StatusOK {
+		t.Fatalf("in-flight search during drain returned %d, want 200", code)
+	}
+}
+
+// TestServeCorruptReload: the reload job swaps in a good store and
+// keeps the old one on every flavour of corrupt file.
+func TestServeCorruptReload(t *testing.T) {
+	store := testStore(t, 4, 2000, 2, 0)
+	srv := testServer(t, Config{Store: store})
+	path := filepath.Join(t.TempDir(), "db.alae")
+	if err := store.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	job := &ReloadJob{Server: srv, Path: path, Every: time.Hour}
+	srv.AddJob(job)
+
+	// A good file swaps the store pointer.
+	before := srv.Store()
+	if err := srv.RunJobOnce(t.Context(), "reload"); err != nil {
+		t.Fatalf("reload of a good store failed: %v", err)
+	}
+	good := srv.Store()
+	if good == before {
+		t.Fatal("reload did not swap the store")
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.RunJobOnce(t.Context(), "reload"); err == nil {
+			t.Fatalf("%s: reload of a corrupt store succeeded", name)
+		}
+		if srv.Store() != good {
+			t.Fatalf("%s: corrupt reload replaced the serving store", name)
+		}
+	}
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)/3] })
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	corrupt("flipped payload bit", func(b []byte) []byte { b[len(b)-len(b)/4] ^= 0x40; return b })
+	corrupt("empty", func(b []byte) []byte { return nil })
+
+	// The failures are visible in the job's counters, and the old store
+	// still answers searches.
+	var status JobStatus
+	for _, js := range srv.JobStatuses() {
+		if js.Name == "reload" {
+			status = js
+		}
+	}
+	if status.Runs != 5 || status.Failures != 4 || status.LastError == "" {
+		t.Fatalf("reload status = %+v, want 5 runs / 4 failures with a last error", status)
+	}
+	res, err := srv.Store().Search(srv.Store().SampleQuery(100), srv.cfg.Options)
+	if err != nil || len(res.Hits) == 0 {
+		t.Fatalf("store after corrupt reloads cannot search: %v", err)
+	}
+}
+
+// TestServeJobPanicIsolated: a panicking job run is counted as a
+// failure, not a crash.
+func TestServeJobPanicIsolated(t *testing.T) {
+	srv := testServer(t, Config{})
+	srv.AddJob(&panicJob{})
+	if err := srv.RunJobOnce(t.Context(), "panic-job"); err == nil {
+		t.Fatal("panicking job reported success")
+	}
+	st := srv.JobStatuses()[0]
+	if st.Failures != 1 || !strings.Contains(st.LastError, "injected job fault") {
+		t.Fatalf("panicking job status = %+v", st)
+	}
+}
+
+type panicJob struct{}
+
+func (*panicJob) Name() string            { return "panic-job" }
+func (*panicJob) Interval() time.Duration { return time.Hour }
+func (*panicJob) Run(context.Context) error {
+	panic("injected job fault")
+}
+
+// TestServeSweepAndProbeJobs: the cache sweep sheds pressure and the
+// self-probe passes against a healthy store.
+func TestServeSweepAndProbeJobs(t *testing.T) {
+	store := testStore(t, 4, 3000, 2, 64)
+	srv := testServer(t, Config{Store: store})
+	srv.AddJob(&SweepJob{Server: srv, MaxCachedHits: 0, Every: time.Hour})
+	srv.AddJob(&ProbeJob{Server: srv, QueryLen: 100, Every: time.Hour})
+
+	// Populate the cache, then sweep it empty (budget 0).
+	if _, err := store.Search(store.SampleQuery(100), srv.cfg.Options); err != nil {
+		t.Fatal(err)
+	}
+	if results, _ := store.QueryCachePressure(); results == 0 {
+		t.Fatal("search did not populate the query cache")
+	}
+	if err := srv.RunJobOnce(t.Context(), "cache-sweep"); err != nil {
+		t.Fatal(err)
+	}
+	if results, hits := store.QueryCachePressure(); results != 0 || hits != 0 {
+		t.Fatalf("after the sweep the cache still pins %d results / %d hits", results, hits)
+	}
+
+	if err := srv.RunJobOnce(t.Context(), "probe"); err != nil {
+		t.Fatalf("self-probe failed on a healthy store: %v", err)
+	}
+}
+
+// TestServeSlowClient: a client that connects and never finishes its
+// request headers is cut off by the server's read-header deadline
+// instead of occupying a connection forever, and normal clients are
+// unaffected.
+func TestServeSlowClient(t *testing.T) {
+	srv := testServer(t, Config{})
+	hs := srv.HTTPServer("127.0.0.1:0")
+	if hs.ReadHeaderTimeout <= 0 {
+		t.Fatal("HTTPServer has no read-header deadline")
+	}
+	hs.ReadHeaderTimeout = 150 * time.Millisecond // scaled down for the test
+	ln, err := net.Listen("tcp", hs.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request line, then silence: the server must hang up.
+	if _, err := conn.Write([]byte("POST /search HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered a half-sent request")
+	}
+
+	// A well-behaved client on the same server still gets served.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after a slow client returned %d", resp.StatusCode)
+	}
+}

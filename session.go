@@ -1,6 +1,7 @@
 package alae
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/align"
@@ -73,36 +74,47 @@ func (ix *Index) OpenSession(opts SearchOptions) (*Session, error) {
 // Index.Search). A closed session errors rather than silently
 // degrading to one-shot searches.
 func (ses *Session) Search(query []byte) (*Result, error) {
+	return ses.SearchContext(context.Background(), query)
+}
+
+// SearchContext is Search under a context: an ALAE-engine search polls
+// the context at entry-budget checkpoints and aborts with the
+// context's error within a bounded number of DP entries (see
+// Index.SearchContext for the contract, including the baseline
+// algorithms' admission-only cancellation). The session remains fully
+// reusable after a cancelled search.
+func (ses *Session) SearchContext(cx context.Context, query []byte) (*Result, error) {
 	if ses.closed {
 		return nil, fmt.Errorf("alae: Search on a closed Session")
 	}
 	if ses.cs == nil {
-		return ses.ix.Search(query, ses.opts)
+		return ses.ix.SearchContext(cx, query, ses.opts)
 	}
 	h, err := ses.ix.ResolveThreshold(len(query), ses.opts)
 	if err != nil {
 		return nil, err
 	}
-	return ses.searchThreshold(query, h)
+	return ses.searchThreshold(cx, query, h)
 }
 
-// searchThreshold is Search with the score threshold pinned by the
-// caller instead of derived from the session's options. The sharded
-// store's scatter step needs it: E-value statistics depend on the
-// database length n, so every shard must search at the threshold of
-// the WHOLE store — per-shard re-derivation over the shard's smaller n
-// would loosen thresholds and break parity with a monolithic index.
-func (ses *Session) searchThreshold(query []byte, h int) (*Result, error) {
+// searchThreshold is SearchContext with the score threshold pinned by
+// the caller instead of derived from the session's options. The
+// sharded store's scatter step needs it: E-value statistics depend on
+// the database length n, so every shard must search at the threshold
+// of the WHOLE store — per-shard re-derivation over the shard's
+// smaller n would loosen thresholds and break parity with a monolithic
+// index.
+func (ses *Session) searchThreshold(cx context.Context, query []byte, h int) (*Result, error) {
 	if ses.closed {
 		return nil, fmt.Errorf("alae: Search on a closed Session")
 	}
 	if ses.cs == nil {
 		o := ses.opts
 		o.Threshold, o.EValue = h, 0
-		return ses.ix.Search(query, o)
+		return ses.ix.SearchContext(cx, query, o)
 	}
 	ses.coll.Reset()
-	st, err := ses.cs.Search(query, ses.s, h, ses.coll, ses.opts.Parallelism)
+	st, err := ses.cs.SearchContext(cx, query, ses.s, h, ses.coll, ses.opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,10 @@
 package alae
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -277,6 +279,16 @@ func (st *Store) sessionPool(fp string) *sync.Pool {
 // returned result may be shared with the cache; callers must not
 // modify its Hits.
 func (st *Store) Search(query []byte, opts SearchOptions) (*StoreResult, error) {
+	return st.SearchContext(context.Background(), query, opts)
+}
+
+// SearchContext is Search under a context: a deadline or cancellation
+// aborts the scatter across every shard within a bounded number of DP
+// entries per worker and returns the context's error (see
+// Index.SearchContext). An already-dead context is rejected before the
+// cache probe, so a cached result never masks a cancelled request, and
+// a cancelled search is never published to the cache.
+func (st *Store) SearchContext(cx context.Context, query []byte, opts SearchOptions) (*StoreResult, error) {
 	s := opts.Scheme
 	if s == (Scheme{}) {
 		s = DefaultDNAScheme
@@ -285,6 +297,9 @@ func (st *Store) Search(query []byte, opts SearchOptions) (*StoreResult, error) 
 		return nil, err
 	}
 	if err := validateSearchOptions(opts, s); err != nil {
+		return nil, err
+	}
+	if err := cx.Err(); err != nil {
 		return nil, err
 	}
 	fp := optionsFingerprint(opts)
@@ -298,17 +313,18 @@ func (st *Store) Search(query []byte, opts SearchOptions) (*StoreResult, error) 
 			return nil, err
 		}
 	}
-	res, err := st.cachedSearch(ss, fp, query)
+	res, err := st.cachedSearch(cx, ss, fp, query)
 	pool.Put(ss)
 	return res, err
 }
 
 // cachedSearch answers query through the cache when possible,
 // computing and publishing through ss otherwise. fp must be the
-// fingerprint of ss's options.
-func (st *Store) cachedSearch(ss *StoreSession, fp string, query []byte) (*StoreResult, error) {
+// fingerprint of ss's options. Errors — cancellation included — are
+// never cached: only a completed result is ever published.
+func (st *Store) cachedSearch(cx context.Context, ss *StoreSession, fp string, query []byte) (*StoreResult, error) {
 	if st.cache == nil {
-		return ss.Search(query)
+		return ss.SearchContext(cx, query)
 	}
 	key := cacheKey(fp, query)
 	if cached, ok := st.cache.get(key); ok {
@@ -318,7 +334,7 @@ func (st *Store) cachedSearch(ss *StoreSession, fp string, query []byte) (*Store
 		cp.Stats.QueryCacheHits = 1
 		return &cp, nil
 	}
-	res, err := ss.Search(query)
+	res, err := ss.SearchContext(cx, query)
 	if err != nil {
 		return nil, err
 	}
@@ -338,6 +354,29 @@ func (st *Store) QueryCacheStats() (hits, misses int64) {
 	return st.cache.hits.Load(), st.cache.misses.Load()
 }
 
+// QueryCachePressure reports the query cache's current footprint: live
+// cached results and the total number of hits they pin (the dominant,
+// workload-dependent part of the cache's memory). Both are zero when
+// the cache is disabled.
+func (st *Store) QueryCachePressure() (results int, totalHits int64) {
+	if st.cache == nil {
+		return 0, 0
+	}
+	return st.cache.pressure()
+}
+
+// ShedQueryCache evicts cached results (approximately least recently
+// used first) until the cache pins at most maxHits total hits, and
+// reports how many results were evicted. Serving sweeps call it on a
+// schedule to bound the cache's worst-case footprint between requests;
+// maxHits ≤ 0 empties the cache. No-op when the cache is disabled.
+func (st *Store) ShedQueryCache(maxHits int64) (evicted int) {
+	if st.cache == nil {
+		return 0
+	}
+	return st.cache.shed(maxHits)
+}
+
 // Align reconstructs the best alignment ending at a store hit, for
 // display. The traceback runs inside the hit's member shard.
 func (st *Store) Align(query []byte, s Scheme, hit SeqHit) (Alignment, error) {
@@ -354,4 +393,50 @@ func (st *Store) Align(query []byte, s Scheme, hit SeqHit) (Alignment, error) {
 // given hit.
 func (st *Store) FormatAlignment(a Alignment, hit SeqHit, query []byte, width int) string {
 	return st.shardFor(hit.Member).ix.FormatAlignment(a, query, width)
+}
+
+// TopKSeq returns the k highest-scoring store hits (all when k ≤ 0),
+// with the same deterministic positional tiebreak as TopK: equal
+// scores order by (TEnd, QEnd). The input is not modified; serving
+// layers use this to truncate large responses to the best hits.
+func TopKSeq(hits []SeqHit, k int) []SeqHit {
+	out := append([]SeqHit(nil), hits...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].TEnd != out[j].TEnd {
+			return out[i].TEnd < out[j].TEnd
+		}
+		return out[i].QEnd < out[j].QEnd
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// SampleQuery returns a copy of up to n leading bytes of the store's
+// longest member sequence — a guaranteed-hit probe query drawn from
+// the store's own data. Serving self-checks use it: a search for a
+// member's own prefix must come back with hits, whatever the store
+// holds, so an empty answer means the serving path (not the data) is
+// broken. The copy never aliases shard texts and never contains a
+// separator byte.
+func (st *Store) SampleQuery(n int) []byte {
+	best := 0
+	for g := 1; g < st.seqs.Len(); g++ {
+		if st.seqs.SeqLen(g) > st.seqs.SeqLen(best) {
+			best = g
+		}
+	}
+	if n > st.seqs.SeqLen(best) {
+		n = st.seqs.SeqLen(best)
+	}
+	if n <= 0 {
+		return nil
+	}
+	sh := st.shardFor(best)
+	start := sh.tab.Start(best - sh.base)
+	return append([]byte(nil), sh.ix.Text()[start:start+n]...)
 }

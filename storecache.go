@@ -38,11 +38,12 @@ type queryEntry struct {
 
 // queryCache is the table. One exists per Store.
 type queryCache struct {
-	mu       sync.RWMutex
-	capacity int
-	m        map[string]*queryEntry
-	ring     []*queryEntry // CLOCK ring over the live entries
-	hand     int
+	mu        sync.RWMutex
+	capacity  int
+	m         map[string]*queryEntry
+	ring      []*queryEntry // CLOCK ring over the live entries
+	hand      int
+	totalHits int64 // Σ len(res.Hits) over the live entries: the footprint proxy
 
 	hits, misses atomic.Int64 // store-lifetime counters
 }
@@ -84,26 +85,67 @@ func (qc *queryCache) put(key string, res *StoreResult) {
 	}
 	e := &queryEntry{key: key, res: res}
 	qc.m[key] = e
+	qc.totalHits += int64(len(res.Hits))
 	if len(qc.ring) < qc.capacity {
 		qc.ring = append(qc.ring, e)
 		return
 	}
-	// CLOCK sweep: clear reference bits until an unreferenced entry
-	// turns up; bounded, falling back to the hand's current slot.
-	victim := -1
+	victim := qc.clockVictim()
+	old := qc.ring[victim]
+	delete(qc.m, old.key)
+	qc.totalHits -= int64(len(old.res.Hits))
+	qc.ring[victim] = e
+	qc.hand = (victim + 1) % len(qc.ring)
+}
+
+// clockVictim runs one CLOCK sweep under qc.mu: clear reference bits
+// until an unreferenced entry turns up; bounded, falling back to the
+// hand's current slot. The ring must be non-empty.
+func (qc *queryCache) clockVictim() int {
 	for i := 0; i < 2*len(qc.ring); i++ {
 		if !qc.ring[qc.hand].used.Swap(false) {
-			victim = qc.hand
-			break
+			return qc.hand
 		}
 		qc.hand = (qc.hand + 1) % len(qc.ring)
 	}
-	if victim < 0 {
-		victim = qc.hand
+	return qc.hand
+}
+
+// pressure reports the cache's current footprint: live results and the
+// total hit count they pin. Hit count is the footprint proxy — a Hit
+// is fixed-size, and the variable-size balance of an entry (key bytes,
+// counters) is bounded per result.
+func (qc *queryCache) pressure() (results int, totalHits int64) {
+	qc.mu.RLock()
+	defer qc.mu.RUnlock()
+	return len(qc.m), qc.totalHits
+}
+
+// shed evicts CLOCK victims until the cache pins at most maxHits total
+// hits, compacting the ring as it goes, and reports how many results
+// were evicted. Recently-used entries survive longest (their reference
+// bits absorb sweep passes), so a pressure sweep degrades the cache
+// toward its hot set instead of clearing it.
+func (qc *queryCache) shed(maxHits int64) (evicted int) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	for qc.totalHits > maxHits && len(qc.ring) > 0 {
+		victim := qc.clockVictim()
+		e := qc.ring[victim]
+		delete(qc.m, e.key)
+		qc.totalHits -= int64(len(e.res.Hits))
+		last := len(qc.ring) - 1
+		qc.ring[victim] = qc.ring[last]
+		qc.ring[last] = nil
+		qc.ring = qc.ring[:last]
+		if last == 0 {
+			qc.hand = 0
+		} else {
+			qc.hand = victim % len(qc.ring)
+		}
+		evicted++
 	}
-	delete(qc.m, qc.ring[victim].key)
-	qc.ring[victim] = e
-	qc.hand = (victim + 1) % len(qc.ring)
+	return evicted
 }
 
 // len reports the number of cached results (tests and diagnostics).

@@ -6,6 +6,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/seq"
@@ -86,6 +88,63 @@ func (st *Store) Save(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// SaveFile writes the store to path crash-safely: the bytes stream to
+// a temporary file in path's directory, are fsynced, and the temp file
+// is atomically renamed over path. Whatever happens mid-write — a
+// crash, a kill, a full disk — path holds either the previous complete
+// store or the new complete store, never a torn prefix; the failed
+// temp file is removed. A server's periodic reload (LoadStoreFile)
+// therefore never observes a partially-written store from a concurrent
+// SaveFile.
+func (st *Store) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("alae: saving store: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = st.Save(f); err != nil {
+		return err
+	}
+	// The data must be durable BEFORE the rename makes it visible:
+	// rename-then-sync can leave path pointing at zero-length garbage
+	// after a power cut.
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("alae: syncing store: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("alae: closing store: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("alae: publishing store: %w", err)
+	}
+	// Best-effort directory sync so the rename itself survives a crash;
+	// some filesystems reject directory fsync, which is not worth
+	// failing a completed save over.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadStoreFile reads a store written by SaveFile (or any file holding
+// Save's format). Pairs with SaveFile for crash-safe reload loops.
+func LoadStoreFile(path string, opts StoreOptions) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("alae: loading store: %w", err)
+	}
+	defer f.Close()
+	return LoadStore(f, opts)
 }
 
 // LoadStore reads a store written by Save. The shard partition comes

@@ -1,10 +1,30 @@
 package alae
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/seq"
 )
+
+// validateStoreQuery rejects queries containing the member separator
+// byte. The store's texts are T1 # T2 # … # Tn: a query holding the
+// separator can align its '#' against a separator row of the text and
+// match "across" members — a hit with no biological meaning that the
+// gather step cannot distinguish from a genuine one (it rejects hits
+// ENDING on separator rows, not hits crossing them mid-alignment).
+// Such queries are always ingestion bugs (an unsplit multi-record
+// FASTA, a stray formatting byte), so they are rejected at the search
+// boundary with a descriptive error rather than answered wrongly.
+func validateStoreQuery(query []byte) error {
+	if i := bytes.IndexByte(query, seq.Separator); i >= 0 {
+		return fmt.Errorf("alae: query byte %d is the member separator %q; a query must be a single sequence with no separator bytes", i, seq.Separator)
+	}
+	return nil
+}
 
 // StoreSession is a reusable scatter-gather serving lane over a Store:
 // one search configuration answering query after query, holding one
@@ -68,8 +88,21 @@ func (st *Store) OpenSession(opts SearchOptions) (*StoreSession, error) {
 // StoreSession.Search does not consult the store's query cache — that
 // is Store.Search's job — so it is also the cache-bypass path.
 func (ss *StoreSession) Search(query []byte) (*StoreResult, error) {
+	return ss.SearchContext(context.Background(), query)
+}
+
+// SearchContext is Search under a context: the context is shared by
+// every shard lane of the scatter, so a deadline or cancellation
+// aborts ALL shards within their entry budgets and the context's own
+// error is returned (never a per-shard wrapping — a cancelled scatter
+// is the caller's doing, not any shard's). The session remains fully
+// reusable after a cancelled search.
+func (ss *StoreSession) SearchContext(cx context.Context, query []byte) (*StoreResult, error) {
 	if ss.closed {
 		return nil, fmt.Errorf("alae: Search on a closed StoreSession")
+	}
+	if err := validateStoreQuery(query); err != nil {
+		return nil, err
 	}
 	h, err := ss.st.resolveThreshold(len(query), ss.opts, ss.s)
 	if err != nil {
@@ -78,17 +111,24 @@ func (ss *StoreSession) Search(query []byte) (*StoreResult, error) {
 	// Scatter: every shard at the same pinned threshold, in parallel
 	// when there is more than one shard.
 	if len(ss.lanes) == 1 {
-		ss.ress[0], ss.errs[0] = ss.lanes[0].searchThreshold(query, h)
+		ss.ress[0], ss.errs[0] = ss.lanes[0].searchThreshold(cx, query, h)
 	} else {
 		var wg sync.WaitGroup
 		for k, lane := range ss.lanes {
 			wg.Add(1)
 			go func(k int, lane *Session) {
 				defer wg.Done()
-				ss.ress[k], ss.errs[k] = lane.searchThreshold(query, h)
+				ss.ress[k], ss.errs[k] = lane.searchThreshold(cx, query, h)
 			}(k, lane)
 		}
 		wg.Wait()
+	}
+	if err := cx.Err(); err != nil {
+		// The context died during the scatter: report ITS error, bare,
+		// whatever subset of shards happened to observe it. Partial
+		// results must not outlive the error path.
+		clear(ss.ress)
+		return nil, err
 	}
 	for k, err := range ss.errs {
 		if err != nil {
@@ -156,6 +196,15 @@ var storeSearchAllStarted func(qi int)
 // StoreSession for its whole run, and every query goes through the
 // query cache, so batches with repeated queries collapse into probes.
 func (st *Store) SearchAll(queries [][]byte, opts SearchOptions, workers int) ([]*StoreResult, error) {
+	return st.SearchAllContext(context.Background(), queries, opts, workers)
+}
+
+// SearchAllContext is SearchAll under a context: the context is shared
+// by every worker, so a deadline or cancellation stops in-flight
+// queries within their entry budgets, prevents unstarted queries from
+// launching, and returns the context's own error (result slots of
+// unfinished queries stay nil).
+func (st *Store) SearchAllContext(cx context.Context, queries [][]byte, opts SearchOptions, workers int) ([]*StoreResult, error) {
 	if workers <= 0 {
 		workers = 8
 	}
@@ -226,7 +275,7 @@ func (st *Store) SearchAll(queries [][]byte, opts SearchOptions, workers int) ([
 				if storeSearchAllStarted != nil {
 					storeSearchAllStarted(qi)
 				}
-				results[qi], errs[qi] = st.cachedSearch(ss, fp, queries[qi])
+				results[qi], errs[qi] = st.cachedSearch(cx, ss, fp, queries[qi])
 				if errs[qi] != nil {
 					markFailed(qi)
 					return
@@ -235,6 +284,11 @@ func (st *Store) SearchAll(queries [][]byte, opts SearchOptions, workers int) ([
 		}()
 	}
 	wg.Wait()
+	if err := cx.Err(); err != nil {
+		// The batch was cancelled: the context's error outranks any
+		// per-query failure it induced.
+		return nil, err
+	}
 	if fa := int(failedAt.Load()); fa < len(queries) {
 		if errs[fa] != nil {
 			return nil, fmt.Errorf("alae: store query %d: %w", fa, errs[fa])
