@@ -16,11 +16,14 @@
 // states). Concurrency is bounded by -lanes with a -queue-depth wait
 // queue behind it; overload answers 429 with a Retry-After hint, a
 // search that outlives -search-timeout answers 504 with the work
-// actually aborted mid-traversal. Background jobs — periodic store
-// reload from -store (-reload), query-cache pressure sweeps (-sweep),
-// and a self-probe that searches the store's own data (-probe) — run
-// with panic isolation and never take the daemon down; a failed
-// reload keeps the previous store serving.
+// actually aborted mid-traversal. -per-client additionally caps each
+// client's in-flight searches (keyed by X-API-Key, else remote addr)
+// so one greedy client cannot starve the lanes. Background jobs —
+// periodic store reload from -store (-reload), generational store
+// compaction (-compact), query-cache pressure sweeps (-sweep), and a
+// self-probe that searches the store's own data (-probe) — run with
+// panic isolation and never take the daemon down; a failed reload
+// keeps the previous store serving.
 //
 // On SIGTERM or SIGINT the daemon drains: /healthz flips to 503, new
 // searches are refused, in-flight searches finish (bounded by
@@ -68,11 +71,14 @@ func run() error {
 		maxQuery   = flag.Int("max-query", 1<<20, "max query length in bytes")
 		drainTO    = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight searches on shutdown")
 
-		reloadEvery = flag.Duration("reload", 0, "re-read -store on this period and swap it in (0 = off)")
-		sweepEvery  = flag.Duration("sweep", time.Minute, "query-cache pressure sweep period (0 = off)")
-		sweepHits   = flag.Int64("sweep-hits", 1_000_000, "max total hits the query cache may pin between sweeps")
-		probeEvery  = flag.Duration("probe", time.Minute, "self-probe period: search a member prefix, fail loudly if it misses (0 = off)")
-		probeLen    = flag.Int("probe-len", 64, "self-probe query length")
+		perClient = flag.Int("per-client", 0, "max in-flight searches per client (X-API-Key or remote addr); overflow answers 429 (0 = off)")
+
+		reloadEvery  = flag.Duration("reload", 0, "re-read -store on this period and swap it in (0 = off)")
+		compactEvery = flag.Duration("compact", 0, "run store compaction on this period: merge generations, purge tombstones (0 = off)")
+		sweepEvery   = flag.Duration("sweep", time.Minute, "query-cache pressure sweep period (0 = off)")
+		sweepHits    = flag.Int64("sweep-hits", 1_000_000, "max total hits the query cache may pin between sweeps")
+		probeEvery   = flag.Duration("probe", time.Minute, "self-probe period: search a member prefix, fail loudly if it misses (0 = off)")
+		probeLen     = flag.Int("probe-len", 64, "self-probe query length")
 	)
 	flag.Parse()
 	if *storePath == "" {
@@ -107,17 +113,21 @@ func run() error {
 			Algorithm:   alg,
 			Parallelism: *parallel,
 		},
-		Lanes:         *lanes,
-		QueueDepth:    *queueDepth,
-		SearchTimeout: *searchTO,
-		MaxQueryLen:   *maxQuery,
-		MaxHits:       *maxHits,
+		Lanes:          *lanes,
+		QueueDepth:     *queueDepth,
+		PerClientLanes: *perClient,
+		SearchTimeout:  *searchTO,
+		MaxQueryLen:    *maxQuery,
+		MaxHits:        *maxHits,
 	})
 	if err != nil {
 		return err
 	}
 	if *reloadEvery > 0 {
 		srv.AddJob(&serve.ReloadJob{Server: srv, Path: *storePath, Opts: storeOpts, Every: *reloadEvery})
+	}
+	if *compactEvery > 0 {
+		srv.AddJob(&serve.CompactJob{Server: srv, Every: *compactEvery})
 	}
 	if *sweepEvery > 0 {
 		srv.AddJob(&serve.SweepJob{Server: srv, MaxCachedHits: *sweepHits, Every: *sweepEvery})

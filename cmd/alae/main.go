@@ -16,6 +16,20 @@
 // cache. Flags select the engine (alae, alae-hybrid, bwtsw, blast,
 // sw), the scoring scheme ⟨sa,sb,sg,ss⟩ and either a raw score
 // threshold or an E-value. Exit status is non-zero on any error.
+//
+// The store is generational and mutable in place:
+//
+//	alae -text genome.fa -save-store-dir db/          # build a directory store
+//	alae -load-store db/ -append extra.fa             # append a generation
+//	alae -load-store db/ -delete chr3,chr7            # tombstone members
+//	alae -load-store db/ -compact                     # merge + purge
+//
+// When the store is directory-backed (-save-store-dir, or -load-store
+// pointed at a directory), every mutation persists crash-safely before
+// it becomes visible: a kill at any point leaves a directory that
+// reloads as either the pre- or post-mutation store. Mutations on a
+// store loaded from a single file stay in memory unless -save-store
+// rewrites the file.
 package main
 
 import (
@@ -49,18 +63,24 @@ func run() error {
 		showAlign = flag.Bool("align", false, "print the best alignment per query")
 		maxHits   = flag.Int("max-hits", 10, "hits printed per query (0 = all)")
 		stats     = flag.Bool("stats", false, "print work statistics per query")
-		saveStore = flag.String("save-store", "", "write the built store (manifest + shard indexes) to this file and exit")
-		loadStore = flag.String("load-store", "", "load a previously saved store instead of -text")
+		saveStore = flag.String("save-store", "", "write the store (manifest + shard indexes) to this single file")
+		saveDir   = flag.String("save-store-dir", "", "write the store as a generation directory; mutations then persist there crash-safely")
+		loadStore = flag.String("load-store", "", "load a previously saved store (file or directory) instead of -text")
 		strands   = flag.Bool("both-strands", false, "also search the reverse complement (DNA)")
+
+		appendPath  = flag.String("append", "", "comma-separated FASTA file(s) appended to the store as a fresh generation")
+		deleteNames = flag.String("delete", "", "comma-separated member names to delete (tombstoned until compaction)")
+		compact     = flag.Bool("compact", false, "run one compaction pass: merge small generations, purge tombstoned bytes")
 	)
 	flag.Parse()
 	if *loadStore == "" && *textPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-text (or -load-store) is required")
 	}
-	if *saveStore == "" && *queryPath == "" {
+	mutates := *appendPath != "" || *deleteNames != "" || *compact
+	if *saveStore == "" && *saveDir == "" && !mutates && *queryPath == "" {
 		flag.Usage()
-		return fmt.Errorf("-query is required unless only building a store with -save-store")
+		return fmt.Errorf("-query is required unless building or mutating a store")
 	}
 
 	scheme, err := parseScheme(*schemeStr)
@@ -80,24 +100,9 @@ func run() error {
 		fmt.Printf("loaded store: %d member(s), %d shard(s), %d characters\n",
 			store.Sequences().Len(), store.Shards(), store.Sequences().TotalLen())
 	} else {
-		var records []alae.SeqRecord
-		for _, path := range strings.Split(*textPath, ",") {
-			path = strings.TrimSpace(path)
-			if path == "" {
-				continue
-			}
-			f, err := os.Open(path)
-			if err != nil {
-				return err
-			}
-			recs, err := seq.ReadFASTA(f)
-			f.Close()
-			if err != nil {
-				return fmt.Errorf("reading %s: %w", path, err)
-			}
-			for _, rec := range recs {
-				records = append(records, alae.SeqRecord{Name: rec.Header, Seq: rec.Seq})
-			}
+		records, err := readFASTARecords(*textPath)
+		if err != nil {
+			return err
 		}
 		if len(records) == 0 {
 			return fmt.Errorf("%s contains no sequences", *textPath)
@@ -111,6 +116,52 @@ func run() error {
 			return err
 		}
 	}
+	if *saveDir != "" {
+		// SaveDir writes the generation directory and attaches the store
+		// to it, so the mutations below persist crash-safely as they run.
+		if err := store.SaveDir(*saveDir); err != nil {
+			return fmt.Errorf("saving store directory: %w", err)
+		}
+		fmt.Printf("store directory written to %s\n", *saveDir)
+	}
+	if *appendPath != "" {
+		records, err := readFASTARecords(*appendPath)
+		if err != nil {
+			return err
+		}
+		if err := store.Append(records); err != nil {
+			return fmt.Errorf("appending: %w", err)
+		}
+		fmt.Printf("appended %d member(s) as a fresh generation\n", len(records))
+	}
+	if *deleteNames != "" {
+		var names []string
+		for _, name := range strings.Split(*deleteNames, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		n, err := store.Delete(names...)
+		if err != nil {
+			return fmt.Errorf("deleting: %w", err)
+		}
+		fmt.Printf("deleted %d member(s) (tombstoned; compaction purges the bytes)\n", n)
+	}
+	if *compact {
+		cs, err := store.Compact()
+		if err != nil {
+			return fmt.Errorf("compacting: %w", err)
+		}
+		fmt.Printf("compacted %d generation(s) into %d, purged %d member(s) (%d bytes)\n",
+			cs.Before, cs.After, cs.PurgedMembers, cs.PurgedBytes)
+	}
+	if mutates {
+		fmt.Printf("store now: %d live member(s), %d generation(s), %d tombstone(s), stamp %d\n",
+			store.Sequences().Len(), store.Generations(), store.Tombstones(), store.Stamp())
+		if store.Dir() == "" && *saveStore == "" {
+			fmt.Println("note: store is not directory-backed; mutations live in memory only (use -save-store or -save-store-dir)")
+		}
+	}
 	if *saveStore != "" {
 		// SaveFile is crash-safe: the store lands under a temp name and
 		// renames into place, so an interrupted build never leaves a torn
@@ -119,9 +170,9 @@ func run() error {
 			return fmt.Errorf("saving store: %w", err)
 		}
 		fmt.Printf("store written to %s\n", *saveStore)
-		if *queryPath == "" {
-			return nil
-		}
+	}
+	if *queryPath == "" {
+		return nil
 	}
 
 	queryFile, err := os.Open(*queryPath)
@@ -181,6 +232,31 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// readFASTARecords reads every record of a comma-separated list of
+// FASTA files into store members named by their headers.
+func readFASTARecords(paths string) ([]alae.SeqRecord, error) {
+	var records []alae.SeqRecord
+	for _, path := range strings.Split(paths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := seq.ReadFASTA(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		for _, rec := range recs {
+			records = append(records, alae.SeqRecord{Name: rec.Header, Seq: rec.Seq})
+		}
+	}
+	return records, nil
 }
 
 func parseScheme(s string) (alae.Scheme, error) {

@@ -77,17 +77,33 @@ func FuzzLoadStore(f *testing.F) {
 	f.Add(good.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte("garbage"))
-	// Truncations at awkward places: inside the magic, the manifest,
-	// the shard table, a payload.
-	for _, frac := range []int{1, 4, 7, 10, 13, 20, 40, 60, 80, 99} {
-		n := good.Len() * frac / 100
-		f.Add(append([]byte(nil), good.Bytes()[:n]...))
+	// A multi-generation manifest with tombstones: the v2 surface the
+	// generational store adds (appended generation, deleted member).
+	if err := st.Append([]SeqRecord{{Name: "delta", Seq: []byte("GGGGTTTTCCCCAAAA")}}); err != nil {
+		f.Fatal(err)
 	}
-	// Bit-flips sweeping the file: header, counts, lengths, payloads.
-	for pos := 0; pos < good.Len(); pos += 1 + good.Len()/16 {
-		flipped := append([]byte(nil), good.Bytes()...)
-		flipped[pos] ^= 1 << (pos % 8)
-		f.Add(flipped)
+	if _, err := st.Delete("beta"); err != nil {
+		f.Fatal(err)
+	}
+	var mutated bytes.Buffer
+	if err := st.Save(&mutated); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mutated.Bytes())
+	// Truncations at awkward places: inside the magic, the manifest,
+	// the generation table, the shard table, a payload.
+	for _, src := range []*bytes.Buffer{&good, &mutated} {
+		for _, frac := range []int{1, 4, 7, 10, 13, 20, 40, 60, 80, 99} {
+			n := src.Len() * frac / 100
+			f.Add(append([]byte(nil), src.Bytes()[:n]...))
+		}
+		// Bit-flips sweeping the file: header, stamp, counts, flags,
+		// lengths, payloads.
+		for pos := 0; pos < src.Len(); pos += 1 + src.Len()/16 {
+			flipped := append([]byte(nil), src.Bytes()...)
+			flipped[pos] ^= 1 << (pos % 8)
+			f.Add(flipped)
+		}
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		loaded, err := LoadStore(bytes.NewReader(data), StoreOptions{})

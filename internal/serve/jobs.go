@@ -207,6 +207,31 @@ func (j *SweepJob) Run(ctx context.Context) error {
 	return nil
 }
 
+// CompactJob runs the generational store's compaction on a schedule:
+// appended generations fold together and tombstoned members' bytes are
+// purged (see alae.Store.Compact). A pass with nothing to merge is a
+// cheap no-op, so a short interval is safe; on a directory-backed
+// store each pass persists crash-safely before it is visible.
+type CompactJob struct {
+	Server *Server
+	Every  time.Duration
+}
+
+func (j *CompactJob) Name() string            { return "compact" }
+func (j *CompactJob) Interval() time.Duration { return j.Every }
+func (j *CompactJob) Run(ctx context.Context) error {
+	st := j.Server.Store()
+	stats, err := st.Compact()
+	if err != nil {
+		return fmt.Errorf("compaction failed (store unchanged): %w", err)
+	}
+	if stats.Before != stats.After || stats.PurgedMembers > 0 {
+		j.Server.logf("serve: compact merged %d generations into %d, purged %d members (%d bytes)",
+			stats.Before, stats.After, stats.PurgedMembers, stats.PurgedBytes)
+	}
+	return nil
+}
+
 // ProbeJob is the bench self-probe: it searches the serving path with
 // a query sampled from the store's own data (a member prefix, which
 // must hit) and fails if the answer comes back empty or slow. A

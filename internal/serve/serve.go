@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -72,6 +73,12 @@ type Config struct {
 	// 0 means 2×Lanes, negative means no queue (reject when all lanes
 	// are busy).
 	QueueDepth int
+	// PerClientLanes bounds the searches ONE client may have admitted
+	// or queued at once, keyed by X-API-Key (when sent) or the remote
+	// address; overflow is rejected immediately with 429 + Retry-After
+	// before the global lanes are touched, so one greedy client cannot
+	// monopolise the lane pool. 0 disables per-client fairness.
+	PerClientLanes int
 	// SearchTimeout is the per-search deadline; 0 means none beyond
 	// the client's own. Requests may ask for a SHORTER deadline via
 	// the timeout_ms field, never a longer one.
@@ -106,6 +113,9 @@ type Server struct {
 	queueCap int64
 	waiting  atomic.Int64 // requests blocked on a lane
 
+	clientMu     sync.Mutex     // guards clientActive
+	clientActive map[string]int // client key → searches admitted or queued
+
 	draining atomic.Bool
 	drainCh  chan struct{} // closed when the drain starts
 	inflight sync.WaitGroup
@@ -118,14 +128,15 @@ type Server struct {
 	started time.Time
 
 	// Counters for /stats; atomics so handlers never share locks.
-	nAdmitted  atomic.Int64 // searches that got a lane
-	nOK        atomic.Int64 // searches answered 200
-	nRejected  atomic.Int64 // 429s (queue full)
-	nTimeouts  atomic.Int64 // 504s (deadline expired mid-search)
-	nCancelled atomic.Int64 // client gone mid-search
-	nBadReq    atomic.Int64 // 400s
-	nPanics    atomic.Int64 // recovered handler panics
-	nErrors    atomic.Int64 // other 500s
+	nAdmitted       atomic.Int64 // searches that got a lane
+	nOK             atomic.Int64 // searches answered 200
+	nRejected       atomic.Int64 // 429s (queue full)
+	nClientRejected atomic.Int64 // 429s (one client over its cap)
+	nTimeouts       atomic.Int64 // 504s (deadline expired mid-search)
+	nCancelled      atomic.Int64 // client gone mid-search
+	nBadReq         atomic.Int64 // 400s
+	nPanics         atomic.Int64 // recovered handler panics
+	nErrors         atomic.Int64 // other 500s
 
 	hooks serveHooks
 }
@@ -156,12 +167,13 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxHits = int(^uint(0) >> 1)
 	}
 	s := &Server{
-		cfg:      cfg,
-		logf:     cfg.Logf,
-		lanes:    make(chan struct{}, cfg.Lanes),
-		queueCap: int64(cfg.QueueDepth),
-		drainCh:  make(chan struct{}),
-		started:  time.Now(),
+		cfg:          cfg,
+		logf:         cfg.Logf,
+		lanes:        make(chan struct{}, cfg.Lanes),
+		queueCap:     int64(cfg.QueueDepth),
+		clientActive: make(map[string]int),
+		drainCh:      make(chan struct{}),
+		started:      time.Now(),
 	}
 	if s.logf == nil {
 		s.logf = log.Printf
@@ -228,6 +240,50 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // Draining reports whether the drain has started.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// clientKey identifies one client for the per-client concurrency cap:
+// the X-API-Key header when the client sends one (keys survive NAT and
+// load-balancer hops; the header is however the client's own claim),
+// the remote host otherwise. The two namespaces are prefixed so a key
+// can never collide with an address.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// acquireClient charges one in-flight search to the client's cap,
+// returning false when the client is already at it. The charge covers
+// queue time too — a client flooding the WAIT QUEUE is exactly the
+// monopolisation the cap exists to stop.
+func (s *Server) acquireClient(key string) (release func(), ok bool) {
+	if s.cfg.PerClientLanes <= 0 {
+		return func() {}, true
+	}
+	s.clientMu.Lock()
+	defer s.clientMu.Unlock()
+	if s.clientActive[key] >= s.cfg.PerClientLanes {
+		return nil, false
+	}
+	s.clientActive[key]++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.clientMu.Lock()
+			defer s.clientMu.Unlock()
+			if s.clientActive[key] <= 1 {
+				delete(s.clientActive, key) // keep the map from growing one entry per client ever seen
+			} else {
+				s.clientActive[key]--
+			}
+		})
+	}, true
+}
 
 // acquireLane admits one request: the fast path takes a free lane
 // token; otherwise the request joins the bounded wait queue until a
@@ -360,6 +416,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Per-client fairness first: one client at its cap is rejected
+	// without touching (or queueing for) the shared lanes.
+	releaseClient, ok := s.acquireClient(clientKey(r))
+	if !ok {
+		s.nClientRejected.Add(1)
+		s.errorBody(w, http.StatusTooManyRequests,
+			fmt.Sprintf("client concurrency limit (%d in flight) reached", s.cfg.PerClientLanes))
+		return
+	}
+	defer releaseClient()
+
 	release, errStatus, errMsg := s.acquireLane(r.Context())
 	if release == nil {
 		if errStatus == http.StatusTooManyRequests {
@@ -475,22 +542,26 @@ type StatsResponse struct {
 	Busy    int   `json:"busy"`
 	Waiting int64 `json:"waiting"`
 
-	Admitted  int64 `json:"admitted"`
-	OK        int64 `json:"ok"`
-	Rejected  int64 `json:"rejected"`
-	Timeouts  int64 `json:"timeouts"`
-	Cancelled int64 `json:"cancelled"`
-	BadReq    int64 `json:"bad_requests"`
-	Panics    int64 `json:"panics"`
-	Errors    int64 `json:"errors"`
+	Admitted       int64 `json:"admitted"`
+	OK             int64 `json:"ok"`
+	Rejected       int64 `json:"rejected"`
+	ClientRejected int64 `json:"client_rejected"`
+	Timeouts       int64 `json:"timeouts"`
+	Cancelled      int64 `json:"cancelled"`
+	BadReq         int64 `json:"bad_requests"`
+	Panics         int64 `json:"panics"`
+	Errors         int64 `json:"errors"`
 
-	StoreMembers   int   `json:"store_members"`
-	StoreShards    int   `json:"store_shards"`
-	StoreBytes     int   `json:"store_bytes"`
-	CacheHits      int64 `json:"cache_hits"`
-	CacheMisses    int64 `json:"cache_misses"`
-	CacheResults   int   `json:"cache_results"`
-	CacheTotalHits int64 `json:"cache_total_hits"`
+	StoreMembers     int    `json:"store_members"`
+	StoreShards      int    `json:"store_shards"`
+	StoreBytes       int    `json:"store_bytes"`
+	StoreGenerations int    `json:"store_generations"`
+	StoreTombstones  int    `json:"store_tombstones"`
+	StoreStamp       uint64 `json:"store_stamp"`
+	CacheHits        int64  `json:"cache_hits"`
+	CacheMisses      int64  `json:"cache_misses"`
+	CacheResults     int    `json:"cache_results"`
+	CacheTotalHits   int64  `json:"cache_total_hits"`
 
 	Jobs []JobStatus `json:"jobs,omitempty"`
 }
@@ -506,22 +577,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Busy:      len(s.lanes),
 		Waiting:   s.waiting.Load(),
 
-		Admitted:  s.nAdmitted.Load(),
-		OK:        s.nOK.Load(),
-		Rejected:  s.nRejected.Load(),
-		Timeouts:  s.nTimeouts.Load(),
-		Cancelled: s.nCancelled.Load(),
-		BadReq:    s.nBadReq.Load(),
-		Panics:    s.nPanics.Load(),
-		Errors:    s.nErrors.Load(),
+		Admitted:       s.nAdmitted.Load(),
+		OK:             s.nOK.Load(),
+		Rejected:       s.nRejected.Load(),
+		ClientRejected: s.nClientRejected.Load(),
+		Timeouts:       s.nTimeouts.Load(),
+		Cancelled:      s.nCancelled.Load(),
+		BadReq:         s.nBadReq.Load(),
+		Panics:         s.nPanics.Load(),
+		Errors:         s.nErrors.Load(),
 
-		StoreMembers:   st.Sequences().Len(),
-		StoreShards:    st.Shards(),
-		StoreBytes:     st.Sequences().TotalLen(),
-		CacheHits:      ch,
-		CacheMisses:    cm,
-		CacheResults:   cr,
-		CacheTotalHits: cth,
+		StoreMembers:     st.Sequences().Len(),
+		StoreShards:      st.Shards(),
+		StoreBytes:       st.Sequences().TotalLen(),
+		StoreGenerations: st.Generations(),
+		StoreTombstones:  st.Tombstones(),
+		StoreStamp:       st.Stamp(),
+		CacheHits:        ch,
+		CacheMisses:      cm,
+		CacheResults:     cr,
+		CacheTotalHits:   cth,
 
 		Jobs: s.JobStatuses(),
 	}

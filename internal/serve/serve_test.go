@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -515,5 +516,143 @@ func TestServeSlowClient(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz after a slow client returned %d", resp.StatusCode)
+	}
+}
+
+// postSearchAs is postSearch with an X-API-Key header, for the
+// per-client fairness tests.
+func postSearchAs(t *testing.T, url, apiKey string, req SearchRequest) (int, http.Header) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	httpReq, err := http.NewRequest(http.MethodPost, url+"/search", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		httpReq.Header.Set("X-API-Key", apiKey)
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header
+}
+
+// TestServePerClientCap: one client at its concurrency cap is rejected
+// with 429 + Retry-After WITHOUT consuming global lanes, other clients
+// keep being served, and the cap releases when the client's search
+// finishes.
+func TestServePerClientCap(t *testing.T) {
+	srv := testServer(t, Config{Lanes: 4, PerClientLanes: 1, SearchTimeout: 10 * time.Second})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.hooks.preSearch = func(query []byte) {
+		if bytes.HasPrefix(query, []byte("SLOW")) {
+			close(entered)
+			<-release
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	probe := string(srv.Store().SampleQuery(100))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postSearchAs(t, ts.URL, "greedy", SearchRequest{Query: "SLOWAAAAA"})
+	}()
+	<-entered // "greedy" now holds its one allowed slot
+
+	code, hdr := postSearchAs(t, ts.URL, "greedy", SearchRequest{Query: probe})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap client got %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("per-client 429 without a Retry-After header")
+	}
+	if n := srv.nClientRejected.Load(); n != 1 {
+		t.Fatalf("client_rejected counter is %d, want 1", n)
+	}
+	if n := srv.nRejected.Load(); n != 0 {
+		t.Fatalf("per-client rejection leaked into the global rejected counter (%d)", n)
+	}
+
+	// A DIFFERENT client is untouched by greedy's cap: 3 of 4 global
+	// lanes are still free.
+	if code, _ := postSearchAs(t, ts.URL, "patient", SearchRequest{Query: probe}); code != http.StatusOK {
+		t.Fatalf("other client got %d while greedy was capped", code)
+	}
+
+	close(release)
+	wg.Wait()
+	// Greedy's slot is released with its search: it can search again.
+	if code, _ := postSearchAs(t, ts.URL, "greedy", SearchRequest{Query: probe}); code != http.StatusOK {
+		t.Fatalf("capped client still rejected after its search finished: %d", code)
+	}
+	srv.clientMu.Lock()
+	leaked := len(srv.clientActive)
+	srv.clientMu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("client accounting map leaked %d entries", leaked)
+	}
+}
+
+// TestServeCompactJob: the compaction job folds an appended-and-
+// deleted store back to one clean generation on the serving path, and
+// /stats reports the generational state before and after.
+func TestServeCompactJob(t *testing.T) {
+	store := testStore(t, 4, 2000, 2, 64)
+	srv := testServer(t, Config{Store: store})
+	srv.AddJob(&CompactJob{Server: srv, Every: time.Hour})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := store.Append([]alae.SeqRecord{{Name: "late", Seq: bytes.Repeat([]byte("ACGT"), 300)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Delete("m1"); err != nil {
+		t.Fatal(err)
+	}
+	stats := func() StatsResponse {
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	before := stats()
+	if before.StoreGenerations != 2 || before.StoreTombstones != 1 {
+		t.Fatalf("/stats before compaction: %d generations / %d tombstones, want 2 / 1",
+			before.StoreGenerations, before.StoreTombstones)
+	}
+	if err := srv.RunJobOnce(t.Context(), "compact"); err != nil {
+		t.Fatal(err)
+	}
+	after := stats()
+	if after.StoreGenerations != 1 || after.StoreTombstones != 0 {
+		t.Fatalf("/stats after compaction: %d generations / %d tombstones, want 1 / 0",
+			after.StoreGenerations, after.StoreTombstones)
+	}
+	if after.StoreStamp <= before.StoreStamp {
+		t.Fatalf("compaction did not advance the stamp (%d -> %d)", before.StoreStamp, after.StoreStamp)
+	}
+	// The appended member serves, the deleted one does not.
+	code, res, _ := postSearch(t, ts.URL, SearchRequest{Query: "ACGT" + strings.Repeat("ACGT", 40), Threshold: 120})
+	if code != http.StatusOK {
+		t.Fatalf("post-compaction search returned %d", code)
+	}
+	for _, h := range res.Hits {
+		if h.Name == "m1" {
+			t.Fatal("deleted member still serving after compaction")
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/seq"
 )
@@ -21,9 +22,14 @@ import (
 // separator rows are rejected once at the gather (no caller-side
 // Locate loops), and every surviving hit is mapped to global
 // coordinates plus a member-level SeqHit view through the store's
-// sequence table. On top sits a result-level query cache: the indexes
-// are immutable, so a repeated (query, options) pair is answered by
-// one hash probe.
+// sequence table. On top sits a result-level query cache: search
+// results are immutable per store state, so a repeated (query,
+// options) pair against an unmutated store is answered by one hash
+// probe.
+//
+// The store is MUTABLE: Append, Delete and Compact (storegen.go) give
+// it generational LSM-style incremental maintenance, with every search
+// running against an immutable atomically-swapped view.
 
 // SeqRecord is one named input sequence of a Store.
 type SeqRecord struct {
@@ -47,11 +53,14 @@ func NewSeqTable(names []string, lengths []int) *SeqTable {
 
 // SeqHit is a hit mapped to a member sequence of a Store. The embedded
 // Hit carries global coordinates — TEnd is a position in the virtual
-// concatenation T1 # T2 # … # Tn, comparable across shard counts —
-// while Member, Name and LocalTEnd give the member-level view.
+// concatenation T1 # T2 # … # Tn of the LIVE members, comparable
+// across shard counts — while Member, Name and LocalTEnd give the
+// member-level view. Member indexes the live directory of the store
+// state the search ran against (see Store.Stamp): a mutation can
+// renumber members, so hits must not be held across mutations.
 type SeqHit struct {
 	Hit
-	Member    int    // index of the member sequence, in input order
+	Member    int    // index of the member sequence, in live order
 	Name      string // the member's name
 	LocalTEnd int    // TEnd in the member's own coordinates
 }
@@ -69,14 +78,17 @@ type StoreResult struct {
 type StoreOptions struct {
 	// Shards is K, the number of index shards the records are
 	// partitioned into (byte-balanced, contiguous in input order).
-	// 0 means 1; values above the record count are clamped.
+	// 0 means 1; values above the record count are clamped. Appended
+	// generations get one shard each (they are small by design);
+	// compaction rebuilds merged generations at this K.
 	Shards int
 	// QueryCacheSize is the capacity, in cached results, of the
 	// result-level query cache. 0 means the default (1024 results);
-	// negative disables the cache. The cache never changes results —
-	// the shard indexes are immutable, so a cached entry is valid for
-	// the store's whole lifetime and eviction is pure capacity
-	// management.
+	// negative disables the cache. The cache never changes results:
+	// keys carry the store's mutation stamp, so an Append/Delete/
+	// Compact strands every pre-mutation entry (they age out through
+	// normal eviction) instead of ever answering for the wrong store
+	// state.
 	QueryCacheSize int
 }
 
@@ -88,16 +100,22 @@ const defaultQueryCacheSize = 1024
 
 // Store is a sharded, multi-sequence serving layer above Index.
 // Building one costs K index builds (run in parallel); afterwards any
-// number of concurrent searches can run against it. See the file
-// comment for the search pipeline.
+// number of concurrent searches can run against it, interleaved with
+// mutations: searches read an immutable view swapped atomically by
+// Append/Delete/Compact, which serialise among themselves. See the
+// file comment for the search pipeline and storegen.go for the
+// generational machinery.
 type Store struct {
-	seqs   *SeqTable
-	shards []storeShard
-	sigma  int         // distinct bytes of the virtual concatenation
-	cache  *queryCache // nil when disabled
+	view  atomic.Pointer[storeView]
+	cache *queryCache // nil when disabled
 
 	mu    sync.Mutex
 	pools map[string]*sync.Pool // options fingerprint → *StoreSession pool
+
+	mutMu        sync.Mutex // serialises mutations and their persistence
+	dir          string     // backing directory; "" = memory-only
+	nextGenID    uint64
+	targetShards int // K for compaction-built generations
 }
 
 // storeShard is one shard: an Index over the concatenation of a
@@ -105,74 +123,50 @@ type Store struct {
 type storeShard struct {
 	ix   *Index
 	tab  *seq.Table // directory local to the shard's own text
-	base int        // global index of the shard's first member
+	base int        // generation-local index of the shard's first member
 }
 
 // NewStore partitions the records into byte-balanced shards and builds
-// one Index per shard (in parallel). The records' sequences are copied
-// into the shard texts; the inputs are not retained.
+// one Index per shard (in parallel), as the store's first generation.
+// The records' sequences are copied into the shard texts; the inputs
+// are not retained.
 func NewStore(records []SeqRecord, opts StoreOptions) (*Store, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("alae: NewStore needs at least one record")
 	}
-	k := opts.Shards
-	if k <= 0 {
-		k = 1
+	if err := validateRecords(records); err != nil {
+		return nil, err
 	}
-	if k > len(records) {
-		k = len(records)
-	}
-	names := make([]string, len(records))
-	lengths := make([]int, len(records))
-	var present [256]bool
-	for i, r := range records {
-		names[i], lengths[i] = r.Name, len(r.Seq)
-		for _, b := range r.Seq {
-			present[b] = true
-		}
-	}
-	st := &Store{
-		seqs:  seq.NewTable(names, lengths),
-		sigma: storeSigma(present, len(records)),
-		pools: make(map[string]*sync.Pool),
-	}
-	cuts := partitionRecords(lengths, k)
-	st.shards = make([]storeShard, k)
-	var wg sync.WaitGroup
-	for s := 0; s < k; s++ {
-		lo, hi := cuts[s], cuts[s+1]
-		recs := make([]seq.Record, hi-lo)
-		for i, r := range records[lo:hi] {
-			recs[i] = seq.Record{Header: r.Name, Seq: r.Seq}
-		}
-		wg.Add(1)
-		go func(s, lo int, recs []seq.Record) {
-			defer wg.Done()
-			col := seq.NewCollection(recs)
-			st.shards[s] = storeShard{ix: NewIndex(col.Text()), tab: col.Table(), base: lo}
-		}(s, lo, recs)
-	}
-	wg.Wait()
-	st.cache = newQueryCache(opts.QueryCacheSize)
-	return st, nil
+	g := buildGeneration(1, records, opts.Shards)
+	return newStoreFromGens([]*generation{g}, 1, opts)
 }
 
-// storeSigma counts the distinct bytes of the virtual concatenation:
-// the members' bytes plus, when there is more than one member, the
-// separator. This matches what a monolithic index over the same
-// concatenation reports as its alphabet size, so E-value-derived
-// thresholds agree between a Store and a single Index regardless of K.
-func storeSigma(present [256]bool, members int) int {
-	if members > 1 {
-		present[seq.Separator] = true
+// newStoreFromGens assembles a Store around a generation list — the
+// shared constructor behind NewStore, LoadStore and loadStoreDir.
+func newStoreFromGens(gens []*generation, stamp uint64, opts StoreOptions) (*Store, error) {
+	v, err := buildView(gens, stamp)
+	if err != nil {
+		return nil, err
 	}
-	sigma := 0
-	for _, p := range present {
-		if p {
-			sigma++
+	st := &Store{
+		pools: make(map[string]*sync.Pool),
+		cache: newQueryCache(opts.QueryCacheSize),
+	}
+	st.targetShards = opts.Shards
+	if st.targetShards <= 0 {
+		// No explicit K: keep compactions at the widest generation's
+		// fan-out (1 for a store that has never been sharded).
+		for _, g := range gens {
+			st.targetShards = max(st.targetShards, len(g.shards))
 		}
 	}
-	return sigma
+	for _, g := range gens {
+		if g.id >= st.nextGenID {
+			st.nextGenID = g.id + 1
+		}
+	}
+	st.view.Store(v)
+	return st, nil
 }
 
 // partitionRecords chooses contiguous byte-balanced shard boundaries:
@@ -203,39 +197,38 @@ func partitionRecords(lengths []int, k int) []int {
 	return cuts
 }
 
-// Sequences returns the store's global sequence directory: member
-// names, lengths, and the global offsets hits are mapped through.
-func (st *Store) Sequences() *SeqTable { return st.seqs }
+// Sequences returns the store's global sequence directory: the LIVE
+// member names, lengths, and the global offsets hits are mapped
+// through. The returned table is an immutable snapshot of the current
+// store state; a mutation publishes a new one.
+func (st *Store) Sequences() *SeqTable { return st.currentView().seqs }
 
-// Shards returns the number of index shards.
-func (st *Store) Shards() int { return len(st.shards) }
+// Shards returns the current total number of index shards across all
+// generations — the scatter fan-out of one search.
+func (st *Store) Shards() int { return st.currentView().lanes }
 
-// shardFor returns the shard holding global member g.
-func (st *Store) shardFor(g int) *storeShard {
-	lo, hi := 0, len(st.shards)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if st.shards[mid].base <= g {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return &st.shards[lo]
+// liveShard returns the shard and shard-local member index holding
+// live member g of view v.
+func (v *storeView) liveShard(g int) (*storeShard, int) {
+	gl := v.loc[g]
+	sh := v.gens[gl.gen].shardFor(gl.member)
+	return sh, gl.member - sh.base
 }
 
 // resolveThreshold derives the score threshold for a query of length m
-// exactly as a monolithic Index over the whole concatenation would
-// (resolveThresholdOver with the store's TOTAL length and alphabet).
-// Sharding must never change thresholds — that is what keeps the K>1
-// hit sets byte-identical to the K=1 ones.
-func (st *Store) resolveThreshold(m int, opts SearchOptions, s Scheme) (int, error) {
-	return resolveThresholdOver(s, opts, m, st.seqs.TotalLen(), st.sigma)
+// exactly as a monolithic Index over the whole live concatenation
+// would (resolveThresholdOver with the view's TOTAL length and
+// alphabet). Neither sharding nor generations may change thresholds —
+// that is what keeps the sharded and generational hit sets
+// byte-identical to the monolithic ones.
+func (v *storeView) resolveThreshold(m int, opts SearchOptions, s Scheme) (int, error) {
+	return resolveThresholdOver(s, opts, m, v.seqs.TotalLen(), v.sigma)
 }
 
 // optionsFingerprint canonically serialises every SearchOptions field.
-// It keys both the per-options session pools and the query cache: two
-// options values with equal fingerprints are interchangeable.
+// It keys both the per-options session pools and (with the mutation
+// stamp) the query cache: two options values with equal fingerprints
+// are interchangeable.
 func optionsFingerprint(o SearchOptions) string {
 	b := make([]byte, 0, 64)
 	for _, v := range [...]int64{
@@ -262,7 +255,8 @@ func optionsFingerprint(o SearchOptions) string {
 // one options fingerprint. Pools hold warm sessions — per-shard lanes
 // whose core sessions, collectors and gram tables are already sized —
 // so bursty Store.Search traffic reuses lanes instead of opening per
-// call.
+// call. Sessions re-sync themselves to the current view per search, so
+// pools survive mutations.
 func (st *Store) sessionPool(fp string) *sync.Pool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -320,13 +314,20 @@ func (st *Store) SearchContext(cx context.Context, query []byte, opts SearchOpti
 
 // cachedSearch answers query through the cache when possible,
 // computing and publishing through ss otherwise. fp must be the
-// fingerprint of ss's options. Errors — cancellation included — are
-// never cached: only a completed result is ever published.
+// fingerprint of ss's options. The session is synced to the current
+// view FIRST and the cache key carries that view's mutation stamp, so
+// the probe, the computation and the published entry all describe the
+// same store state — a concurrent mutation can only make an entry
+// stale-keyed (unreachable), never wrong. Errors — cancellation
+// included — are never cached: only a completed result is published.
 func (st *Store) cachedSearch(cx context.Context, ss *StoreSession, fp string, query []byte) (*StoreResult, error) {
-	if st.cache == nil {
-		return ss.SearchContext(cx, query)
+	if err := ss.syncView(); err != nil {
+		return nil, err
 	}
-	key := cacheKey(fp, query)
+	if st.cache == nil {
+		return ss.searchCurrent(cx, query)
+	}
+	key := cacheKey(ss.view.stamp, fp, query)
 	if cached, ok := st.cache.get(key); ok {
 		// A shallow copy shares the immutable hit slice but gives the
 		// caller its own counters.
@@ -334,7 +335,7 @@ func (st *Store) cachedSearch(cx context.Context, ss *StoreSession, fp string, q
 		cp.Stats.QueryCacheHits = 1
 		return &cp, nil
 	}
-	res, err := ss.SearchContext(cx, query)
+	res, err := ss.searchCurrent(cx, query)
 	if err != nil {
 		return nil, err
 	}
@@ -378,11 +379,18 @@ func (st *Store) ShedQueryCache(maxHits int64) (evicted int) {
 }
 
 // Align reconstructs the best alignment ending at a store hit, for
-// display. The traceback runs inside the hit's member shard.
+// display. The traceback runs inside the hit's member shard. The hit
+// must come from a search against the CURRENT store state: after a
+// mutation, re-search rather than aligning stale hits (a renumbered
+// member is detected by the bounds check, a re-used index is not).
 func (st *Store) Align(query []byte, s Scheme, hit SeqHit) (Alignment, error) {
-	sh := st.shardFor(hit.Member)
+	v := st.currentView()
+	if hit.Member < 0 || hit.Member >= len(v.loc) {
+		return Alignment{}, fmt.Errorf("alae: hit member %d is not a live member (store mutated since the search?)", hit.Member)
+	}
+	sh, lm := v.liveShard(hit.Member)
 	local := Hit{
-		TEnd:  sh.tab.Start(hit.Member-sh.base) + hit.LocalTEnd,
+		TEnd:  sh.tab.Start(lm) + hit.LocalTEnd,
 		QEnd:  hit.QEnd,
 		Score: hit.Score,
 	}
@@ -392,7 +400,12 @@ func (st *Store) Align(query []byte, s Scheme, hit SeqHit) (Alignment, error) {
 // FormatAlignment renders an alignment produced by Store.Align for the
 // given hit.
 func (st *Store) FormatAlignment(a Alignment, hit SeqHit, query []byte, width int) string {
-	return st.shardFor(hit.Member).ix.FormatAlignment(a, query, width)
+	v := st.currentView()
+	if hit.Member < 0 || hit.Member >= len(v.loc) {
+		return ""
+	}
+	sh, _ := v.liveShard(hit.Member)
+	return sh.ix.FormatAlignment(a, query, width)
 }
 
 // TopKSeq returns the k highest-scoring store hits (all when k ≤ 0),
@@ -417,26 +430,28 @@ func TopKSeq(hits []SeqHit, k int) []SeqHit {
 }
 
 // SampleQuery returns a copy of up to n leading bytes of the store's
-// longest member sequence — a guaranteed-hit probe query drawn from
-// the store's own data. Serving self-checks use it: a search for a
-// member's own prefix must come back with hits, whatever the store
-// holds, so an empty answer means the serving path (not the data) is
-// broken. The copy never aliases shard texts and never contains a
-// separator byte.
+// longest LIVE member sequence — a guaranteed-hit probe query drawn
+// from the store's own data. Serving self-checks use it: a search for
+// a live member's own prefix must come back with hits, whatever the
+// store holds, so an empty answer means the serving path (not the
+// data) is broken. Tombstoned members are never sampled (their bytes
+// would return no hits by design). The copy never aliases shard texts
+// and never contains a separator byte.
 func (st *Store) SampleQuery(n int) []byte {
+	v := st.currentView()
 	best := 0
-	for g := 1; g < st.seqs.Len(); g++ {
-		if st.seqs.SeqLen(g) > st.seqs.SeqLen(best) {
+	for g := 1; g < v.seqs.Len(); g++ {
+		if v.seqs.SeqLen(g) > v.seqs.SeqLen(best) {
 			best = g
 		}
 	}
-	if n > st.seqs.SeqLen(best) {
-		n = st.seqs.SeqLen(best)
+	if n > v.seqs.SeqLen(best) {
+		n = v.seqs.SeqLen(best)
 	}
 	if n <= 0 {
 		return nil
 	}
-	sh := st.shardFor(best)
-	start := sh.tab.Start(best - sh.base)
+	sh, lm := v.liveShard(best)
+	start := sh.tab.Start(lm)
 	return append([]byte(nil), sh.ix.Text()[start:start+n]...)
 }

@@ -345,10 +345,11 @@ func TestStoreManifestRoundTrip(t *testing.T) {
 		t.Fatal("truncated store accepted")
 	}
 	// A hostile member length (the first member's seqLen field sits
-	// after magic+version+count+nameLen+name) must be rejected by the
-	// plausibility bounds, not answered with a giant allocation.
+	// after magic+version+stamp+genCount+genID+memberCount+nameLen+name
+	// in the v2 layout) must be rejected by the plausibility bounds,
+	// not answered with a giant allocation.
 	bad = append([]byte(nil), saved...)
-	off := 8 + 4 + 8 + 8 + len(st.Sequences().Name(0))
+	off := 8 + 4 + 8 + 8 + 8 + 8 + 8 + len(st.Sequences().Name(0))
 	for i := 0; i < 8; i++ {
 		bad[off+i] = 0xFF
 	}

@@ -1,6 +1,7 @@
 package alae
 
 import (
+	"encoding/binary"
 	"sync"
 	"sync/atomic"
 )
@@ -9,24 +10,33 @@ import (
 // identical queries — health checks, popular reads, retried requests —
 // and even with warm sessions and the cross-query gram cache each
 // replay re-runs the whole traversal. This cache closes that gap:
-// results are keyed by (options fingerprint, query bytes) and the
-// shard indexes are immutable, so a cached result is valid for the
-// store's whole lifetime, an exact repeat is one hash probe, and
-// eviction (CLOCK, approximately LRU) is pure capacity management —
-// there is no invalidation story to get wrong.
+// results are keyed by (mutation stamp, options fingerprint, query
+// bytes). The stamp is the invalidation story: a store mutation
+// (Append/Delete/Compact) bumps it, which makes every pre-mutation
+// entry unreachable — stale entries are never answered, they just age
+// out through normal CLOCK eviction as post-mutation traffic claims
+// their slots. Against one store state an exact repeat is one hash
+// probe and eviction (CLOCK, approximately LRU) is pure capacity
+// management.
 //
 // Concurrency mirrors the gram cache: hits are an RLock-guarded map
 // probe plus one atomic reference-bit store. Population is NOT
 // single-flight — two sessions racing on the same cold query both
 // compute it and the last insert wins, which is sound (both computed
-// the same immutable result) and keeps misses lock-free while the
-// search runs.
+// the same result against the same stamped view) and keeps misses
+// lock-free while the search runs.
 
-// cacheKey builds the cache key for one (options, query) pair. The
-// query bytes are copied into the key string, so cached entries never
-// alias caller buffers.
-func cacheKey(fp string, query []byte) string {
-	return fp + "\x00" + string(query)
+// cacheKey builds the cache key for one (store state, options, query)
+// triple. The query bytes are copied into the key string, so cached
+// entries never alias caller buffers.
+func cacheKey(stamp uint64, fp string, query []byte) string {
+	b := make([]byte, 0, binary.MaxVarintLen64+1+len(fp)+1+len(query))
+	b = binary.AppendUvarint(b, stamp)
+	b = append(b, 0)
+	b = append(b, fp...)
+	b = append(b, 0)
+	b = append(b, query...)
+	return string(b)
 }
 
 // queryEntry is one cached result. res is immutable once inserted.

@@ -1,0 +1,256 @@
+package alae
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// The crash-injection matrix: every durable step of every mutation is
+// a potential crash point, and the recovery contract is binary — a
+// store directory captured at ANY step must reload as a store whose
+// answers are byte-identical to either the pre-mutation or the
+// post-mutation store. storeFSHook (storegen.go) is the seam: the
+// matrix snapshots the directory after each step (exactly the on-disk
+// state a crash there would leave, leftover temp files included) and
+// replays every snapshot through LoadStoreFile.
+
+func readFileBytes(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func writeFileBytes(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+
+// linkStoreDir populates dst with hard links to every regular file of
+// src (cheap per-case directory copies for the fuzzer and the matrix).
+func linkStoreDir(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if err := os.Link(filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// copyDirBytes snapshots every regular file of src into a fresh
+// directory under parent (real copies: snapshots must not alias files
+// a later step will rename or remove).
+func copyDirBytes(t *testing.T, src, parent, name string) string {
+	t.Helper()
+	dst := filepath.Join(parent, name)
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestStoreCrashMatrix drives the canonical mutation sequence —
+// append, delete, compact — over a directory-backed store, snapshotting
+// the directory at every durable step of every mutation, and asserts
+// each snapshot reloads as exactly the pre- or post-mutation store.
+func TestStoreCrashMatrix(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 6, 1500, 200, 920)
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := NewStore(wl.records[:4], StoreOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := []struct {
+		name string
+		run  func() error
+	}{
+		{"append", func() error { return st.Append(wl.records[4:6]) }},
+		{"delete", func() error { _, err := st.Delete(wl.records[1].Name, wl.records[4].Name); return err }},
+		{"compact", func() error { _, err := st.Compact(); return err }},
+	}
+	for _, mut := range mutations {
+		t.Run(mut.name, func(t *testing.T) {
+			pre := storeHits(t, st, wl.queries, SearchOptions{})
+			snapParent := t.TempDir()
+			var snaps []string
+			var steps []string
+			storeFSHook = func(step, path string) error {
+				name := fmt.Sprintf("snap-%02d", len(snaps))
+				snaps = append(snaps, copyDirBytes(t, dir, snapParent, name))
+				steps = append(steps, step+" "+filepath.Base(path))
+				return nil
+			}
+			err := mut.run()
+			storeFSHook = nil
+			if err != nil {
+				t.Fatal(err)
+			}
+			post := storeHits(t, st, wl.queries, SearchOptions{})
+			if len(snaps) < 4 {
+				t.Fatalf("matrix vacuous: only %d durable steps snapshotted", len(snaps))
+			}
+			for i, snap := range snaps {
+				loaded, err := LoadStoreFile(snap, StoreOptions{})
+				if err != nil {
+					t.Fatalf("snapshot %d (%s) does not load: %v", i, steps[i], err)
+				}
+				got := storeHits(t, loaded, wl.queries, SearchOptions{})
+				matchPre := storeResultsEqual(got, pre)
+				matchPost := storeResultsEqual(got, post)
+				if !matchPre && !matchPost {
+					t.Fatalf("snapshot %d (%s) reloads as NEITHER the pre- nor post-%s store", i, steps[i], mut.name)
+				}
+				// A committed manifest (post-rename) must recover as the
+				// post-mutation store even if later steps never ran —
+				// unless pre and post answer identically (compaction).
+				if i == len(snaps)-1 && !matchPost {
+					t.Fatalf("final snapshot (%s) does not reload as the post-%s store", steps[i], mut.name)
+				}
+				// Recovery must also sweep the debris the crash left.
+				ents, err := os.ReadDir(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, e := range ents {
+					if strings.Contains(e.Name(), ".tmp-") {
+						t.Fatalf("snapshot %d (%s): temp file %s survives recovery", i, steps[i], e.Name())
+					}
+				}
+			}
+		})
+	}
+	// The store that ran the whole gauntlet still matches a clean load.
+	final, err := LoadStoreFile(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !storeResultsEqual(storeHits(t, final, wl.queries, SearchOptions{}), storeHits(t, st, wl.queries, SearchOptions{})) {
+		t.Fatal("post-gauntlet reload disagrees with the live store")
+	}
+}
+
+// TestStoreMutationAbortsCleanly injects hard failures (not crashes:
+// the mutation SEES the error) at each pre-commit step and asserts the
+// mutation reports it, the in-memory store still serves the pre-state,
+// no temp debris is left, and the directory still reloads as the
+// pre-state.
+func TestStoreMutationAbortsCleanly(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 5, 1200, 200, 921)
+	for _, failAt := range []string{"temp-created", "temp-written", "temp-synced"} {
+		t.Run(failAt, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "db")
+			st, err := NewStore(wl.records[:3], StoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.SaveDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			pre := storeHits(t, st, wl.queries, SearchOptions{})
+			preStamp := st.Stamp()
+			boom := errors.New("injected failure")
+			storeFSHook = func(step, path string) error {
+				if step == failAt {
+					return boom
+				}
+				return nil
+			}
+			err = st.Append(wl.records[3:5])
+			storeFSHook = nil
+			if !errors.Is(err, boom) {
+				t.Fatalf("Append error = %v, want the injected failure", err)
+			}
+			if st.Stamp() != preStamp {
+				t.Fatalf("failed mutation moved the stamp %d -> %d", preStamp, st.Stamp())
+			}
+			if !storeResultsEqual(storeHits(t, st, wl.queries, SearchOptions{}), pre) {
+				t.Fatal("failed mutation changed the in-memory store")
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if strings.Contains(e.Name(), ".tmp-") {
+					t.Fatalf("failed mutation left temp file %s", e.Name())
+				}
+			}
+			reloaded, err := LoadStoreFile(dir, StoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !storeResultsEqual(storeHits(t, reloaded, wl.queries, SearchOptions{}), pre) {
+				t.Fatal("directory after failed mutation does not reload as the pre-state")
+			}
+		})
+	}
+}
+
+// TestStoreDirSweep plants the debris an interrupted compaction leaves
+// — an orphan generation file and a stale temp file — and asserts a
+// load serves the manifest's store and removes the debris, while
+// leaving foreign files alone.
+func TestStoreDirSweep(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 4, 1200, 200, 922)
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := NewStore(wl.records, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := storeHits(t, st, wl.queries, SearchOptions{})
+	orphan := filepath.Join(dir, genFileName(99))
+	if err := os.WriteFile(orphan, []byte("interrupted compaction output"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	temp := filepath.Join(dir, manifestName+".tmp-1234")
+	if err := os.WriteFile(temp, []byte("torn manifest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "README")
+	if err := os.WriteFile(foreign, []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStoreFile(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !storeResultsEqual(storeHits(t, loaded, wl.queries, SearchOptions{}), want) {
+		t.Fatal("debris changed the loaded store")
+	}
+	for _, path := range []string{orphan, temp} {
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("%s survived the load sweep", filepath.Base(path))
+		}
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatal("the sweep removed a foreign file")
+	}
+}

@@ -1,0 +1,470 @@
+package alae
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// Generational-store acceptance tests: mutations must be invisible to
+// the search semantics (a mutated store answers exactly like a fresh
+// store built over its live members), tombstones must suppress hits
+// immediately, compaction must never change answers, and the query
+// cache must never serve a pre-mutation result.
+
+// storeHits runs queries against st with opts and returns the results,
+// failing the test on any error.
+func storeHits(t *testing.T, st *Store, queries [][]byte, opts SearchOptions) []*StoreResult {
+	t.Helper()
+	out := make([]*StoreResult, len(queries))
+	for i, q := range queries {
+		res, err := st.Search(q, opts)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// storeResultsEqual compares thresholds and full SeqHit slices.
+func storeResultsEqual(a, b []*StoreResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Threshold != b[i].Threshold || !seqHitsEqual(a[i].Hits, b[i].Hits) {
+			return false
+		}
+	}
+	return true
+}
+
+// mutatedStore builds the canonical mutation scenario used across the
+// generational tests: a base store over members 0–3, two appends
+// (members 4–5, then 6), and a delete of members 1 and 5. The live set
+// is {0, 2, 3, 4, 6}, spread over three generations with tombstones in
+// two of them.
+func mutatedStore(t *testing.T, wl storeWorkload, opts StoreOptions) (*Store, []SeqRecord) {
+	t.Helper()
+	st, err := NewStore(wl.records[:4], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(wl.records[4:6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(wl.records[6:7]); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.Delete(wl.records[1].Name, wl.records[5].Name); err != nil || n != 2 {
+		t.Fatalf("Delete = (%d, %v), want (2, nil)", n, err)
+	}
+	live := []SeqRecord{wl.records[0], wl.records[2], wl.records[3], wl.records[4], wl.records[6]}
+	return st, live
+}
+
+// TestStoreGenerationalParity is the tentpole acceptance gate: a store
+// that grew through appends and deletes answers every query exactly
+// like a fresh store built over its live members — same thresholds
+// (derived from the live concatenation's (n, σ), PR 5's invariant
+// extended across generations), same hit sets byte for byte, same
+// member numbering — and compaction changes none of it.
+func TestStoreGenerationalParity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts SearchOptions
+	}{
+		{"threshold", SearchOptions{}},
+		{"evalue", SearchOptions{EValue: 1e-5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			wl := buildStoreWorkload(seq.DNA, 7, 2000, 250, 914)
+			st, live := mutatedStore(t, wl, StoreOptions{Shards: 2})
+			if g := st.Generations(); g != 3 {
+				t.Fatalf("Generations() = %d, want 3", g)
+			}
+			if n := st.Tombstones(); n != 2 {
+				t.Fatalf("Tombstones() = %d, want 2", n)
+			}
+			fresh, err := NewStore(live, StoreOptions{Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Sequences().Len() != len(live) || st.Sequences().TotalLen() != fresh.Sequences().TotalLen() {
+				t.Fatalf("live directory: %d members / %d bytes, want %d / %d",
+					st.Sequences().Len(), st.Sequences().TotalLen(), len(live), fresh.Sequences().TotalLen())
+			}
+			for i, r := range live {
+				if st.Sequences().Name(i) != r.Name {
+					t.Fatalf("live member %d is %q, want %q", i, st.Sequences().Name(i), r.Name)
+				}
+			}
+			want := storeHits(t, fresh, wl.queries, tc.opts)
+			got := storeHits(t, st, wl.queries, tc.opts)
+			if !storeResultsEqual(got, want) {
+				t.Fatal("mutated store disagrees with fresh store over its live members")
+			}
+			stats, err := st.Compact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.PurgedMembers != 2 {
+				t.Fatalf("compaction purged %d members, want 2", stats.PurgedMembers)
+			}
+			if st.Tombstones() != 0 {
+				t.Fatalf("tombstones survive compaction: %d", st.Tombstones())
+			}
+			if !storeResultsEqual(storeHits(t, st, wl.queries, tc.opts), want) {
+				t.Fatal("compaction changed answers")
+			}
+			// A second pass with nothing to purge and one generation must
+			// be a no-op that does not bump the stamp.
+			before := st.Stamp()
+			again, err := st.Compact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Before != again.After || st.Stamp() != before {
+				t.Fatalf("idle compaction did work: %+v (stamp %d -> %d)", again, before, st.Stamp())
+			}
+		})
+	}
+}
+
+// TestStoreMutationSemantics covers the mutation API's edges: empty
+// and separator-carrying appends are rejected, deleting nothing is a
+// no-op, deleting everything is refused, appended members are
+// searchable immediately, and the stamp tracks every published
+// mutation.
+func TestStoreMutationSemantics(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 4, 1500, 200, 915)
+	st, err := NewStore(wl.records[:2], StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stamp() != 1 {
+		t.Fatalf("fresh store stamp = %d, want 1", st.Stamp())
+	}
+	if err := st.Append(nil); err == nil {
+		t.Fatal("empty Append accepted")
+	}
+	if err := st.Append([]SeqRecord{{Name: "bad", Seq: []byte("ACGT#ACGT")}}); err == nil {
+		t.Fatal("separator-carrying record accepted by Append")
+	}
+	if _, err := NewStore([]SeqRecord{{Name: "bad", Seq: []byte("AC#GT")}}, StoreOptions{}); err == nil {
+		t.Fatal("separator-carrying record accepted by NewStore")
+	}
+	if n, err := st.Delete("no-such-member"); n != 0 || err != nil {
+		t.Fatalf("Delete of absent member = (%d, %v), want (0, nil)", n, err)
+	}
+	if st.Stamp() != 1 {
+		t.Fatalf("no-op mutations moved the stamp to %d", st.Stamp())
+	}
+	if _, err := st.Delete(wl.records[0].Name, wl.records[1].Name); err == nil {
+		t.Fatal("deleting every live member accepted")
+	}
+	if err := st.Append(wl.records[2:3]); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stamp() != 2 {
+		t.Fatalf("stamp after append = %d, want 2", st.Stamp())
+	}
+	// The appended member must hit immediately: search its own prefix.
+	probe := append([]byte(nil), wl.records[2].Seq[:200]...)
+	res, err := st.Search(probe, SearchOptions{Threshold: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range res.Hits {
+		found = found || h.Name == wl.records[2].Name
+	}
+	if !found {
+		t.Fatal("appended member invisible to search")
+	}
+	// Deleting it must silence it immediately, same probe.
+	if n, err := st.Delete(wl.records[2].Name); n != 1 || err != nil {
+		t.Fatalf("Delete = (%d, %v), want (1, nil)", n, err)
+	}
+	res, err = st.Search(probe, SearchOptions{Threshold: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.Hits {
+		if h.Name == wl.records[2].Name {
+			t.Fatal("tombstoned member still produces hits")
+		}
+	}
+	// SampleQuery must never sample a tombstoned member: delete the
+	// longest member and check the probe comes from a live one.
+	if q := st.SampleQuery(64); bytes.Contains(wl.records[2].Seq, q) &&
+		!bytes.Contains(wl.records[0].Seq, q) && !bytes.Contains(wl.records[1].Seq, q) {
+		t.Fatal("SampleQuery drew from a tombstoned member")
+	}
+}
+
+// TestStoreMutationInvalidatesCache is the generation-stamp gate: a
+// cached result must never be served after a mutation changed what the
+// right answer is.
+func TestStoreMutationInvalidatesCache(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 4, 1500, 200, 916)
+	st, err := NewStore(wl.records, StoreOptions{QueryCacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := wl.queries[0]
+	first, err := st.Search(query, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := st.Search(query, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Stats.QueryCacheHits != 1 {
+		t.Fatal("repeat against the unmutated store missed the cache")
+	}
+	// Delete a member the query hits, so the cached answer is now
+	// WRONG, not merely stale-but-equal.
+	victim := ""
+	for _, h := range first.Hits {
+		if h.Name != wl.records[0].Name {
+			victim = h.Name
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("workload query hits only one member; cannot stage the scenario")
+	}
+	if _, err := st.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	after, err := st.Search(query, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Stats.QueryCacheHits != 0 {
+		t.Fatal("post-mutation search was served from the pre-mutation cache")
+	}
+	for _, h := range after.Hits {
+		if h.Name == victim {
+			t.Fatal("post-mutation result still carries the deleted member")
+		}
+	}
+	if seqHitsEqual(first.Hits, after.Hits) {
+		t.Fatal("scenario vacuous: deletion did not change the answer")
+	}
+	// The post-mutation result is itself cacheable under the new stamp.
+	repeat, err := st.Search(query, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repeat.Stats.QueryCacheHits != 1 || !seqHitsEqual(repeat.Hits, after.Hits) {
+		t.Fatal("post-mutation repeat not served from the re-stamped cache")
+	}
+}
+
+// TestStoreMutatedRoundTrip: both persistence layouts — the one-file
+// snapshot (Save/SaveFile, with tombstone flags) and the generation
+// directory (SaveDir, with the manifest owning tombstones) — must
+// round-trip a mutated multi-generation store answer-for-answer, stamp
+// included.
+func TestStoreMutatedRoundTrip(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 7, 1500, 200, 917)
+	st, _ := mutatedStore(t, wl, StoreOptions{Shards: 2})
+	want := storeHits(t, st, wl.queries, SearchOptions{})
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := LoadStore(bytes.NewReader(buf.Bytes()), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.Stamp() != st.Stamp() || fromFile.Generations() != st.Generations() || fromFile.Tombstones() != st.Tombstones() {
+		t.Fatalf("snapshot round-trip: stamp/gens/tombs = %d/%d/%d, want %d/%d/%d",
+			fromFile.Stamp(), fromFile.Generations(), fromFile.Tombstones(),
+			st.Stamp(), st.Generations(), st.Tombstones())
+	}
+	if !storeResultsEqual(storeHits(t, fromFile, wl.queries, SearchOptions{}), want) {
+		t.Fatal("snapshot round-trip changed answers")
+	}
+
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := st.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	fromDir, err := LoadStoreFile(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDir.Dir() != dir {
+		t.Fatalf("loaded store not attached to its directory (%q)", fromDir.Dir())
+	}
+	if fromDir.Stamp() != st.Stamp() || fromDir.Tombstones() != st.Tombstones() {
+		t.Fatalf("directory round-trip lost state: stamp %d tombs %d", fromDir.Stamp(), fromDir.Tombstones())
+	}
+	if !storeResultsEqual(storeHits(t, fromDir, wl.queries, SearchOptions{}), want) {
+		t.Fatal("directory round-trip changed answers")
+	}
+	// Mutations against the RELOADED store must persist and reload too:
+	// compact, then load a third copy and compare.
+	if _, err := fromDir.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadStoreFile(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Tombstones() != 0 {
+		t.Fatalf("compaction's persisted state still has %d tombstones", reloaded.Tombstones())
+	}
+	if !storeResultsEqual(storeHits(t, reloaded, wl.queries, SearchOptions{}), want) {
+		t.Fatal("persisted compaction changed answers")
+	}
+}
+
+// TestStoreMutateWhileSearching races concurrent searches against the
+// full mutation lifecycle. Every search must come back either as a
+// pre-mutation answer or a post-mutation answer — never an error,
+// never a torn hybrid (asserted by checking hits only name members
+// that were live in SOME published view).
+func TestStoreMutateWhileSearching(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 6, 1200, 200, 918)
+	st, err := NewStore(wl.records[:4], StoreOptions{Shards: 2, QueryCacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := wl.queries[w%len(wl.queries)]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := st.Search(q, SearchOptions{})
+				if err != nil {
+					t.Errorf("worker %d search %d: %v", w, i, err)
+					return
+				}
+				for _, h := range res.Hits {
+					if h.Name == "" {
+						t.Errorf("worker %d: hit with empty member name", w)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 3; round++ {
+		if err := st.Append([]SeqRecord{wl.records[4], wl.records[5]}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Delete(wl.records[4].Name, wl.records[5].Name); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestStoreCompactionFoldsTail: past four generations, compaction must
+// fold the small-generation tail back down even with no tombstones.
+func TestStoreCompactionFoldsTail(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 7, 1200, 200, 919)
+	st, err := NewStore(wl.records[:1], StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 6; i++ {
+		if err := st.Append(wl.records[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Generations() != 6 {
+		t.Fatalf("Generations() = %d, want 6", st.Generations())
+	}
+	want := storeHits(t, st, wl.queries, SearchOptions{})
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if g := st.Generations(); g > 2 {
+		t.Fatalf("compaction left %d generations", g)
+	}
+	if !storeResultsEqual(storeHits(t, st, wl.queries, SearchOptions{}), want) {
+		t.Fatal("tail-folding compaction changed answers")
+	}
+}
+
+// FuzzLoadStoreDir hammers the directory manifest loader: arbitrary
+// MANIFEST bytes over a directory of REAL generation files must be
+// rejected cleanly or produce a searchable store — and must never make
+// the sweeper delete files a hostile manifest merely fails to mention
+// properly. The generation files are built once; each fuzz case gets a
+// fresh directory of hard links to them.
+func FuzzLoadStoreDir(f *testing.F) {
+	st, err := NewStore([]SeqRecord{
+		{Name: "alpha", Seq: []byte("ACGTACGTACGTACGTACGT")},
+		{Name: "beta", Seq: []byte("TTTTACGTACGTGGGG")},
+	}, StoreOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := st.Append([]SeqRecord{{Name: "gamma", Seq: []byte("ACACACACACACAC")}}); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := st.Delete("beta"); err != nil {
+		f.Fatal(err)
+	}
+	src := filepath.Join(f.TempDir(), "db")
+	if err := st.SaveDir(src); err != nil {
+		f.Fatal(err)
+	}
+	goodManifest, err := readFileBytes(filepath.Join(src, manifestName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(goodManifest)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	for pos := 0; pos < len(goodManifest); pos++ {
+		flipped := append([]byte(nil), goodManifest...)
+		flipped[pos] ^= 1 << (pos % 8)
+		f.Add(flipped)
+	}
+	for n := 0; n < len(goodManifest); n += 1 + len(goodManifest)/8 {
+		f.Add(append([]byte(nil), goodManifest[:n]...))
+	}
+	f.Fuzz(func(t *testing.T, manifest []byte) {
+		dir := t.TempDir()
+		linkStoreDir(t, src, dir)
+		if err := writeFileBytes(filepath.Join(dir, manifestName), manifest); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadStoreFile(dir, StoreOptions{})
+		if err != nil {
+			return
+		}
+		tab := loaded.Sequences()
+		for i := 0; i < tab.Len(); i++ {
+			_ = tab.Name(i)
+		}
+		if _, err := loaded.Search([]byte("ACGTACGT"), SearchOptions{Threshold: 8}); err != nil {
+			t.Fatalf("search on loaded store: %v", err)
+		}
+	})
+}

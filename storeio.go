@@ -8,24 +8,34 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sync"
 
 	"repro/internal/seq"
 )
 
-// Store persistence: a versioned manifest — member names and lengths,
-// shard boundaries — framing the existing per-index serialization, so
-// a saved store reloads with the exact partition it was built with and
-// every shard index round-trips through the Index.Save format
-// (including its own versioning and rank-layout tags). Each shard
-// payload is length-prefixed, which keeps the indexes' internal
-// buffered readers from consuming past their own frame.
+// Store persistence: a versioned manifest — generations, member names
+// and lengths, tombstone flags, shard boundaries — framing the
+// existing per-index serialization, so a saved store reloads with the
+// exact partition it was built with and every shard index round-trips
+// through the Index.Save format (including its own versioning and
+// rank-layout tags). Each shard payload is length-prefixed, which
+// keeps the indexes' internal buffered readers from consuming past
+// their own frame.
+//
+// Version history:
+//   1 — single implicit generation, no tombstones (still readable).
+//   2 — generational: mutation stamp, per-generation id and member
+//       flags (bit 0 = tombstoned).
+//
+// The same format also serves as the per-generation file of a
+// directory-backed store (storegen.go), where each generation is
+// written as a single-generation store file and the MANIFEST file owns
+// the tombstones.
 
 // storeMagic opens every serialised store.
 var storeMagic = [8]byte{'A', 'L', 'A', 'E', 'S', 'T', 'O', 'R'}
 
-// storeVersion is the manifest format version.
-const storeVersion uint32 = 1
+// storeVersion is the manifest format version this build writes.
+const storeVersion uint32 = 2
 
 // sane upper bounds for manifest fields: a reload of hostile or
 // corrupt bytes must fail with a message, not an allocation storm.
@@ -35,70 +45,191 @@ const (
 	maxStoreSeqLen  = 1 << 40
 )
 
-// Save serialises the store: the manifest followed by each shard's
-// index (text plus compressed suffix array). The format is versioned
-// and validated on load.
-func (st *Store) Save(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(storeMagic[:]); err != nil {
-		return err
-	}
-	u32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
-	u64 := func(v uint64) error { return binary.Write(bw, binary.LittleEndian, v) }
-	if err := u32(storeVersion); err != nil {
-		return err
-	}
-	if err := u64(uint64(st.seqs.Len())); err != nil {
-		return err
-	}
-	for i := 0; i < st.seqs.Len(); i++ {
-		name := st.seqs.Name(i)
-		if err := u64(uint64(len(name))); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(name); err != nil {
-			return err
-		}
-		if err := u64(uint64(st.seqs.SeqLen(i))); err != nil {
-			return err
-		}
-	}
-	if err := u64(uint64(len(st.shards))); err != nil {
-		return err
-	}
-	for _, sh := range st.shards {
-		if err := u64(uint64(sh.tab.Len())); err != nil {
-			return err
-		}
-	}
-	// Shard payloads, length-prefixed. Each is serialised to memory
-	// first: Index.Save/Load use their own buffered streams, and the
-	// frame keeps those buffers from reading into the next shard.
-	var buf bytes.Buffer
-	for _, sh := range st.shards {
-		buf.Reset()
-		if err := sh.ix.Save(&buf); err != nil {
-			return err
-		}
-		if err := u64(uint64(buf.Len())); err != nil {
-			return err
-		}
-		if _, err := bw.Write(buf.Bytes()); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+// byteWriter is a sticky-error little-endian writer for manifest
+// framing: callers emit fields unconditionally and check once at
+// flush.
+type byteWriter struct {
+	w   *bufio.Writer
+	err error
 }
 
-// SaveFile writes the store to path crash-safely: the bytes stream to
-// a temporary file in path's directory, are fsynced, and the temp file
-// is atomically renamed over path. Whatever happens mid-write — a
-// crash, a kill, a full disk — path holds either the previous complete
-// store or the new complete store, never a torn prefix; the failed
-// temp file is removed. A server's periodic reload (LoadStoreFile)
-// therefore never observes a partially-written store from a concurrent
-// SaveFile.
-func (st *Store) SaveFile(path string) (err error) {
+func newByteWriter(w io.Writer) *byteWriter { return &byteWriter{w: bufio.NewWriter(w)} }
+
+func (b *byteWriter) bytes(p []byte) {
+	if b.err == nil {
+		_, b.err = b.w.Write(p)
+	}
+}
+
+func (b *byteWriter) str(s string) {
+	if b.err == nil {
+		_, b.err = b.w.WriteString(s)
+	}
+}
+
+func (b *byteWriter) u8(v uint8) {
+	if b.err == nil {
+		b.err = b.w.WriteByte(v)
+	}
+}
+
+func (b *byteWriter) u32(v uint32) {
+	var p [4]byte
+	binary.LittleEndian.PutUint32(p[:], v)
+	b.bytes(p[:])
+}
+
+func (b *byteWriter) u64(v uint64) {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], v)
+	b.bytes(p[:])
+}
+
+func (b *byteWriter) flush() error {
+	if b.err != nil {
+		return b.err
+	}
+	return b.w.Flush()
+}
+
+// byteReader is byteWriter's in-memory counterpart for small fixed
+// records (the directory manifest). Short input surfaces as a sticky
+// io.ErrUnexpectedEOF.
+type byteReader struct {
+	data []byte
+	err  error
+}
+
+func newByteReader(data []byte) *byteReader { return &byteReader{data: data} }
+
+func (b *byteReader) take(n int) []byte {
+	if b.err != nil {
+		return nil
+	}
+	if len(b.data) < n {
+		b.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	p := b.data[:n]
+	b.data = b.data[n:]
+	return p
+}
+
+func (b *byteReader) bytes(p []byte) { copy(p, b.take(len(p))) }
+
+func (b *byteReader) u32() uint32 {
+	if p := b.take(4); p != nil {
+		return binary.LittleEndian.Uint32(p)
+	}
+	return 0
+}
+
+func (b *byteReader) u64() uint64 {
+	if p := b.take(8); p != nil {
+		return binary.LittleEndian.Uint64(p)
+	}
+	return 0
+}
+
+// countingSink measures a serialization without holding it: the
+// pre-pass of the streaming save.
+type countingSink struct{ n int64 }
+
+func (c *countingSink) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// countingTee writes through while counting, so the second pass can
+// verify it produced exactly the bytes the pre-pass declared.
+type countingTee struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingTee) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Save serialises the store: the manifest followed by each shard's
+// index (text plus compressed suffix array). The format is versioned
+// and validated on load. Shard payloads STREAM to w in two passes — a
+// counting pre-pass derives each length prefix, then the serialization
+// runs again writing through — so saving never materialises a shard's
+// payload in memory (the old single-pass save buffered each payload
+// whole, roughly doubling peak memory on large stores).
+func (st *Store) Save(w io.Writer) error {
+	v := st.currentView()
+	return saveGenerations(w, v.gens, v.stamp)
+}
+
+// saveGenerations writes gens in the version-2 format. Index
+// serialization is deterministic, so the counting pre-pass's size is
+// exact; the tee's post-check turns any violation of that assumption
+// into a save error instead of a corrupt file.
+func saveGenerations(w io.Writer, gens []*generation, stamp uint64) error {
+	bw := newByteWriter(w)
+	bw.bytes(storeMagic[:])
+	bw.u32(storeVersion)
+	bw.u64(stamp)
+	bw.u64(uint64(len(gens)))
+	for _, g := range gens {
+		bw.u64(g.id)
+		bw.u64(uint64(g.tab.Len()))
+		for m := 0; m < g.tab.Len(); m++ {
+			name := g.tab.Name(m)
+			bw.u64(uint64(len(name)))
+			bw.str(name)
+			bw.u64(uint64(g.tab.SeqLen(m)))
+			var flags uint8
+			if g.isDead(m) {
+				flags |= 1
+			}
+			bw.u8(flags)
+		}
+		bw.u64(uint64(len(g.shards)))
+		for _, sh := range g.shards {
+			bw.u64(uint64(sh.tab.Len()))
+		}
+	}
+	if err := bw.flush(); err != nil {
+		return err
+	}
+	for _, g := range gens {
+		for s := range g.shards {
+			ix := g.shards[s].ix
+			var cnt countingSink
+			if err := ix.Save(&cnt); err != nil {
+				return err
+			}
+			var pfx [8]byte
+			binary.LittleEndian.PutUint64(pfx[:], uint64(cnt.n))
+			if _, err := w.Write(pfx[:]); err != nil {
+				return err
+			}
+			tee := countingTee{w: w}
+			if err := ix.Save(&tee); err != nil {
+				return err
+			}
+			if tee.n != cnt.n {
+				return fmt.Errorf("alae: saving store: shard payload measured %d bytes but wrote %d", cnt.n, tee.n)
+			}
+		}
+	}
+	return nil
+}
+
+// atomicWriteFile publishes bytes at path crash-safely: write writes
+// them to a temporary file in path's directory, the temp file is
+// fsynced and atomically renamed over path, and the directory is
+// synced best-effort so the rename itself survives a crash. Whatever
+// happens mid-write — a crash, a kill, a full disk — path holds either
+// its previous complete content or the new complete content, never a
+// torn prefix; a failed temp file is removed. storeFSHook (tests only)
+// interposes after each durable step.
+func atomicWriteFile(path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -111,7 +242,13 @@ func (st *Store) SaveFile(path string) (err error) {
 			os.Remove(tmp)
 		}
 	}()
-	if err = st.Save(f); err != nil {
+	if err = fsStep("temp-created", tmp); err != nil {
+		return err
+	}
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = fsStep("temp-written", tmp); err != nil {
 		return err
 	}
 	// The data must be durable BEFORE the rename makes it visible:
@@ -123,22 +260,44 @@ func (st *Store) SaveFile(path string) (err error) {
 	if err = f.Close(); err != nil {
 		return fmt.Errorf("alae: closing store: %w", err)
 	}
+	if err = fsStep("temp-synced", tmp); err != nil {
+		return err
+	}
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("alae: publishing store: %w", err)
 	}
-	// Best-effort directory sync so the rename itself survives a crash;
-	// some filesystems reject directory fsync, which is not worth
-	// failing a completed save over.
+	// Best-effort directory sync; some filesystems reject directory
+	// fsync, which is not worth failing a completed publish over.
 	if d, derr := os.Open(dir); derr == nil {
 		d.Sync()
 		d.Close()
 	}
-	return nil
+	return fsStep("renamed", path)
+}
+
+// SaveFile writes the store to path as one crash-safe snapshot file
+// (temp + fsync + atomic rename): whatever happens mid-write, path
+// holds either the previous complete store or the new complete store.
+// A server's periodic reload (LoadStoreFile) therefore never observes
+// a partially-written store from a concurrent SaveFile. For a MUTABLE
+// serving store, SaveDir's generation-directory layout persists each
+// Append/Delete/Compact incrementally instead of rewriting the world.
+func (st *Store) SaveFile(path string) error {
+	return atomicWriteFile(path, func(w io.Writer) error { return st.Save(w) })
 }
 
 // LoadStoreFile reads a store written by SaveFile (or any file holding
-// Save's format). Pairs with SaveFile for crash-safe reload loops.
+// Save's format). A directory path loads the generation-directory
+// layout written by SaveDir, sweeping any debris an interrupted
+// mutation left behind.
 func LoadStoreFile(path string, opts StoreOptions) (*Store, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("alae: loading store: %w", err)
+	}
+	if fi.IsDir() {
+		return loadStoreDir(path, opts)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("alae: loading store: %w", err)
@@ -147,25 +306,47 @@ func LoadStoreFile(path string, opts StoreOptions) (*Store, error) {
 	return LoadStore(f, opts)
 }
 
-// LoadStore reads a store written by Save. The shard partition comes
-// from the manifest; opts.Shards is ignored, while opts.QueryCacheSize
-// configures the (runtime-only, never persisted) query cache of the
-// loaded store.
+// LoadStore reads a store written by Save (either format version). The
+// generation and shard partition comes from the manifest; opts.Shards
+// sets only the target shard count of FUTURE compactions (0 keeps the
+// widest loaded generation's), while opts.QueryCacheSize configures
+// the (runtime-only, never persisted) query cache of the loaded store.
 func LoadStore(r io.Reader, opts StoreOptions) (*Store, error) {
+	gens, stamp, err := loadGenerations(r)
+	if err != nil {
+		return nil, err
+	}
+	return newStoreFromGens(gens, stamp, opts)
+}
+
+// genManifest is one generation's parsed manifest block, pre-payload.
+type genManifest struct {
+	id           uint64
+	names        []string
+	lengths      []int
+	dead         []bool // nil when no tombstones
+	ndead        int
+	shardMembers []int
+}
+
+// loadGenerations parses Save's format: magic, version, the manifest
+// of every generation, then every generation's shard payloads in
+// order.
+func loadGenerations(r io.Reader) ([]*generation, uint64, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("alae: reading store: %w", err)
+		return nil, 0, fmt.Errorf("alae: reading store: %w", err)
 	}
 	if magic != storeMagic {
-		return nil, fmt.Errorf("alae: not a store file (bad magic %q)", magic[:])
+		return nil, 0, fmt.Errorf("alae: not a store file (bad magic %q)", magic[:])
 	}
 	var version uint32
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("alae: reading store version: %w", err)
+		return nil, 0, fmt.Errorf("alae: reading store version: %w", err)
 	}
-	if version != storeVersion {
-		return nil, fmt.Errorf("alae: unsupported store version %d (this build reads version %d)", version, storeVersion)
+	if version != 1 && version != storeVersion {
+		return nil, 0, fmt.Errorf("alae: unsupported store version %d (this build reads versions 1 and %d)", version, storeVersion)
 	}
 	u64 := func(what string, limit uint64) (uint64, error) {
 		var v uint64
@@ -177,87 +358,154 @@ func LoadStore(r io.Reader, opts StoreOptions) (*Store, error) {
 		}
 		return v, nil
 	}
-	members, err := u64("member count", maxStoreMembers)
-	if err != nil {
-		return nil, err
+	stamp, genCount := uint64(1), uint64(1)
+	if version >= 2 {
+		var err error
+		if stamp, err = u64("stamp", 1<<62); err != nil {
+			return nil, 0, err
+		}
+		if genCount, err = u64("generation count", maxStoreMembers); err != nil {
+			return nil, 0, err
+		}
+		if genCount == 0 {
+			return nil, 0, fmt.Errorf("alae: store holds no generations")
+		}
 	}
-	// Grow the directory incrementally rather than pre-allocating from
-	// the untrusted count: every member read consumes manifest bytes,
-	// so a truncated or hostile header fails on a short read instead
-	// of committing gigabytes up front.
-	names := make([]string, 0, min(int(members), 4096))
-	lengths := make([]int, 0, min(int(members), 4096))
 	total := uint64(0) // declared concatenation length, overflow-guarded
-	for i := 0; i < int(members); i++ {
-		nameLen, err := u64("name length", maxStoreNameLen)
+	manifests := make([]*genManifest, 0, min(int(genCount), 1024))
+	seen := make(map[uint64]bool)
+	for gi := uint64(0); gi < genCount; gi++ {
+		gm := &genManifest{id: gi + 1}
+		if version >= 2 {
+			id, err := u64("generation id", 1<<62)
+			if err != nil {
+				return nil, 0, err
+			}
+			if seen[id] {
+				return nil, 0, fmt.Errorf("alae: store holds generation %d twice", id)
+			}
+			seen[id] = true
+			gm.id = id
+		}
+		members, err := u64("member count", maxStoreMembers)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, fmt.Errorf("alae: reading store member name: %w", err)
+		if members == 0 {
+			return nil, 0, fmt.Errorf("alae: store generation %d has no members", gm.id)
 		}
-		names = append(names, string(name))
-		seqLen, err := u64("member length", maxStoreSeqLen)
+		// Grow the directory incrementally rather than pre-allocating
+		// from the untrusted count: every member read consumes manifest
+		// bytes, so a truncated or hostile header fails on a short read
+		// instead of committing gigabytes up front.
+		gm.names = make([]string, 0, min(int(members), 4096))
+		gm.lengths = make([]int, 0, min(int(members), 4096))
+		for i := 0; i < int(members); i++ {
+			nameLen, err := u64("name length", maxStoreNameLen)
+			if err != nil {
+				return nil, 0, err
+			}
+			name := make([]byte, nameLen)
+			if _, err := io.ReadFull(br, name); err != nil {
+				return nil, 0, fmt.Errorf("alae: reading store member name: %w", err)
+			}
+			gm.names = append(gm.names, string(name))
+			seqLen, err := u64("member length", maxStoreSeqLen)
+			if err != nil {
+				return nil, 0, err
+			}
+			gm.lengths = append(gm.lengths, int(seqLen))
+			if total += seqLen + 1; total > maxStoreSeqLen {
+				// Individually-plausible member lengths must also sum to a
+				// plausible database: this is what keeps every later
+				// length computation (seq.NewTable's offsets, the payload
+				// bound below) inside int range on hostile manifests.
+				return nil, 0, fmt.Errorf("alae: implausible store total length (> %d)", int64(maxStoreSeqLen))
+			}
+			if version >= 2 {
+				flags, err := br.ReadByte()
+				if err != nil {
+					return nil, 0, fmt.Errorf("alae: reading store member flags: %w", err)
+				}
+				if flags&^1 != 0 {
+					return nil, 0, fmt.Errorf("alae: unknown store member flags %#x", flags)
+				}
+				if flags&1 != 0 {
+					if gm.dead == nil {
+						gm.dead = make([]bool, int(members))
+					}
+					gm.dead[i] = true
+					gm.ndead++
+				}
+			}
+		}
+		shardCount, err := u64("shard count", maxStoreMembers)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		lengths = append(lengths, int(seqLen))
-		if total += seqLen + 1; total > maxStoreSeqLen {
-			// Individually-plausible member lengths must also sum to a
-			// plausible database: this is what keeps every later length
-			// computation (seq.NewTable's offsets, the payload bound
-			// below) inside int range on hostile manifests.
-			return nil, fmt.Errorf("alae: implausible store total length (> %d)", int64(maxStoreSeqLen))
+		if shardCount == 0 || shardCount > members {
+			return nil, 0, fmt.Errorf("alae: store generation %d has %d shards for %d members", gm.id, shardCount, members)
 		}
+		gm.shardMembers = make([]int, shardCount)
+		sum := 0
+		for s := range gm.shardMembers {
+			n, err := u64("shard member count", members)
+			if err != nil {
+				return nil, 0, err
+			}
+			if n == 0 {
+				return nil, 0, fmt.Errorf("alae: store shard %d is empty", s)
+			}
+			gm.shardMembers[s] = int(n)
+			sum += int(n)
+		}
+		if sum != int(members) {
+			return nil, 0, fmt.Errorf("alae: store shard boundaries cover %d members, manifest has %d", sum, members)
+		}
+		manifests = append(manifests, gm)
 	}
-	shardCount, err := u64("shard count", maxStoreMembers)
-	if err != nil {
-		return nil, err
-	}
-	if shardCount == 0 || shardCount > members {
-		return nil, fmt.Errorf("alae: store has %d shards for %d members", shardCount, members)
-	}
-	shardMembers := make([]int, shardCount)
-	sum := 0
-	for s := range shardMembers {
-		n, err := u64("shard member count", members)
+	gens := make([]*generation, len(manifests))
+	for gi, gm := range manifests {
+		g, err := loadGenPayloads(br, gm)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		if n == 0 {
-			return nil, fmt.Errorf("alae: store shard %d is empty", s)
-		}
-		shardMembers[s] = int(n)
-		sum += int(n)
+		gens[gi] = g
 	}
-	if sum != int(members) {
-		return nil, fmt.Errorf("alae: store shard boundaries cover %d members, manifest has %d", sum, members)
-	}
+	return gens, stamp, nil
+}
 
-	st := &Store{
-		seqs:   seq.NewTable(names, lengths),
-		shards: make([]storeShard, shardCount),
-		pools:  make(map[string]*sync.Pool),
+// loadGenPayloads reads and validates one generation's shard payloads
+// and assembles the generation.
+func loadGenPayloads(br *bufio.Reader, gm *genManifest) (*generation, error) {
+	g := &generation{
+		id:    gm.id,
+		tab:   seq.NewTable(gm.names, gm.lengths),
+		masks: make([]byteMask, len(gm.names)),
+		dead:  gm.dead,
+		ndead: gm.ndead,
 	}
-	var present [256]bool
+	g.shards = make([]storeShard, len(gm.shardMembers))
 	base := 0
-	for s := range st.shards {
-		lo, hi := base, base+shardMembers[s]
-		tab := seq.NewTable(names[lo:hi], lengths[lo:hi])
+	for s := range g.shards {
+		lo, hi := base, base+gm.shardMembers[s]
+		tab := seq.NewTable(gm.names[lo:hi], gm.lengths[lo:hi])
 		// The manifest already says how long this shard's text is, so
 		// the payload frame gets a tight plausibility bound (the index
 		// serialization is a small multiple of its text) instead of a
 		// blanket huge one.
 		maxPayload := 64*uint64(tab.TotalLen()) + (1 << 20)
-		payloadLen, err := u64("shard payload length", maxPayload)
-		if err != nil {
-			return nil, err
+		var payloadLen uint64
+		if err := binary.Read(br, binary.LittleEndian, &payloadLen); err != nil {
+			return nil, fmt.Errorf("alae: reading store shard payload length: %w", err)
+		}
+		if payloadLen > maxPayload {
+			return nil, fmt.Errorf("alae: implausible store shard payload length %d", payloadLen)
 		}
 		// Grow the payload buffer as bytes actually arrive (CopyN reads
 		// in chunks) rather than trusting the declared length with one
-		// up-front allocation: a crafted header pointing at a short
-		// file fails with an EOF after consuming what exists.
+		// up-front allocation: a crafted header pointing at a short file
+		// fails with an EOF after consuming what exists.
 		var payload bytes.Buffer
 		if _, err := io.CopyN(&payload, br, int64(payloadLen)); err != nil {
 			return nil, fmt.Errorf("alae: reading store shard %d: %w", s, err)
@@ -270,19 +518,19 @@ func LoadStore(r io.Reader, opts StoreOptions) (*Store, error) {
 			return nil, fmt.Errorf("alae: store shard %d text length %d does not match manifest length %d",
 				s, ix.Len(), tab.TotalLen())
 		}
-		// Spot-check the separator layout the manifest promises.
-		for m := 1; m < tab.Len(); m++ {
-			if ix.Text()[tab.Start(m)-1] != seq.Separator {
+		// Spot-check the separator layout the manifest promises, and
+		// recover each member's byte mask from its text slice (σ after a
+		// future delete needs per-member masks, not one global set).
+		text := ix.Text()
+		for m := 0; m < tab.Len(); m++ {
+			if m > 0 && text[tab.Start(m)-1] != seq.Separator {
 				return nil, fmt.Errorf("alae: store shard %d member %d is not separator-framed", s, m)
 			}
+			start := tab.Start(m)
+			g.masks[lo+m] = maskOf(text[start : start+tab.SeqLen(m)])
 		}
-		for _, b := range ix.Text() {
-			present[b] = true
-		}
-		st.shards[s] = storeShard{ix: ix, tab: tab, base: lo}
+		g.shards[s] = storeShard{ix: ix, tab: tab, base: lo}
 		base = hi
 	}
-	st.sigma = storeSigma(present, int(members))
-	st.cache = newQueryCache(opts.QueryCacheSize)
-	return st, nil
+	return g, nil
 }

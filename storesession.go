@@ -26,10 +26,23 @@ func validateStoreQuery(query []byte) error {
 	return nil
 }
 
+// storeLane is one scatter lane of a StoreSession: a Session over one
+// shard of one generation.
+type storeLane struct {
+	gen   int // index into the bound view's generation list
+	shard int // index into that generation's shards
+	ix    *Index
+	sess  *Session
+}
+
 // StoreSession is a reusable scatter-gather serving lane over a Store:
 // one search configuration answering query after query, holding one
-// Session per shard (each of which owns pooled per-query state from
-// the shard engine's session pool — see Session). Like Session, a
+// Session per shard across every generation (each of which owns pooled
+// per-query state from the shard engine's session pool — see Session).
+// The session binds to the store view current at each search and
+// re-syncs itself after a mutation, reusing the lanes of every shard
+// that survived (mutations never modify an existing generation's
+// indexes, so surviving lanes stay valid). Like Session, a
 // StoreSession is NOT safe for concurrent use; concurrency comes from
 // many sessions over the shared store, which Store.Search manages
 // automatically through per-configuration pools.
@@ -37,9 +50,10 @@ type StoreSession struct {
 	st     *Store
 	opts   SearchOptions
 	s      Scheme
-	lanes  []*Session // one per shard, opened eagerly
-	ress   []*Result  // per-shard scatter results, reused
-	errs   []error    // per-shard scatter errors, reused
+	view   *storeView  // the bound view; searches run against it
+	lanes  []storeLane // one per (generation, shard) of the bound view
+	ress   []*Result   // per-lane scatter results, reused
+	errs   []error     // per-lane scatter errors, reused
 	closed bool
 }
 
@@ -57,33 +71,73 @@ func (st *Store) OpenSession(opts SearchOptions) (*StoreSession, error) {
 	if err := validateSearchOptions(opts, s); err != nil {
 		return nil, err
 	}
-	ss := &StoreSession{
-		st: st, opts: opts, s: s,
-		lanes: make([]*Session, 0, len(st.shards)),
-		ress:  make([]*Result, len(st.shards)),
-		errs:  make([]error, len(st.shards)),
-	}
-	for _, sh := range st.shards {
-		lane, err := sh.ix.OpenSession(opts)
-		if err != nil {
-			ss.Close()
-			return nil, err
-		}
-		ss.lanes = append(ss.lanes, lane)
+	ss := &StoreSession{st: st, opts: opts, s: s}
+	if err := ss.syncView(); err != nil {
+		return nil, err
 	}
 	return ss, nil
 }
 
-// Search scatter-gathers one query across the shards. The threshold is
-// resolved once against the WHOLE store (length and alphabet of the
-// virtual concatenation), every shard searches at that same H in
-// parallel, and the gather maps each shard's hits into global
-// coordinates — dropping hits that end on separator rows — in shard
-// order, which is global (TEnd, QEnd) order. Results are identical to
-// a monolithic index over the same concatenation, hit for hit, except
-// for alignments that would cross a shard boundary's separator (the
-// separator scores as a mismatch in the monolithic text; it does not
-// exist between shards).
+// syncView binds the session to the store's current view, opening and
+// closing lanes as the generation list demands. Lanes whose shard
+// index survived the mutation (the common case: appends add
+// generations, deletes only flip tombstones) are kept warm — matched
+// by Index identity — so pooled sessions pay only for genuinely new or
+// compacted-away shards. On error the session is left empty but
+// reusable (the next sync retries from scratch).
+func (ss *StoreSession) syncView() error {
+	v := ss.st.currentView()
+	if v == ss.view {
+		return nil
+	}
+	old := make(map[*Index]*Session, len(ss.lanes))
+	for _, ln := range ss.lanes {
+		old[ln.ix] = ln.sess
+	}
+	lanes := make([]storeLane, 0, v.lanes)
+	var err error
+	for gi, g := range v.gens {
+		for si := range g.shards {
+			ix := g.shards[si].ix
+			sess := old[ix]
+			if sess != nil {
+				delete(old, ix)
+			} else if sess, err = ix.OpenSession(ss.opts); err != nil {
+				break
+			}
+			lanes = append(lanes, storeLane{gen: gi, shard: si, ix: ix, sess: sess})
+		}
+		if err != nil {
+			break
+		}
+	}
+	for _, sess := range old {
+		sess.Close() // shards compacted away (or error path below)
+	}
+	if err != nil {
+		for _, ln := range lanes {
+			ln.sess.Close()
+		}
+		ss.lanes, ss.view, ss.ress, ss.errs = nil, nil, nil, nil
+		return err
+	}
+	ss.lanes, ss.view = lanes, v
+	ss.ress = make([]*Result, len(lanes))
+	ss.errs = make([]error, len(lanes))
+	return nil
+}
+
+// Search scatter-gathers one query across the shards of every
+// generation. The threshold is resolved once against the WHOLE live
+// store (length and alphabet of the live virtual concatenation), every
+// shard searches at that same H in parallel, and the gather maps each
+// shard's hits into global coordinates — dropping hits that end on
+// separator rows or inside tombstoned members — in generation-then-
+// shard order, which is live-member (TEnd, QEnd) order. Results are
+// identical to a monolithic index over the live concatenation, hit for
+// hit, except for alignments that would cross a shard or generation
+// boundary's separator (the separator scores as a mismatch in the
+// monolithic text; it does not exist between shards).
 //
 // StoreSession.Search does not consult the store's query cache — that
 // is Store.Search's job — so it is also the cache-bypass path.
@@ -96,30 +150,46 @@ func (ss *StoreSession) Search(query []byte) (*StoreResult, error) {
 // aborts ALL shards within their entry budgets and the context's own
 // error is returned (never a per-shard wrapping — a cancelled scatter
 // is the caller's doing, not any shard's). The session remains fully
-// reusable after a cancelled search.
+// reusable after a cancelled search, and re-syncs to the store's
+// current view first, so a session opened before a mutation searches
+// the post-mutation store.
 func (ss *StoreSession) SearchContext(cx context.Context, query []byte) (*StoreResult, error) {
+	if ss.closed {
+		return nil, fmt.Errorf("alae: Search on a closed StoreSession")
+	}
+	if err := ss.syncView(); err != nil {
+		return nil, err
+	}
+	return ss.searchCurrent(cx, query)
+}
+
+// searchCurrent runs the scatter-gather against the already-bound
+// view. Store.cachedSearch calls it directly after its own sync so the
+// cache key's stamp and the computation describe the same view.
+func (ss *StoreSession) searchCurrent(cx context.Context, query []byte) (*StoreResult, error) {
 	if ss.closed {
 		return nil, fmt.Errorf("alae: Search on a closed StoreSession")
 	}
 	if err := validateStoreQuery(query); err != nil {
 		return nil, err
 	}
-	h, err := ss.st.resolveThreshold(len(query), ss.opts, ss.s)
+	v := ss.view
+	h, err := v.resolveThreshold(len(query), ss.opts, ss.s)
 	if err != nil {
 		return nil, err
 	}
-	// Scatter: every shard at the same pinned threshold, in parallel
-	// when there is more than one shard.
+	// Scatter: every lane at the same pinned threshold, in parallel
+	// when there is more than one lane.
 	if len(ss.lanes) == 1 {
-		ss.ress[0], ss.errs[0] = ss.lanes[0].searchThreshold(cx, query, h)
+		ss.ress[0], ss.errs[0] = ss.lanes[0].sess.searchThreshold(cx, query, h)
 	} else {
 		var wg sync.WaitGroup
-		for k, lane := range ss.lanes {
+		for k := range ss.lanes {
 			wg.Add(1)
-			go func(k int, lane *Session) {
+			go func(k int) {
 				defer wg.Done()
-				ss.ress[k], ss.errs[k] = lane.searchThreshold(cx, query, h)
-			}(k, lane)
+				ss.ress[k], ss.errs[k] = ss.lanes[k].sess.searchThreshold(cx, query, h)
+			}(k)
 		}
 		wg.Wait()
 	}
@@ -132,17 +202,20 @@ func (ss *StoreSession) SearchContext(cx context.Context, query []byte) (*StoreR
 	}
 	for k, err := range ss.errs {
 		if err != nil {
-			// Drop every shard's result before the session goes back to
-			// a pool: the gather below nils them as it goes, and the
-			// error path must not pin the successful shards' hit tables
-			// either.
+			// Drop every lane's result before the session goes back to a
+			// pool: the gather below nils them as it goes, and the error
+			// path must not pin the successful lanes' hit tables either.
 			clear(ss.ress)
 			return nil, fmt.Errorf("alae: shard %d: %w", k, err)
 		}
 	}
-	// Gather: map in shard order. Shards are contiguous in global
-	// coordinates and each shard's hits arrive (TEnd, QEnd)-sorted, so
-	// appending preserves the global order a monolithic search returns.
+	// Gather: map in lane order. Generations hold contiguous runs of
+	// the live order, shards are contiguous within a generation, and
+	// each lane's hits arrive (TEnd, QEnd)-sorted, so appending
+	// preserves the global order a monolithic search over the live
+	// concatenation returns. Tombstoned members are dropped HERE: their
+	// bytes are still indexed until a compaction purges them, but no
+	// hit inside one survives the gather.
 	out := &StoreResult{Threshold: h, Algorithm: ss.opts.Algorithm}
 	nhits := 0
 	for _, res := range ss.ress {
@@ -150,27 +223,32 @@ func (ss *StoreSession) SearchContext(cx context.Context, query []byte) (*StoreR
 	}
 	out.Hits = make([]SeqHit, 0, nhits)
 	for k := range ss.ress {
-		sh := &ss.st.shards[k]
+		ln := &ss.lanes[k]
+		g := v.gens[ln.gen]
+		sh := &g.shards[ln.shard]
 		res := ss.ress[k]
 		for _, hh := range res.Hits {
 			lm, local, ok := sh.tab.Locate(hh.TEnd, hh.TEnd+1)
 			if !ok {
 				continue // ends on a separator row: rejected here, at the gather
 			}
-			g := sh.base + lm
+			gm := v.live[ln.gen][sh.base+lm]
+			if gm < 0 {
+				continue // tombstoned member: deleted, awaiting compaction
+			}
 			out.Hits = append(out.Hits, SeqHit{
 				Hit: Hit{
-					TEnd:  ss.st.seqs.Start(g) + local,
+					TEnd:  v.seqs.Start(gm) + local,
 					QEnd:  hh.QEnd,
 					Score: hh.Score,
 				},
-				Member:    g,
-				Name:      ss.st.seqs.Name(g),
+				Member:    gm,
+				Name:      v.seqs.Name(gm),
 				LocalTEnd: local,
 			})
 		}
 		out.Stats.add(res.Stats)
-		ss.ress[k] = nil // do not pin shard results past the gather
+		ss.ress[k] = nil // do not pin lane results past the gather
 	}
 	return out, nil
 }
@@ -178,9 +256,10 @@ func (ss *StoreSession) SearchContext(cx context.Context, query []byte) (*StoreR
 // Close closes every shard lane, handing their pooled state back to
 // the shard engines. Idempotent; the session must not be used after.
 func (ss *StoreSession) Close() {
-	for _, lane := range ss.lanes {
-		lane.Close()
+	for _, ln := range ss.lanes {
+		ln.sess.Close()
 	}
+	ss.lanes = nil
 	ss.closed = true
 }
 
@@ -219,9 +298,11 @@ func (st *Store) SearchAllContext(cx context.Context, queries [][]byte, opts Sea
 		s = DefaultDNAScheme
 	}
 	if opts.Algorithm == ALAE || opts.Algorithm == ALAEHybrid {
-		for _, sh := range st.shards {
-			if _, err := sh.ix.DominationIndexSize(s); err != nil {
-				return nil, err
+		for _, g := range st.currentView().gens {
+			for i := range g.shards {
+				if _, err := g.shards[i].ix.DominationIndexSize(s); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
