@@ -133,6 +133,14 @@ type Stats struct {
 	QueryCacheHits    int64 // Store only: whole results served from the query cache
 	QueryCacheMisses  int64 // Store only: results computed and published to the cache
 	Seeds             int64 // BLAST only: word hits examined
+
+	// EmittedHits counts the occurrence-resolved (tEnd, qEnd) cells the
+	// ALAE engines forwarded to the result collector;
+	// SuppressedEmissions counts the duplicates the diagonal dominance
+	// filter dropped before the collector (provable no-ops, so hit sets
+	// are unaffected). Both are invariant under Parallelism.
+	EmittedHits         int64
+	SuppressedEmissions int64
 }
 
 // add accumulates another search's counters into st — the gather step
@@ -150,6 +158,8 @@ func (st *Stats) add(o Stats) {
 	st.QueryCacheHits += o.QueryCacheHits
 	st.QueryCacheMisses += o.QueryCacheMisses
 	st.Seeds += o.Seeds
+	st.EmittedHits += o.EmittedHits
+	st.SuppressedEmissions += o.SuppressedEmissions
 }
 
 // Result is one search's outcome.

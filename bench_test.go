@@ -50,6 +50,8 @@ func getWorkload(b *testing.B, k wlKey) cachedWorkload {
 		wl = exp.DNAWorkload(k.n, k.m, k.queries, k.seed)
 	case "protein":
 		wl = exp.ProteinWorkload(k.n, k.m, k.queries, k.seed)
+	case "protein-emit":
+		wl = exp.ProteinEmissionWorkload(k.n, k.m, k.queries, k.seed)
 	default:
 		b.Fatalf("unknown workload kind %q", k.kind)
 	}
@@ -425,6 +427,22 @@ func BenchmarkParallelSearch(b *testing.B) {
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
 			benchSearch(b, cw, alae.SearchOptions{Algorithm: alae.ALAE, Parallelism: tc.p})
+		})
+	}
+}
+
+// --- Emission path: homologous protein, the emission-heavy point ---
+
+// BenchmarkProteinEmission times the workload the emit-path overhaul
+// targets: homologous protein queries whose wide surviving bands make
+// collector traffic (not rank) the wall. Sizing follows the ROADMAP
+// finding (homologous queries ≤ ~1200 on ≤ 60 kb texts).
+func BenchmarkProteinEmission(b *testing.B) {
+	k := wlKey{kind: "protein-emit", n: 30_000, m: 300, queries: 2, seed: 53}
+	cw := getWorkload(b, k)
+	for _, alg := range []alae.Algorithm{alae.ALAE, alae.ALAEHybrid} {
+		b.Run(alg.String(), func(b *testing.B) {
+			benchSearch(b, cw, alae.SearchOptions{Algorithm: alg, Parallelism: 1})
 		})
 	}
 }

@@ -25,6 +25,10 @@
 // panic isolation and never take the daemon down; a failed reload
 // keeps the previous store serving.
 //
+// -pprof serves net/http/pprof on a separate loopback-only listener
+// (off by default), so live daemons can be profiled without exposing
+// the profiler on the serving address.
+//
 // On SIGTERM or SIGINT the daemon drains: /healthz flips to 503, new
 // searches are refused, in-flight searches finish (bounded by
 // -drain-timeout), and the process exits 0.
@@ -35,7 +39,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -79,6 +85,8 @@ func run() error {
 		sweepHits    = flag.Int64("sweep-hits", 1_000_000, "max total hits the query cache may pin between sweeps")
 		probeEvery   = flag.Duration("probe", time.Minute, "self-probe period: search a member prefix, fail loudly if it misses (0 = off)")
 		probeLen     = flag.Int("probe-len", 64, "self-probe query length")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	flag.Parse()
 	if *storePath == "" {
@@ -137,6 +145,29 @@ func run() error {
 	}
 	srv.StartJobs()
 
+	if *pprofAddr != "" {
+		// Profiling stays off the serving mux: a separate listener, and
+		// loopback-only so -pprof can never expose the profiler to the
+		// daemon's clients by accident.
+		ln, err := listenLoopback(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof %s: %w", *pprofAddr, err)
+		}
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "alae-serve: pprof listener:", err)
+			}
+		}()
+		defer ln.Close()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", ln.Addr())
+	}
+
 	hs := srv.HTTPServer(*addr)
 	errCh := make(chan error, 1)
 	go func() {
@@ -171,6 +202,25 @@ func run() error {
 	}
 	fmt.Println("drained, exiting")
 	return nil
+}
+
+// listenLoopback binds addr, refusing any host that does not resolve
+// to a loopback interface. The profiler exposes heap contents and must
+// never ride on a routable address.
+func listenLoopback(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, err
+	}
+	if host == "" || host == "localhost" {
+		// net.Listen would bind every interface for an empty host.
+	} else if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
+		return nil, fmt.Errorf("not a loopback address (use 127.0.0.1:port or localhost:port)")
+	}
+	if host == "" {
+		addr = net.JoinHostPort("127.0.0.1", addr[strings.LastIndex(addr, ":")+1:])
+	}
+	return net.Listen("tcp", addr)
 }
 
 func parseScheme(s string) (alae.Scheme, error) {

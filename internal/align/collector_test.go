@@ -1,0 +1,184 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refAdd mirrors collector semantics on a plain map.
+func refAdd(ref map[[2]int]int, tEnd, qEnd, score int) {
+	k := [2]int{tEnd, qEnd}
+	if old, ok := ref[k]; !ok || score > old {
+		ref[k] = score
+	}
+}
+
+func checkAgainstRef(t *testing.T, c *Collector, ref map[[2]int]int) {
+	t.Helper()
+	if c.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(ref))
+	}
+	for _, h := range c.Hits() {
+		want, ok := ref[[2]int{h.TEnd, h.QEnd}]
+		if !ok {
+			t.Fatalf("unexpected hit %+v", h)
+		}
+		if h.Score != want {
+			t.Fatalf("hit (%d,%d) score %d, want %d", h.TEnd, h.QEnd, h.Score, want)
+		}
+	}
+}
+
+// TestCollectorAddRandomized drives single-cell Add across block
+// boundaries, duplicate pairs, and table growth, against a map oracle.
+func TestCollectorAddRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewCollector()
+	ref := map[[2]int]int{}
+	for i := 0; i < 20_000; i++ {
+		tEnd, qEnd := rng.Intn(500), rng.Intn(300)
+		score := rng.Intn(1000) - 100
+		c.Add(tEnd, qEnd, score)
+		refAdd(ref, tEnd, qEnd, score)
+	}
+	checkAgainstRef(t, c, ref)
+}
+
+// TestCollectorAddRun checks the batched run path against per-cell
+// Add semantics: arbitrary run starts (any lane offset), runs spanning
+// multiple blocks, overlapping/duplicate runs, and negative scores.
+func TestCollectorAddRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := NewCollector()
+	ref := map[[2]int]int{}
+	for i := 0; i < 5_000; i++ {
+		tEnd := rng.Intn(200)
+		qEnd0 := rng.Intn(100)
+		n := 1 + rng.Intn(30)
+		scores := make([]int32, n)
+		for k := range scores {
+			scores[k] = int32(rng.Intn(1000) - 100)
+			refAdd(ref, tEnd, qEnd0+k, int(scores[k]))
+		}
+		c.AddRun(tEnd, qEnd0, scores)
+	}
+	// Interleave single adds over the same coordinate space.
+	for i := 0; i < 5_000; i++ {
+		tEnd, qEnd := rng.Intn(200), rng.Intn(130)
+		score := rng.Intn(1000) - 100
+		c.Add(tEnd, qEnd, score)
+		refAdd(ref, tEnd, qEnd, score)
+	}
+	checkAgainstRef(t, c, ref)
+}
+
+// TestCollectorAddRunEmpty: a zero-length run is a no-op.
+func TestCollectorAddRunEmpty(t *testing.T) {
+	c := NewCollector()
+	c.AddRun(5, 7, nil)
+	if c.Len() != 0 {
+		t.Fatalf("empty run recorded %d hits", c.Len())
+	}
+}
+
+// TestCollectorMergeBlocks merges collectors whose blocks partially
+// overlap lane-wise and checks the per-pair max survives.
+func TestCollectorMergeBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ref := map[[2]int]int{}
+	dst := NewCollector()
+	for s := 0; s < 4; s++ {
+		src := NewCollector()
+		for i := 0; i < 3_000; i++ {
+			tEnd, qEnd := rng.Intn(150), rng.Intn(90)
+			score := rng.Intn(500)
+			src.Add(tEnd, qEnd, score)
+			refAdd(ref, tEnd, qEnd, score)
+		}
+		dst.Merge(src)
+	}
+	checkAgainstRef(t, dst, ref)
+}
+
+// TestCollectorResetKeepsCapacityBlocks: after Reset, re-adding the
+// same runs must not grow the warm table and must reproduce the hits.
+func TestCollectorResetKeepsCapacityBlocks(t *testing.T) {
+	c := NewCollector()
+	scores := make([]int32, 23)
+	for k := range scores {
+		scores[k] = int32(k)
+	}
+	fill := func() {
+		for tEnd := 0; tEnd < 100; tEnd++ {
+			c.AddRun(tEnd, tEnd%5, scores)
+		}
+	}
+	fill()
+	want := c.Hits()
+	capBefore := len(c.keys)
+	c.Reset()
+	if c.Len() != 0 || len(c.Hits()) != 0 {
+		t.Fatalf("reset collector still reports %d hits", c.Len())
+	}
+	fill()
+	if len(c.keys) != capBefore {
+		t.Fatalf("warm re-fill grew the table: %d -> %d", capBefore, len(c.keys))
+	}
+	if !EqualHits(c.Hits(), want) {
+		t.Fatal("hits diverged across Reset + re-fill")
+	}
+}
+
+// TestRunStage exercises run extension, run breaks, capacity refusal,
+// and reset.
+func TestRunStage(t *testing.T) {
+	var s RunStage
+	if !s.Empty() {
+		t.Fatal("fresh stage not empty")
+	}
+	// One contiguous run.
+	for j := int32(10); j < 20; j++ {
+		if !s.Stage(3, j, j*2) {
+			t.Fatalf("stage refused cell j=%d", j)
+		}
+	}
+	// Row change breaks the run; j gap breaks the run.
+	s.Stage(4, 10, 1)
+	s.Stage(4, 12, 2)
+	runs := s.Runs()
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	if runs[0].Row != 3 || runs[0].J0 != 10 || runs[0].N != 10 {
+		t.Fatalf("run 0 = %+v", runs[0])
+	}
+	cells := s.Cells()
+	for i := int32(0); i < runs[0].N; i++ {
+		if cells[runs[0].Off+i] != (10+i)*2 {
+			t.Fatalf("cell %d = %d", i, cells[runs[0].Off+i])
+		}
+	}
+	s.Reset()
+	if !s.Empty() || len(s.Runs()) != 0 {
+		t.Fatal("reset stage not empty")
+	}
+	// Fill to cell capacity: the stage must refuse, not overflow.
+	for i := 0; ; i++ {
+		if !s.Stage(1, int32(i), 0) {
+			break
+		}
+		if i > stageMaxCells {
+			t.Fatal("stage never refused past capacity")
+		}
+	}
+	s.Reset()
+	// Fill to header capacity with 1-cell runs (gapped j).
+	for i := 0; ; i++ {
+		if !s.Stage(1, int32(2*i), 0) {
+			if i < stageMaxRuns {
+				t.Fatalf("stage refused after only %d runs", i)
+			}
+			break
+		}
+	}
+}

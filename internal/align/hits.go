@@ -1,6 +1,9 @@
 package align
 
-import "slices"
+import (
+	"math/bits"
+	"slices"
+)
 
 // Hit is one local-alignment result: the paper's A(i, j) restricted to
 // scores at or above the threshold. TEnd and QEnd are 0-based
@@ -16,17 +19,31 @@ type Hit struct {
 // maximum score, which is exactly the max-merge over matrices that
 // Algorithm 1 (BASIC) performs in lines 6-10.
 //
-// The store is a linear-probing open-addressing table on the packed
-// (tEnd, qEnd) key — the engines call Add for every above-threshold
-// cell of every fork family (tens of calls per surviving hit), and the
-// flat probe beats a general-purpose map by several times on that
-// workload. Keys are stored +1 so zero marks an empty slot.
+// The store is a linear-probing open-addressing table on a packed
+// (tEnd, qEnd-block) key, block-granular: each slot covers laneWidth
+// consecutive qEnd positions of one tEnd (a lane bitmask marks which
+// are present). Emission is row-run shaped — a surviving band row
+// yields a run of consecutive qEnds at one tEnd — so AddRun pays one
+// Fibonacci-hash probe per block (≤ laneWidth cells) instead of one
+// per cell, and single-cell Add costs the same one probe it always
+// did. Keys are stored +1 so zero marks an empty slot.
 type Collector struct {
 	keys   []uint64
-	scores []int32
-	n      int
+	used   []uint8 // per-slot lane occupancy bitmask
+	scores []int32 // laneWidth lanes per slot
+	n      int     // occupied slots (blocks)
+	hits   int     // distinct (tEnd, qEnd) pairs
 	shift  uint
 }
+
+// laneShift sets the block granularity: 1<<laneShift consecutive qEnd
+// positions share one table slot. 8 lanes fit the used bitmask in one
+// byte and cover typical emission-run lengths with one probe.
+const (
+	laneShift = 3
+	laneWidth = 1 << laneShift
+	laneMask  = laneWidth - 1
+)
 
 const collectorMinBits = 6
 
@@ -39,49 +56,113 @@ func NewCollector() *Collector {
 
 func (c *Collector) init(bits uint) {
 	c.keys = make([]uint64, 1<<bits)
-	c.scores = make([]int32, 1<<bits)
+	c.used = make([]uint8, 1<<bits)
+	c.scores = make([]int32, (1<<bits)*laneWidth)
 	c.shift = 64 - bits
 	c.n = 0
+	c.hits = 0
 }
 
-func key(tEnd, qEnd int) uint64 { return uint64(uint32(tEnd))<<32 | uint64(uint32(qEnd)) }
+// blockKey packs (tEnd, qEnd block index). Injective for the engines'
+// coordinate ranges (0 ≤ tEnd, qEnd < 2^31), and +1 storage cannot
+// carry into the tEnd half.
+func blockKey(tEnd, qEnd int) uint64 {
+	return uint64(uint32(tEnd))<<32 | uint64(uint32(qEnd)>>laneShift)
+}
 
 // fibMix is 2^64/φ, the Fibonacci-hashing multiplier: consecutive keys
-// (adjacent matrix cells are the common case) scatter across the
+// (adjacent matrix blocks are the common case) scatter across the
 // table.
 const fibMix = 0x9E3779B97F4A7C15
 
-// Add records a hit, keeping the best score per end pair.
-func (c *Collector) Add(tEnd, qEnd, score int) {
-	k := key(tEnd, qEnd) + 1
+// slot returns the table index for block key k (stored +1), claiming
+// an empty slot if the block is new. Callers must reserve() first so
+// the probe never needs to grow mid-scan.
+func (c *Collector) slot(k uint64) int {
 	mask := uint64(len(c.keys) - 1)
 	i := (k * fibMix) >> c.shift
 	for {
 		stored := c.keys[i]
 		if stored == k {
-			if int32(score) > c.scores[i] {
-				c.scores[i] = int32(score)
-			}
-			return
+			return int(i)
 		}
 		if stored == 0 {
 			c.keys[i] = k
-			c.scores[i] = int32(score)
 			c.n++
-			if c.n > len(c.keys)*5/8 {
-				c.grow()
-			}
-			return
+			return int(i)
 		}
 		i = (i + 1) & mask
 	}
 }
 
-// grow doubles the table, reinserting every slot.
+// reserve grows the table until one more block insert stays under the
+// 5/8 load factor.
+func (c *Collector) reserve() {
+	for c.n+1 > len(c.keys)*5/8 {
+		c.grow()
+	}
+}
+
+// Add records a hit, keeping the best score per end pair.
+func (c *Collector) Add(tEnd, qEnd, score int) {
+	c.reserve()
+	i := c.slot(blockKey(tEnd, qEnd) + 1)
+	lane := qEnd & laneMask
+	bit := uint8(1) << lane
+	si := i*laneWidth + lane
+	if c.used[i]&bit != 0 {
+		if int32(score) > c.scores[si] {
+			c.scores[si] = int32(score)
+		}
+		return
+	}
+	c.used[i] |= bit
+	c.scores[si] = int32(score)
+	c.hits++
+}
+
+// AddRun records a run of hits at one tEnd covering consecutive qEnds
+// qEnd0, qEnd0+1, ..., qEnd0+len(scores)-1, max-merging like Add. One
+// table probe per block touched (≤ laneWidth cells each) — the batched
+// fast path of the emission overhaul.
+func (c *Collector) AddRun(tEnd, qEnd0 int, scores []int32) {
+	for len(scores) > 0 {
+		lane := qEnd0 & laneMask
+		span := laneWidth - lane
+		if span > len(scores) {
+			span = len(scores)
+		}
+		c.reserve()
+		i := c.slot(blockKey(tEnd, qEnd0) + 1)
+		base := i * laneWidth
+		u := c.used[i]
+		for m := 0; m < span; m++ {
+			l := lane + m
+			bit := uint8(1) << l
+			sc := scores[m]
+			if u&bit != 0 {
+				if sc > c.scores[base+l] {
+					c.scores[base+l] = sc
+				}
+			} else {
+				u |= bit
+				c.scores[base+l] = sc
+				c.hits++
+			}
+		}
+		c.used[i] = u
+		qEnd0 += span
+		scores = scores[span:]
+	}
+}
+
+// grow doubles the table, reinserting every block.
 func (c *Collector) grow() {
-	oldKeys, oldScores := c.keys, c.scores
+	oldKeys, oldUsed, oldScores := c.keys, c.used, c.scores
+	oldHits := c.hits
 	bits := 65 - c.shift
 	c.init(bits)
+	c.hits = oldHits
 	mask := uint64(len(c.keys) - 1)
 	for idx, k := range oldKeys {
 		if k == 0 {
@@ -92,7 +173,8 @@ func (c *Collector) grow() {
 			i = (i + 1) & mask
 		}
 		c.keys[i] = k
-		c.scores[i] = oldScores[idx]
+		c.used[i] = oldUsed[idx]
+		copy(c.scores[int(i)*laneWidth:(int(i)+1)*laneWidth], oldScores[idx*laneWidth:(idx+1)*laneWidth])
 		c.n++
 	}
 }
@@ -100,15 +182,36 @@ func (c *Collector) grow() {
 // Merge folds another collector's hits into c, keeping the best score
 // per end pair. It is the reduction step of the parallel search
 // scheduler: per-worker collectors merge into the caller's, and
-// because Add is a commutative max the result is independent of worker
-// scheduling.
+// because the per-pair max is commutative the result is independent of
+// worker scheduling. One probe per source block.
 func (c *Collector) Merge(o *Collector) {
 	for idx, k := range o.keys {
 		if k == 0 {
 			continue
 		}
-		kk := k - 1
-		c.Add(int(kk>>32), int(uint32(kk)), int(o.scores[idx]))
+		ou := o.used[idx]
+		if ou == 0 {
+			continue
+		}
+		c.reserve()
+		i := c.slot(k)
+		base, obase := i*laneWidth, idx*laneWidth
+		u := c.used[i]
+		for rem := ou; rem != 0; rem &= rem - 1 {
+			l := bits.TrailingZeros8(rem)
+			bit := uint8(1) << l
+			sc := o.scores[obase+l]
+			if u&bit != 0 {
+				if sc > c.scores[base+l] {
+					c.scores[base+l] = sc
+				}
+			} else {
+				u |= bit
+				c.scores[base+l] = sc
+				c.hits++
+			}
+		}
+		c.used[i] = u
 	}
 }
 
@@ -117,7 +220,9 @@ func (c *Collector) Merge(o *Collector) {
 // stays warm-sized and its steady-state Adds never grow the table.
 func (c *Collector) Reset() {
 	clear(c.keys)
+	clear(c.used)
 	c.n = 0
+	c.hits = 0
 }
 
 // ShardedCollector is a set of per-worker collectors: the parallel
@@ -155,9 +260,9 @@ func (sc *ShardedCollector) ResetAll() {
 	}
 }
 
-// MergeInto folds the first n shards into c by table scan. Add is a
-// commutative max, so the result is independent of which worker
-// recorded which hit.
+// MergeInto folds the first n shards into c by table scan. The merge
+// is a commutative per-pair max, so the result is independent of which
+// worker recorded which hit.
 func (sc *ShardedCollector) MergeInto(c *Collector, n int) {
 	for _, s := range sc.shards[:n] {
 		c.Merge(s)
@@ -165,17 +270,23 @@ func (sc *ShardedCollector) MergeInto(c *Collector, n int) {
 }
 
 // Len returns the number of distinct end pairs recorded.
-func (c *Collector) Len() int { return c.n }
+func (c *Collector) Len() int { return c.hits }
 
 // Hits returns all recorded hits sorted by (TEnd, QEnd).
 func (c *Collector) Hits() []Hit {
-	out := make([]Hit, 0, c.n)
+	out := make([]Hit, 0, c.hits)
 	for idx, k := range c.keys {
 		if k == 0 {
 			continue
 		}
 		kk := k - 1
-		out = append(out, Hit{TEnd: int(kk >> 32), QEnd: int(uint32(kk)), Score: int(c.scores[idx])})
+		tEnd := int(kk >> 32)
+		qBase := int(uint32(kk)) << laneShift
+		base := idx * laneWidth
+		for rem := c.used[idx]; rem != 0; rem &= rem - 1 {
+			l := bits.TrailingZeros8(rem)
+			out = append(out, Hit{TEnd: tEnd, QEnd: qBase + l, Score: int(c.scores[base+l])})
+		}
 	}
 	SortHits(out)
 	return out

@@ -130,25 +130,47 @@ func (ctx *searchCtx) dfsGram(node strie.Node, gram []byte, survivors []int32, o
 // dfsEmitRowQ reports row-q hits at the gram node itself: the EMR
 // diagonal cell scores q·sa and can already reach the threshold, both
 // for forks still on the diagonal and for band cells from forks whose
-// FGOE fell inside the EMR.
+// FGOE fell inside the EMR. Cells stage into the workspace's row-q
+// RunStage (diagonals of adjacent surviving forks and merged-band runs
+// are column-contiguous) and flush through the batched path once.
 func (ctx *searchCtx) dfsEmitRowQ(node strie.Node, occGetter func() []int) {
 	q := node.Depth
-	emit := func(j int32, score int32) {
-		for _, t := range occGetter() {
-			ctx.c.Add(t+q-1, int(j)-1, int(score))
+	st := &ctx.ws.rowQ
+	stage := func(j int32, score int32) {
+		if !st.Stage(int32(q), j, score) {
+			ctx.flushRowQ(occGetter)
+			st.Stage(int32(q), j, score)
 		}
 	}
 	for _, d := range ctx.ws.diags {
 		if int(d.score) >= ctx.h {
-			emit(d.col0+int32(q), d.score)
+			stage(d.col0+int32(q), d.score)
 		}
 	}
 	slab := &ctx.ws.slab
 	for k, mv := range slab.m {
 		if mv > negInf && int(mv) >= ctx.h {
-			emit(slab.js[k], mv)
+			stage(slab.js[k], mv)
 		}
 	}
+	ctx.flushRowQ(occGetter)
+}
+
+// flushRowQ drains the row-q stage: each run fans out over the gram
+// node's occurrences through the dominance filter and batched AddRun.
+func (ctx *searchCtx) flushRowQ(occGetter func() []int) {
+	st := &ctx.ws.rowQ
+	if st.Empty() {
+		return
+	}
+	cells := st.Cells()
+	for _, r := range st.Runs() {
+		run := cells[r.Off : r.Off+r.N]
+		for _, t := range occGetter() {
+			ctx.forwardRun(t+int(r.Row)-1, int(r.J0)-1, run)
+		}
+	}
+	st.Reset()
 }
 
 // mergeRun is one fork's sorted cell run during the row-q band merge:
@@ -336,6 +358,7 @@ func (ctx *searchCtx) dfsWalk(root strie.Node) {
 		childBandLen := ws.slab.len() - cbs
 
 		if childForkLen == 0 && childBandLen == 0 {
+			cf.em.flush()
 			ws.diags = ws.diags[:cs]
 			ws.slab.truncate(cbs)
 			continue
@@ -345,6 +368,7 @@ func (ctx *searchCtx) dfsWalk(root strie.Node) {
 			ctx.st.MaxDepth = i
 		}
 		if i >= ctx.lmax {
+			cf.em.flush()
 			ws.diags = ws.diags[:cs]
 			ws.slab.truncate(cbs)
 			continue
@@ -360,6 +384,10 @@ func (ctx *searchCtx) dfsWalk(root strie.Node) {
 			ws.slab.truncate(cbs)
 			continue
 		}
+		// Flush at push: nothing stages into this frame's emit context
+		// once its own row is done (descendants use deeper frames), so
+		// the runs fan out now, while the node is still the tenant.
+		cf.em.flush()
 		cf.depth = i
 		cf.childIdx = 0
 		cf.forkStart, cf.diags = cs, ws.diags[cs:]
@@ -463,6 +491,7 @@ func (ctx *searchCtx) dfsLinear(node strie.Node, forkStart, forkLen, bandStart, 
 			maxDepth = i
 		}
 	}
+	em.flush() // the walk ends here; staged runs must not outlive it
 	ws.seeds = seeds
 	ctx.st.NodesVisited += nodes
 	ctx.st.EntriesNGR += ngrEntries

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/align"
+	"repro/internal/seq"
+)
+
+// The emission-path suite: the batched run staging, the diagonal
+// dominance filter and the two-level collector must be invisible in
+// the results — hit sets byte-identical to the Smith-Waterman oracle
+// and across engine modes, parallelism and the suppression switch —
+// while the Emitted/Suppressed counters stay scheduling-invariant.
+
+// emitWorkload builds a repeat-dense instance: the trie occurrence
+// fan-out over near-identical repeats is what makes the emission path
+// hot, stages overflow mid-row, and the dominance filter fire.
+func emitWorkload(a *seq.Alphabet, n, m int, seed int64) (text, query []byte) {
+	rng := rand.New(rand.NewSource(seed))
+	text = seq.RandomGenome(a, seq.GenomeConfig{
+		Length: n, RepeatFraction: 0.5, RepeatMutationRate: 0.02,
+		RepeatMinLen: 100, RepeatMaxLen: 400,
+	}, rng)
+	src := len(text)/2 + rng.Intn(len(text)/2-m)
+	query = seq.Mutate(a, text[src:src+m], seq.MutationConfig{
+		SubstitutionRate: 0.03, IndelRate: 0.005,
+	}, rng)
+	return text, query
+}
+
+// TestEmitParitySuite pins the overhaul's acceptance gate in miniature:
+// DNA and protein repeat-dense workloads, sequential / parallel /
+// hybrid, all byte-identical to the oracle and to each other, with the
+// emission counters invariant under worker count.
+func TestEmitParitySuite(t *testing.T) {
+	var suppressedTotal int64
+	for _, wl := range []struct {
+		name   string
+		alpha  *seq.Alphabet
+		scheme align.Scheme
+		seed   int64
+	}{
+		{"dna", seq.DNA, align.DefaultDNA, 61},
+		{"protein", seq.Protein, align.DefaultProtein, 62},
+	} {
+		t.Run(wl.name, func(t *testing.T) {
+			text, query := emitWorkload(wl.alpha, 3000, 150, wl.seed)
+			h := wl.scheme.MinThreshold() + 2
+			want := align.LocalAll(text, query, wl.scheme, h)
+			if len(want) == 0 {
+				t.Fatalf("degenerate workload: no oracle hits")
+			}
+			for _, mode := range []Mode{ModeDFS, ModeHybrid} {
+				e := New(text, Options{Mode: mode})
+				seqC := align.NewCollector()
+				seqSt, err := e.Search(query, wl.scheme, h, seqC)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !align.EqualHits(seqC.Hits(), want) {
+					t.Fatalf("mode %v: %d hits vs oracle %d", mode, seqC.Len(), len(want))
+				}
+				if seqSt.EmittedHits == 0 {
+					t.Fatalf("mode %v: no emissions recorded on an emitting workload", mode)
+				}
+				suppressedTotal += seqSt.SuppressedEmissions
+				for _, workers := range []int{2, 5} {
+					parC := align.NewCollector()
+					parSt, err := e.SearchParallel(query, wl.scheme, h, parC, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !align.EqualHits(parC.Hits(), want) {
+						t.Fatalf("mode %v workers %d: hits diverge from oracle", mode, workers)
+					}
+					if parSt.EmittedHits != seqSt.EmittedHits ||
+						parSt.SuppressedEmissions != seqSt.SuppressedEmissions {
+						t.Fatalf("mode %v workers %d: emission counters not scheduling-invariant: emitted %d/%d suppressed %d/%d",
+							mode, workers, parSt.EmittedHits, seqSt.EmittedHits,
+							parSt.SuppressedEmissions, seqSt.SuppressedEmissions)
+					}
+				}
+			}
+		})
+	}
+	if suppressedTotal == 0 {
+		t.Error("dominance filter never fired across repeat-dense workloads; the filter is dead code")
+	}
+}
+
+// TestEmitStageOverflow drives the flush-and-retry path hard: a
+// single-letter text makes every q-gram occur everywhere, so fan-out
+// and run lengths overflow the fixed stage capacities many times per
+// band row. The result must still match the oracle exactly.
+func TestEmitStageOverflow(t *testing.T) {
+	s := align.DefaultDNA
+	text := make([]byte, 400)
+	for i := range text {
+		text[i] = 'A'
+	}
+	rng := rand.New(rand.NewSource(63))
+	query := make([]byte, 60)
+	for i := range query {
+		if rng.Intn(10) == 0 {
+			query[i] = 'C'
+		} else {
+			query[i] = 'A'
+		}
+	}
+	h := s.MinThreshold() + 1
+	want := align.LocalAll(text, query, s, h)
+	for _, mode := range []Mode{ModeDFS, ModeHybrid} {
+		e := New(text, Options{Mode: mode})
+		c := align.NewCollector()
+		st, err := e.Search(query, s, h, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !align.EqualHits(c.Hits(), want) {
+			t.Fatalf("mode %v: %d hits vs oracle %d", mode, c.Len(), len(want))
+		}
+		if st.EmittedHits < int64(len(want)) {
+			t.Fatalf("mode %v: EmittedHits %d below distinct hit count %d", mode, st.EmittedHits, len(want))
+		}
+	}
+}
+
+// suppressionInput reuses the randomized generator shape of
+// property_test.go but biases toward repetitive texts, where duplicate
+// emissions (and so suppression) actually occur.
+type suppressionInput struct {
+	Text  []byte
+	Query []byte
+	HOff  uint8
+	Mode  bool
+}
+
+func (suppressionInput) Generate(r *rand.Rand, _ int) reflect.Value {
+	letters := []byte("ACGT")
+	sigma := 2 + r.Intn(3) // small alphabets repeat heavily
+	n := 20 + r.Intn(150)
+	m := 8 + r.Intn(60)
+	in := suppressionInput{
+		Text:  make([]byte, n),
+		Query: make([]byte, m),
+		HOff:  uint8(r.Intn(6)),
+		Mode:  r.Intn(2) == 0,
+	}
+	for i := range in.Text {
+		in.Text[i] = letters[r.Intn(sigma)]
+	}
+	for i := range in.Query {
+		in.Query[i] = letters[r.Intn(sigma)]
+	}
+	return reflect.ValueOf(in)
+}
+
+// TestPropertyEmitSuppressionLossless is the dominance filter's
+// safety property: for any input, the engine with suppression produces
+// exactly the hit set (per-pair maxima included) of the engine without
+// it, and the books balance — every fan-out cell is either forwarded
+// or suppressed, never silently dropped.
+func TestPropertyEmitSuppressionLossless(t *testing.T) {
+	s := align.DefaultDNA
+	f := func(in suppressionInput) bool {
+		h := s.MinThreshold() + int(in.HOff)
+		opts := Options{}
+		if in.Mode {
+			opts.Mode = ModeHybrid
+		}
+		on := New(in.Text, opts)
+		cOn := align.NewCollector()
+		stOn, err := on.Search(in.Query, s, h, cOn)
+		if err != nil {
+			return false
+		}
+		offOpts := opts
+		offOpts.DisableEmitSuppression = true
+		off := New(in.Text, offOpts)
+		cOff := align.NewCollector()
+		stOff, err := off.Search(in.Query, s, h, cOff)
+		if err != nil {
+			return false
+		}
+		if stOff.SuppressedEmissions != 0 {
+			return false
+		}
+		if stOn.EmittedHits+stOn.SuppressedEmissions != stOff.EmittedHits {
+			return false
+		}
+		return align.EqualHits(cOn.Hits(), cOff.Hits())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -69,6 +69,12 @@ type Options struct {
 	// (65536 entries); negative disables the cache. The cache only
 	// changes where resolution work happens, never its outcome.
 	GramCacheSize int
+	// DisableEmitSuppression turns the emission path's diagonal
+	// dominance filter off, so every occurrence-resolved cell reaches
+	// the collector. The hit set is identical either way — the filter
+	// only drops provable collector no-ops — which the emission tests
+	// verify against this switch.
+	DisableEmitSuppression bool
 }
 
 // Engine is an ALAE search engine over one indexed text. Searches are
@@ -270,6 +276,10 @@ type workspace struct {
 
 	hb [2]bandPair  // ping-pong rows for newForkInto's pre-q bands
 	hs *hybridState // hybrid engine per-search state (frames, arenas), lazily built
+
+	diag      []diagCell     // diagonal dominance table (emit.go), lazily sized
+	diagEpoch uint32         // current arming epoch; bumped per fork family
+	rowQ      align.RunStage // staging for the gram node's own row-q emissions
 }
 
 func (e *Engine) getWorkspace() *workspace {
@@ -285,14 +295,19 @@ func (e *Engine) putWorkspace(ws *workspace) { e.wsPool.Put(ws) }
 // contexts point at the search's collector and query, the hybrid state
 // at its whole searchCtx — so an idle pooled workspace pins only its
 // own buffers, never the last caller's collector, G-matrix or query.
-// Retained locate buffers survive (they are workspace-owned).
+// Retained locate buffers survive (they are workspace-owned). Staging
+// buffers are emptied unconditionally: a cancelled search may abandon
+// staged runs mid-walk, and they must not leak into the next query.
 func (ws *workspace) scrub() {
 	for i := range ws.frames {
 		em := &ws.frames[i].em
 		em.ctx, em.node, em.occ = nil, strie.Node{}, nil
+		em.stage.Reset()
 	}
+	ws.rowQ.Reset()
 	if ws.hs != nil {
 		ws.hs.ctx = nil
+		ws.hs.stage.Reset()
 		if ws.hs.cpt != nil {
 			ws.hs.cpt.Reset(nil) // its p field held the query
 		}
@@ -394,6 +409,7 @@ func (ctx *searchCtx) processGram(fam *gramFamily) {
 	if len(survivors) == 0 {
 		return
 	}
+	ctx.armDiag() // fresh dominance epoch: suppression never crosses families
 	switch ctx.e.opts.Mode {
 	case ModeHybrid:
 		ctx.hybridGram(node, gram, survivors)

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/strie"
+import (
+	"repro/internal/align"
+	"repro/internal/strie"
+)
 
 const negInf = int32(-1) << 28
 
@@ -59,19 +62,30 @@ func (b *bandPair) push(m, ga int32) {
 // emitCtx reports cells whose score reaches the threshold: each is
 // fanned out to every occurrence of the current path node. A nil
 // *emitCtx disables emission (used where it is provably impossible or
-// handled elsewhere). All position resolution is lazy and buffered:
-// node mode locates the occurrence list once per node into a retained
-// buffer, and lazy-linear mode (single-occurrence LF walks) resolves
-// the path's text position only if a cell actually reaches the
-// threshold — paths that die silently never pay a locate.
+// handled elsewhere). Cells accumulate in a per-context staging buffer
+// as row runs and only reach the collector on flush (emit.go), so a
+// contiguous emitting stretch costs one append per cell plus one
+// batched AddRun per occurrence, not one table probe per cell per
+// occurrence. All position resolution is lazy and buffered: node mode
+// locates the occurrence list once per flush into a retained buffer,
+// and lazy-linear mode (single-occurrence LF walks) resolves the
+// path's text position only if a cell actually reaches the threshold —
+// paths that die silently never pay a locate.
+//
+// Staged runs must never outlive their tenant: reset and
+// resetLinearLazy flush the previous tenant's runs before rebinding,
+// and the traversals flush explicitly wherever an emit context's node
+// goes out of scope without a rebind (frame pop, dead or depth-capped
+// child edges, linear-walk end).
 type emitCtx struct {
 	ctx    *searchCtx
 	node   strie.Node
-	occ    []int // located occurrences; nil until first emit
+	occ    []int // located occurrences; nil until first flush
 	buf    []int // retained locate buffer backing occ
 	fixedT int   // ≥0 known single occurrence; -1 node mode; lazyT lazy-linear mode
 	linRow int   // lazy-linear: suffix-array row of the current path node
 	linDep int   // lazy-linear: its depth
+	stage  align.RunStage
 }
 
 // lazyT marks a lazy-linear emitCtx whose path position is not yet
@@ -79,6 +93,7 @@ type emitCtx struct {
 const lazyT = -2
 
 func (e *emitCtx) reset(ctx *searchCtx, node strie.Node) {
+	e.flush()
 	e.ctx, e.node, e.occ, e.fixedT = ctx, node, nil, -1
 }
 
@@ -86,11 +101,14 @@ func (e *emitCtx) reset(ctx *searchCtx, node strie.Node) {
 // path's text position is resolved from (linRow, linDep) on the first
 // emit, if any.
 func (e *emitCtx) resetLinearLazy(ctx *searchCtx) {
+	e.flush()
 	e.ctx, e.occ, e.fixedT = ctx, nil, lazyT
 }
 
-// emit reports a hit at matrix row i (== e.node.Depth), 1-based query
-// column j.
+// emit stages a hit at matrix row i (== e.node.Depth), 1-based query
+// column j. Lazy-linear position resolution happens here — not at
+// flush — so the caller's walk can switch to direct text reads as soon
+// as anything emits, exactly as the unstaged path did.
 func (e *emitCtx) emit(i int, j int32, score int32) {
 	if e == nil {
 		return
@@ -98,17 +116,38 @@ func (e *emitCtx) emit(i int, j int32, score int32) {
 	if e.fixedT == lazyT {
 		e.fixedT = e.ctx.e.trie.PathOccurrence(strie.Node{Lo: e.linRow, Hi: e.linRow + 1, Depth: e.linDep})
 	}
-	if e.fixedT >= 0 {
-		e.ctx.c.Add(e.fixedT+i-1, int(j)-1, int(score))
+	if !e.stage.Stage(int32(i), j, score) {
+		e.flush()
+		e.stage.Stage(int32(i), j, score)
+	}
+}
+
+// flush drains the staged runs to the collector: occurrences are
+// resolved once, and each run goes through the dominance filter and
+// the block-batched AddRun (emit.go).
+func (e *emitCtx) flush() {
+	if e.stage.Empty() {
 		return
 	}
-	if e.occ == nil {
-		e.buf = e.ctx.e.trie.OccurrencesAppend(e.node, e.buf[:0])
-		e.occ = e.buf
+	ctx := e.ctx
+	cells := e.stage.Cells()
+	if e.fixedT >= 0 {
+		for _, r := range e.stage.Runs() {
+			ctx.forwardRun(e.fixedT+int(r.Row)-1, int(r.J0)-1, cells[r.Off:r.Off+r.N])
+		}
+	} else {
+		if e.occ == nil {
+			e.buf = ctx.e.trie.OccurrencesAppend(e.node, e.buf[:0])
+			e.occ = e.buf
+		}
+		for _, r := range e.stage.Runs() {
+			run := cells[r.Off : r.Off+r.N]
+			for _, t := range e.occ {
+				ctx.forwardRun(t+int(r.Row)-1, int(r.J0)-1, run)
+			}
+		}
 	}
-	for _, t := range e.occ {
-		e.ctx.c.Add(t+i-1, int(j)-1, int(score))
-	}
+	e.stage.Reset()
 }
 
 // newForkInto initialises f for a q-prefix match at 0-based query

@@ -3,6 +3,7 @@ package core
 import (
 	"slices"
 
+	"repro/internal/align"
 	"repro/internal/cptree"
 	"repro/internal/strie"
 )
@@ -98,6 +99,13 @@ type hybridState struct {
 	vm, vgb []int32      // vertical-phase cell arenas
 	vcols   []colData    // vertical-phase column headers
 	vstored []colsRange  // per-fork column runs of the current group
+
+	// stage buffers emitted cells as row runs; flushEmits resolves each
+	// run's row occurrences (occAt) and forwards through the dominance
+	// filter. Rows reference descent frames, so the stage is drained
+	// before any truncation of hs.nodes (end of every child-edge
+	// iteration in descend, end of hybridGram).
+	stage align.RunStage
 }
 
 // hybrid returns the workspace's hybrid state, arming it for ctx.
@@ -166,6 +174,7 @@ func (ctx *searchCtx) hybridGram(node strie.Node, gram []byte, cols []int32) {
 	if len(f0.ngr) > 0 || len(f0.bands) > 0 {
 		hs.descend(0, node)
 	}
+	hs.flushEmits()
 	hs.ctx = nil // don't let the pooled workspace pin this search's state
 }
 
@@ -181,11 +190,32 @@ func (hs *hybridState) occAt(i int) []int {
 	return fr.occ
 }
 
-// emitRow reports a hit at matrix row i, 1-based query column j.
+// emitRow stages a hit at matrix row i, 1-based query column j. The
+// vertical phase emits column-wise (one-cell runs); the horizontal
+// NGR passes emit row-wise and batch into real runs.
 func (hs *hybridState) emitRow(i int, j int32, score int32) {
-	for _, t := range hs.occAt(i) {
-		hs.ctx.c.Add(t+i-1, int(j)-1, int(score))
+	if !hs.stage.Stage(int32(i), j, score) {
+		hs.flushEmits()
+		hs.stage.Stage(int32(i), j, score)
 	}
+}
+
+// flushEmits drains the staged runs: one occurrence resolution per
+// distinct row (memoised on the descent frames), then the dominance
+// filter and batched AddRun per occurrence.
+func (hs *hybridState) flushEmits() {
+	if hs.stage.Empty() {
+		return
+	}
+	cells := hs.stage.Cells()
+	for _, r := range hs.stage.Runs() {
+		row := int(r.Row)
+		run := cells[r.Off : r.Off+r.N]
+		for _, t := range hs.occAt(row) {
+			hs.ctx.forwardRun(t+row-1, int(r.J0)-1, run)
+		}
+	}
+	hs.stage.Reset()
 }
 
 // descend is the horizontal phase walk over the node at descent level
@@ -273,6 +303,10 @@ func (hs *hybridState) descend(level int, node strie.Node) {
 			hs.descend(level+1, child)
 		}
 
+		// Drain before truncating: staged rows at this child's depth
+		// resolve occurrences through hs.nodes, and the next sibling
+		// reuses (and resets) the child frame's occurrence memo.
+		hs.flushEmits()
 		hs.nodes = hs.nodes[:len(hs.nodes)-1]
 		hs.path = hs.path[:len(hs.path)-1]
 		hs.pathCodes = hs.pathCodes[:len(hs.pathCodes)-1]

@@ -239,18 +239,26 @@ func TestSessionSearchAllocFree(t *testing.T) {
 	text := randDNA(20_000, rng)
 	query := seq.Mutate(seq.DNA, text[2_000:2_300],
 		seq.MutationConfig{SubstitutionRate: 0.05, IndelRate: 0.01}, rng)
+	// A repeat-dense workload keeps the emission path hot: large
+	// occurrence fan-out, run staging overflows and dominance-filter
+	// traffic every query, so the gate also covers the two-level
+	// collector's steady state.
+	emitText, emitQuery := emitWorkload(seq.DNA, 20_000, 300, 507)
 	s := align.DefaultDNA
 	h := 25
 	for _, tc := range []struct {
-		name string
-		opts Options
+		name        string
+		opts        Options
+		text, query []byte
 	}{
-		{"dfs-cached", Options{}},
-		{"dfs-walk", Options{GramCacheSize: -1}},
-		{"hybrid-cached", Options{Mode: ModeHybrid}},
+		{"dfs-cached", Options{}, text, query},
+		{"dfs-walk", Options{GramCacheSize: -1}, text, query},
+		{"hybrid-cached", Options{Mode: ModeHybrid}, text, query},
+		{"dfs-emit-heavy", Options{}, emitText, emitQuery},
+		{"hybrid-emit-heavy", Options{Mode: ModeHybrid}, emitText, emitQuery},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			e := New(text, tc.opts)
+			e := New(tc.text, tc.opts)
 			if _, err := e.DominationIndex(s.Q()); err != nil {
 				t.Fatal(err)
 			}
@@ -259,13 +267,13 @@ func TestSessionSearchAllocFree(t *testing.T) {
 			c := align.NewCollector()
 			for warm := 0; warm < 2; warm++ {
 				c.Reset()
-				if _, err := ses.Search(query, s, h, c, 1); err != nil {
+				if _, err := ses.Search(tc.query, s, h, c, 1); err != nil {
 					t.Fatal(err)
 				}
 			}
 			allocs := testing.AllocsPerRun(5, func() {
 				c.Reset()
-				if _, err := ses.Search(query, s, h, c, 1); err != nil {
+				if _, err := ses.Search(tc.query, s, h, c, 1); err != nil {
 					t.Fatal(err)
 				}
 			})

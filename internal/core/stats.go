@@ -38,6 +38,15 @@ type Stats struct {
 	Threshold    int // the score threshold H in force
 	Q            int // the q-prefix length in force
 	Lmax         int // the length-filter bound in force
+
+	// Emission-path accounting (emit.go). EmittedHits counts the
+	// occurrence-resolved (tEnd, qEnd) cells forwarded to the
+	// collector; SuppressedEmissions counts the cells the diagonal
+	// dominance filter dropped as provable collector no-ops. Their sum
+	// is the total emission fan-out, and both are invariant under
+	// parallel scheduling (the filter is re-armed per fork family).
+	EmittedHits         int64
+	SuppressedEmissions int64
 }
 
 // CalculatedEntries is the number of DP cells ALAE actually computed
@@ -82,6 +91,8 @@ func (st *Stats) Add(other Stats) {
 	st.GramCacheHits += other.GramCacheHits
 	st.GramCacheMisses += other.GramCacheMisses
 	st.NodesVisited += other.NodesVisited
+	st.EmittedHits += other.EmittedHits
+	st.SuppressedEmissions += other.SuppressedEmissions
 	if other.MaxDepth > st.MaxDepth {
 		st.MaxDepth = other.MaxDepth
 	}

@@ -26,6 +26,13 @@ type BenchResult struct {
 	MsPerOp float64 `json:"ms_per_op"`
 	Entries int64   `json:"entries"` // CalculatedEntries, must be invariant across engines/runs
 	Hits    int     `json:"hits"`    // total result count, must be invariant across engines/runs
+
+	// Emission-path counters, recorded on the points that exercise the
+	// batched emit path. Both are scheduling-invariant (the dominance
+	// table re-arms per fork family), so the p=1 and p=max emission
+	// points must report identical values.
+	Emitted    int64 `json:"emitted,omitempty"`
+	Suppressed int64 `json:"suppressed,omitempty"`
 }
 
 // BenchSuite is the JSON document RunBenchJSON emits.
@@ -324,6 +331,75 @@ func RunBenchJSON(w io.Writer, cfg Config, reps int) error {
 	if hotRes.Entries != coldRes.Entries || hotRes.Hits != coldRes.Hits {
 		return fmt.Errorf("exp: query cache changed the answer (entries %d/%d, hits %d/%d)",
 			hotRes.Entries, coldRes.Entries, hotRes.Hits, coldRes.Hits)
+	}
+
+	// Emission point: the repeat-dense homologous protein workload the
+	// emit-path overhaul targets (ProteinEmissionWorkload). Wide
+	// surviving bands fanning out over many near-copy occurrences put
+	// the collector, not the rank core, on the critical path (~80%
+	// of samples in Collector.Add + advanceDenseBand before the
+	// overhaul). Hits must be invariant across engines and
+	// parallelism, entries across parallelism within the DFS engine
+	// (the hybrid accounts reused entries differently, so its entry
+	// count is recorded, not asserted). Emitted/suppressed counters
+	// must be scheduling-invariant: equal at p=1 and p=max.
+	en := int(30_000 * cfg.Scale)
+	emq := int(300 * cfg.Scale)
+	ewl := ProteinEmissionWorkload(en, emq, queries, cfg.Seed)
+	eix := alae.NewIndex(ewl.Text)
+	emitReps := reps
+	if emitReps > 3 {
+		emitReps = 3 // the point is ~100× slower per op than Table 2 p=1
+	}
+	var emitRef BenchResult
+	for _, tc := range []struct {
+		name string
+		opts alae.SearchOptions
+	}{
+		{"protein-emit p=1", alae.SearchOptions{Algorithm: alae.ALAE, Parallelism: 1}},
+		{"protein-emit p=max", alae.SearchOptions{Algorithm: alae.ALAE}},
+		{"protein-emit hybrid", alae.SearchOptions{Algorithm: alae.ALAEHybrid, Parallelism: 1}},
+	} {
+		warm := Measure(eix, ewl, tc.opts)
+		if warm.Err != nil {
+			return warm.Err
+		}
+		best := BenchResult{Name: tc.name, Reps: emitReps}
+		for r := 0; r < emitReps; r++ {
+			start := time.Now()
+			meas := Measure(eix, ewl, tc.opts)
+			elapsed := time.Since(start)
+			if meas.Err != nil {
+				return meas.Err
+			}
+			if best.NsPerOp == 0 || elapsed.Nanoseconds() < best.NsPerOp {
+				best.NsPerOp = elapsed.Nanoseconds()
+			}
+			best.Entries = meas.Stats.CalculatedEntries
+			best.Hits = meas.Hits
+			best.Emitted = meas.Stats.EmittedHits
+			best.Suppressed = meas.Stats.SuppressedEmissions
+		}
+		best.MsPerOp = float64(best.NsPerOp) / 1e6
+		switch tc.name {
+		case "protein-emit p=1":
+			emitRef = best
+		case "protein-emit p=max":
+			if best.Entries != emitRef.Entries || best.Hits != emitRef.Hits {
+				return fmt.Errorf("exp: %q produced entries=%d hits=%d, want %d/%d (parallel emission is not exact)",
+					tc.name, best.Entries, best.Hits, emitRef.Entries, emitRef.Hits)
+			}
+			if best.Emitted != emitRef.Emitted || best.Suppressed != emitRef.Suppressed {
+				return fmt.Errorf("exp: %q emission counters not scheduling-invariant (emitted %d/%d, suppressed %d/%d)",
+					tc.name, best.Emitted, emitRef.Emitted, best.Suppressed, emitRef.Suppressed)
+			}
+		case "protein-emit hybrid":
+			if best.Hits != emitRef.Hits {
+				return fmt.Errorf("exp: %q produced hits=%d, want %d (hybrid emission is not exact)",
+					tc.name, best.Hits, emitRef.Hits)
+			}
+		}
+		suite.Results = append(suite.Results, best)
 	}
 
 	enc := json.NewEncoder(w)

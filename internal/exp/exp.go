@@ -88,6 +88,30 @@ func ProteinWorkload(n, qlen, numQ int, seed int64) Workload {
 	return Workload{Text: text, Queries: queries, Alphabet: seq.Protein}
 }
 
+// ProteinEmissionWorkload builds the emission-heavy protein case the
+// emit-path work targets: a repeat-dense text (half the characters are
+// lightly diverged copies of earlier segments) in which every query is
+// a lightly mutated copy of a text window. Each query therefore aligns
+// against many near-copies at once, surviving bands stay wide, and
+// band cells fan out over multiple occurrences — collector traffic,
+// not rank, is the wall.
+func ProteinEmissionWorkload(n, qlen, numQ int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	text := seq.RandomGenome(seq.Protein, seq.GenomeConfig{
+		Length: n, RepeatFraction: 0.5, RepeatMutationRate: 0.02,
+		RepeatMinLen: 400, RepeatMaxLen: 1600,
+	}, rng)
+	queries := make([][]byte, numQ)
+	for i := range queries {
+		// Draw from the back half, where most windows are repeat copies.
+		src := len(text)/2 + rng.Intn(len(text)/2-qlen)
+		queries[i] = seq.Mutate(seq.Protein, text[src:src+qlen], seq.MutationConfig{
+			SubstitutionRate: 0.03, IndelRate: 0.005,
+		}, rng)
+	}
+	return Workload{Text: text, Queries: queries, Alphabet: seq.Protein}
+}
+
 // Measurement is one (algorithm, workload) cell of a table.
 type Measurement struct {
 	Algorithm alae.Algorithm
@@ -133,6 +157,8 @@ func Measure(ix *alae.Index, w Workload, opts alae.SearchOptions) Measurement {
 		m.Stats.ForksStarted += res.Stats.ForksStarted
 		m.Stats.ForksDominated += res.Stats.ForksDominated
 		m.Stats.Seeds += res.Stats.Seeds
+		m.Stats.EmittedHits += res.Stats.EmittedHits
+		m.Stats.SuppressedEmissions += res.Stats.SuppressedEmissions
 	}
 	if len(w.Queries) > 0 {
 		m.AvgTime = total / time.Duration(len(w.Queries))

@@ -138,6 +138,11 @@ type Server struct {
 	nPanics         atomic.Int64 // recovered handler panics
 	nErrors         atomic.Int64 // other 500s
 
+	// Emission-path totals across answered searches: cells forwarded to
+	// the collectors and duplicates the dominance filter suppressed.
+	nEmitted    atomic.Int64
+	nSuppressed atomic.Int64
+
 	hooks serveHooks
 }
 
@@ -517,6 +522,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.nOK.Add(1)
+	s.nEmitted.Add(res.Stats.EmittedHits)
+	s.nSuppressed.Add(res.Stats.SuppressedEmissions)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(&resp)
 }
@@ -552,6 +559,9 @@ type StatsResponse struct {
 	Panics         int64 `json:"panics"`
 	Errors         int64 `json:"errors"`
 
+	EmittedHits         int64 `json:"emitted_hits"`
+	SuppressedEmissions int64 `json:"suppressed_emissions"`
+
 	StoreMembers     int    `json:"store_members"`
 	StoreShards      int    `json:"store_shards"`
 	StoreBytes       int    `json:"store_bytes"`
@@ -586,6 +596,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BadReq:         s.nBadReq.Load(),
 		Panics:         s.nPanics.Load(),
 		Errors:         s.nErrors.Load(),
+
+		EmittedHits:         s.nEmitted.Load(),
+		SuppressedEmissions: s.nSuppressed.Load(),
 
 		StoreMembers:     st.Sequences().Len(),
 		StoreShards:      st.Shards(),

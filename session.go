@@ -140,14 +140,16 @@ func (ses *Session) Close() {
 // Stats shape.
 func statsFromCore(st core.Stats) Stats {
 	return Stats{
-		CalculatedEntries: st.CalculatedEntries(),
-		ReusedEntries:     st.ReusedEntries,
-		AccessedEntries:   st.AccessedEntries(),
-		ComputationCost:   st.ComputationCost(),
-		NodesVisited:      st.NodesVisited,
-		ForksStarted:      st.ForksStarted,
-		ForksDominated:    st.ForksDominated,
-		GramCacheHits:     st.GramCacheHits,
-		GramCacheMisses:   st.GramCacheMisses,
+		CalculatedEntries:   st.CalculatedEntries(),
+		ReusedEntries:       st.ReusedEntries,
+		AccessedEntries:     st.AccessedEntries(),
+		ComputationCost:     st.ComputationCost(),
+		NodesVisited:        st.NodesVisited,
+		ForksStarted:        st.ForksStarted,
+		ForksDominated:      st.ForksDominated,
+		GramCacheHits:       st.GramCacheHits,
+		GramCacheMisses:     st.GramCacheMisses,
+		EmittedHits:         st.EmittedHits,
+		SuppressedEmissions: st.SuppressedEmissions,
 	}
 }
