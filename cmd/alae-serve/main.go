@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	alae -text genome.fa -shards 4 -save-store db.alae
-//	alae-serve -store db.alae -addr :7734
+//	alae -text genome.fa -save-store db.alae
+//	alae-serve -store db.alae -shards 4 -addr :7734
 //
 //	curl -s localhost:7734/healthz
 //	curl -s -d '{"query":"ACGT...","timeout_ms":2000}' localhost:7734/search
@@ -18,7 +18,13 @@
 // search that outlives -search-timeout answers 504 with the work
 // actually aborted mid-traversal. -per-client additionally caps each
 // client's in-flight searches (keyed by X-API-Key, else remote addr)
-// so one greedy client cannot starve the lanes. Background jobs —
+// so one greedy client cannot starve the lanes, and -per-client-rate
+// bounds each client's request rate with a token bucket over
+// -per-client-window (429 + Retry-After sized to the next token).
+// -shards sets the store's scatter width: the number of lanes each
+// search's fork families fan out over inside the one shared index (a
+// pure parallelism knob — answers and work are identical at every
+// value, and nothing is persisted). Background jobs —
 // periodic store reload from -store (-reload), generational store
 // compaction (-compact), query-cache pressure sweeps (-sweep), and a
 // self-probe that searches the store's own data (-probe) — run with
@@ -77,7 +83,10 @@ func run() error {
 		maxQuery   = flag.Int("max-query", 1<<20, "max query length in bytes")
 		drainTO    = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight searches on shutdown")
 
-		perClient = flag.Int("per-client", 0, "max in-flight searches per client (X-API-Key or remote addr); overflow answers 429 (0 = off)")
+		perClient       = flag.Int("per-client", 0, "max in-flight searches per client (X-API-Key or remote addr); overflow answers 429 (0 = off)")
+		perClientRate   = flag.Int("per-client-rate", 0, "max requests per client per -per-client-window; overflow answers 429 + Retry-After (0 = off)")
+		perClientWindow = flag.Duration("per-client-window", time.Second, "refill window for -per-client-rate")
+		shards          = flag.Int("shards", 0, "scatter lanes per search over the store's shared index (parallelism only; 0 = 1)")
 
 		reloadEvery  = flag.Duration("reload", 0, "re-read -store on this period and swap it in (0 = off)")
 		compactEvery = flag.Duration("compact", 0, "run store compaction on this period: merge generations, purge tombstones (0 = off)")
@@ -103,12 +112,12 @@ func run() error {
 		return err
 	}
 
-	storeOpts := alae.StoreOptions{QueryCacheSize: *cacheSize}
+	storeOpts := alae.StoreOptions{Shards: *shards, QueryCacheSize: *cacheSize}
 	store, err := alae.LoadStoreFile(*storePath, storeOpts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded store: %d member(s), %d shard(s), %d characters\n",
+	fmt.Printf("loaded store: %d member(s), %d scatter lane(s), %d characters\n",
 		store.Sequences().Len(), store.Shards(), store.Sequences().TotalLen())
 
 	srv, err := serve.New(serve.Config{
@@ -121,12 +130,14 @@ func run() error {
 			Algorithm:   alg,
 			Parallelism: *parallel,
 		},
-		Lanes:          *lanes,
-		QueueDepth:     *queueDepth,
-		PerClientLanes: *perClient,
-		SearchTimeout:  *searchTO,
-		MaxQueryLen:    *maxQuery,
-		MaxHits:        *maxHits,
+		Lanes:           *lanes,
+		QueueDepth:      *queueDepth,
+		PerClientLanes:  *perClient,
+		PerClientRate:   *perClientRate,
+		PerClientWindow: *perClientWindow,
+		SearchTimeout:   *searchTO,
+		MaxQueryLen:     *maxQuery,
+		MaxHits:         *maxHits,
 	})
 	if err != nil {
 		return err

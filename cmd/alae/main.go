@@ -1,7 +1,7 @@
-// Command alae runs local-alignment searches: it builds a sharded
-// serving store over one or more FASTA database files and aligns every
-// record of a FASTA query file against it, printing hits mapped to
-// their member sequences and, optionally, full alignments.
+// Command alae runs local-alignment searches: it builds a serving
+// store over one or more FASTA database files and aligns every record
+// of a FASTA query file against it, printing hits mapped to their
+// member sequences and, optionally, full alignments.
 //
 // Usage:
 //
@@ -9,11 +9,13 @@
 //	alae -text chr1.fa,chr2.fa -shards 4 -query reads.fa
 //
 // -text accepts a comma-separated list of FASTA files; every record of
-// every file becomes one named member of the store. -shards picks the
-// number of index shards the members are partitioned into (searches
-// fan out over shards in parallel and gather one mapped hit set).
-// Repeated identical queries are answered from the store's result
-// cache. Flags select the engine (alae, alae-hybrid, bwtsw, blast,
+// every file becomes one named member of the store, indexed together
+// in one shared index per generation. -shards is a pure parallelism
+// knob: each search's fork families are cut into that many
+// cost-balanced lanes over the shared index, and the answers — hits
+// AND work counters — are byte-identical at every value. It applies
+// to -load-store too (the lane count is never persisted). Repeated
+// identical queries are answered from the store's result cache. Flags select the engine (alae, alae-hybrid, bwtsw, blast,
 // sw), the scoring scheme ⟨sa,sb,sg,ss⟩ and either a raw score
 // threshold or an E-value. Exit status is non-zero on any error.
 //
@@ -58,12 +60,12 @@ func run() error {
 		threshold = flag.Int("threshold", 0, "raw score threshold H (0 = derive from -evalue)")
 		eValue    = flag.Float64("evalue", 10, "expectation value used when -threshold is 0")
 		parallel  = flag.Int("p", 0, "ALAE worker goroutines per search (0 = all cores, 1 = sequential)")
-		shards    = flag.Int("shards", 1, "number of index shards the database is partitioned into")
+		shards    = flag.Int("shards", 1, "scatter lanes per search over the store's shared index (parallelism only; answers are identical at every value)")
 		cacheSize = flag.Int("query-cache", 0, "result-cache capacity in queries (0 = default, -1 = disabled)")
 		showAlign = flag.Bool("align", false, "print the best alignment per query")
 		maxHits   = flag.Int("max-hits", 10, "hits printed per query (0 = all)")
 		stats     = flag.Bool("stats", false, "print work statistics per query")
-		saveStore = flag.String("save-store", "", "write the store (manifest + shard indexes) to this single file")
+		saveStore = flag.String("save-store", "", "write the store (manifest + generation indexes) to this single file")
 		saveDir   = flag.String("save-store-dir", "", "write the store as a generation directory; mutations then persist there crash-safely")
 		loadStore = flag.String("load-store", "", "load a previously saved store (file or directory) instead of -text")
 		strands   = flag.Bool("both-strands", false, "also search the reverse complement (DNA)")
@@ -94,10 +96,10 @@ func run() error {
 
 	var store *alae.Store
 	if *loadStore != "" {
-		if store, err = alae.LoadStoreFile(*loadStore, alae.StoreOptions{QueryCacheSize: *cacheSize}); err != nil {
+		if store, err = alae.LoadStoreFile(*loadStore, alae.StoreOptions{Shards: *shards, QueryCacheSize: *cacheSize}); err != nil {
 			return fmt.Errorf("loading %s: %w", *loadStore, err)
 		}
-		fmt.Printf("loaded store: %d member(s), %d shard(s), %d characters\n",
+		fmt.Printf("loaded store: %d member(s), %d scatter lane(s), %d characters\n",
 			store.Sequences().Len(), store.Shards(), store.Sequences().TotalLen())
 	} else {
 		records, err := readFASTARecords(*textPath)
@@ -111,7 +113,7 @@ func run() error {
 		for _, r := range records {
 			total += len(r.Seq)
 		}
-		fmt.Printf("indexing %d sequence(s), %d characters, %d shard(s)\n", len(records), total, *shards)
+		fmt.Printf("indexing %d sequence(s), %d characters, %d scatter lane(s)\n", len(records), total, *shards)
 		if store, err = alae.NewStore(records, alae.StoreOptions{Shards: *shards, QueryCacheSize: *cacheSize}); err != nil {
 			return err
 		}

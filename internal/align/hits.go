@@ -292,6 +292,28 @@ func (c *Collector) Hits() []Hit {
 	return out
 }
 
+// ForEach streams every recorded hit to fn in table order — NOT sorted.
+// It is the gather surface of the store's streaming scatter: callers
+// that bucket hits by destination (per-member SeqHit buckets) consume
+// the collector directly instead of materialising an intermediate
+// sorted []Hit per lane. The collector is not modified; fn must not
+// call back into it.
+func (c *Collector) ForEach(fn func(tEnd, qEnd, score int)) {
+	for idx, k := range c.keys {
+		if k == 0 {
+			continue
+		}
+		kk := k - 1
+		tEnd := int(kk >> 32)
+		qBase := int(uint32(kk)) << laneShift
+		base := idx * laneWidth
+		for rem := c.used[idx]; rem != 0; rem &= rem - 1 {
+			l := bits.TrailingZeros8(rem)
+			fn(tEnd, qBase+l, int(c.scores[base+l]))
+		}
+	}
+}
+
 // SortHits sorts a hit slice by (TEnd, QEnd), the canonical order used
 // when comparing engines.
 func SortHits(hs []Hit) {

@@ -105,3 +105,109 @@ func (ses *Session) searchFamilies(families []gramFamily, base searchCtx, worker
 	}
 	ses.shards.MergeInto(c, workers)
 }
+
+// familyCost estimates the band work a fork family will do: columns to
+// sweep times the width of the gram's SA range (the subtree the fork
+// descends into). It only steers load balancing — a wrong estimate
+// costs wall-clock, never exactness.
+func familyCost(f *gramFamily) int64 {
+	return int64(len(f.cols)) * int64(f.node.Hi-f.node.Lo)
+}
+
+// partitionFamilies cuts the family list into k contiguous slices
+// balanced by estimated band cost: cuts[w] is the first family of lane
+// w, cuts[k] = len(families). Greedy with a half-family overshoot rule
+// — a family joins the current lane while that lands the lane closer
+// to the remaining average — while always leaving at least one family
+// for every remaining lane. Callers clamp k ≤ len(families), so every
+// lane is non-empty. The cuts depend only on the family list (which is
+// resolution-order deterministic), never on timing, so a sliced search
+// is reproducible.
+func partitionFamilies(families []gramFamily, k int) []int {
+	var remaining int64
+	for i := range families {
+		remaining += familyCost(&families[i])
+	}
+	cuts := make([]int, k+1)
+	cuts[k] = len(families)
+	idx := 0
+	for w := 0; w < k; w++ {
+		cuts[w] = idx
+		target := remaining / int64(k-w)
+		maxEnd := len(families) - (k - w - 1)
+		var acc int64
+		for idx < maxEnd && (idx == cuts[w] || acc+familyCost(&families[idx])/2 <= target) {
+			acc += familyCost(&families[idx])
+			idx++
+		}
+		remaining -= acc
+	}
+	return cuts
+}
+
+// searchFamilySlices is the shared-index scatter's dispatch: the same
+// fan-out as searchFamilies, but each lane owns one pre-cut contiguous
+// family slice (partitionFamilies) instead of pulling from a
+// work-stealing cursor. The store's shard lanes run through here — K
+// shards of a store are K slices of ONE resolved family list over one
+// monolithic index, so every family (and with it every DP entry) is
+// processed exactly once whatever K is: CalculatedEntries and the hit
+// set are byte-identical across lane counts, which is the invariant
+// the old text-partitioned sharding could not offer (it redid ~1.7×
+// the entries at K=4). Static slices also keep each lane's traversal
+// order deterministic, at the price of coarser balancing than
+// stealing — the cost model above is what pays that back.
+func (ses *Session) searchFamilySlices(families []gramFamily, base searchCtx, lanes int, c *align.Collector, st *Stats) {
+	e := ses.e
+	if lanes > len(families) {
+		lanes = len(families)
+	}
+	if lanes <= 1 {
+		ses.searchFamilies(families, base, 1, c, st)
+		return
+	}
+	cuts := partitionFamilies(families, lanes)
+
+	if ses.shards == nil {
+		ses.shards = align.NewSharded(lanes)
+	} else {
+		ses.shards.Resize(lanes)
+	}
+	ses.shards.ResetAll()
+	if cap(ses.wstats) < lanes {
+		ses.wstats = make([]Stats, lanes)
+	}
+	wstats := ses.wstats[:lanes]
+
+	ctxs := make([]*searchCtx, lanes)
+	var wg sync.WaitGroup
+	for w := 0; w < lanes; w++ {
+		wstats[w] = Stats{Threshold: st.Threshold, Q: st.Q, Lmax: st.Lmax}
+		ws := ses.ws
+		if w > 0 {
+			ws = e.getWorkspace()
+		}
+		ctx := base
+		ctx.c, ctx.st, ctx.ws = ses.shards.Shard(w), &wstats[w], ws
+		ctxs[w] = &ctx
+		wg.Add(1)
+		go func(ctx *searchCtx, fams []gramFamily) {
+			defer wg.Done()
+			for i := range fams {
+				if ctx.stopped {
+					return // cancelled (cancel.go); partial stats still merge
+				}
+				ctx.processGram(&fams[i])
+			}
+		}(ctxs[w], families[cuts[w]:cuts[w+1]])
+	}
+	wg.Wait()
+	for w, ctx := range ctxs {
+		st.Add(*ctx.st)
+		ctx.ws.scrub()
+		if w > 0 {
+			e.putWorkspace(ctx.ws)
+		}
+	}
+	ses.shards.MergeInto(c, lanes)
+}

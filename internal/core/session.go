@@ -125,6 +125,28 @@ func (ses *Session) Search(query []byte, s align.Scheme, h int, c *align.Collect
 // overhead: the done channel is nil and every checkpoint is one field
 // read.
 func (ses *Session) SearchContext(cx context.Context, query []byte, s align.Scheme, h int, c *align.Collector, workers int) (Stats, error) {
+	return ses.searchImpl(cx, query, s, h, c, workers, false)
+}
+
+// SearchLanes is SearchContext with the family-slice dispatch: the
+// resolved fork families are cut into lanes contiguous slices balanced
+// by estimated band cost (partitionFamilies) and each slice runs on
+// its own goroutine with its own workspace and collector shard. This
+// is the store's shared-index scatter seam — one gram resolution, one
+// monolithic index, K lanes of work — and its exactness contract is
+// that CalculatedEntries and the hit set are byte-identical for every
+// lanes value, including lanes = 1 (the sequential path). lanes ≤ 0
+// defaults to runtime.NumCPU().
+func (ses *Session) SearchLanes(cx context.Context, query []byte, s align.Scheme, h int, c *align.Collector, lanes int) (Stats, error) {
+	return ses.searchImpl(cx, query, s, h, c, lanes, true)
+}
+
+// searchImpl is the shared body of SearchContext and SearchLanes:
+// everything up to family dispatch is identical — validation,
+// threshold floor, gram resolution, δ and bound tables — and sliced
+// selects the dispatch (cost-balanced contiguous slices vs the
+// work-stealing cursor).
+func (ses *Session) searchImpl(cx context.Context, query []byte, s align.Scheme, h int, c *align.Collector, workers int, sliced bool) (Stats, error) {
 	e := ses.e
 	if err := s.Validate(); err != nil {
 		return Stats{}, err
@@ -204,7 +226,11 @@ func (ses *Session) SearchContext(cx context.Context, query []byte, s align.Sche
 	if gm != nil {
 		workers = 1 // the G-matrix filter's state is traversal-order-dependent
 	}
-	ses.searchFamilies(families, base, workers, c, st)
+	if sliced {
+		ses.searchFamilySlices(families, base, workers, c, st)
+	} else {
+		ses.searchFamilies(families, base, workers, c, st)
+	}
 	if err := cx.Err(); err != nil {
 		return *st, err
 	}

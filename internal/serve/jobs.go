@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -168,6 +169,13 @@ func (s *Server) runOnce(ctx context.Context, js *jobState) (err error) {
 // always a complete store — and if it is nonetheless corrupt (torn by
 // a non-atomic copy, truncated by a full disk), the load fails, the
 // failure is counted, and the daemon KEEPS SERVING THE OLD STORE.
+//
+// When Path is a generation directory, the job first reads only the
+// MANIFEST's mutation stamp (alae.StoreDirStamp): the manifest rename
+// is the commit point of every mutation, so a stamp equal to the
+// serving store's means nothing changed and the expensive reload is
+// skipped. Single-file stores carry no separately readable stamp and
+// reload unconditionally.
 type ReloadJob struct {
 	Server *Server
 	Path   string
@@ -178,6 +186,15 @@ type ReloadJob struct {
 func (j *ReloadJob) Name() string            { return "reload" }
 func (j *ReloadJob) Interval() time.Duration { return j.Every }
 func (j *ReloadJob) Run(ctx context.Context) error {
+	if fi, err := os.Stat(j.Path); err == nil && fi.IsDir() {
+		stamp, err := alae.StoreDirStamp(j.Path)
+		if err != nil {
+			return fmt.Errorf("keeping the previous store: %w", err)
+		}
+		if cur := j.Server.Store(); cur != nil && cur.Stamp() == stamp {
+			return nil
+		}
+	}
 	st, err := alae.LoadStoreFile(j.Path, j.Opts)
 	if err != nil {
 		return fmt.Errorf("keeping the previous store: %w", err)

@@ -79,6 +79,16 @@ type Config struct {
 	// before the global lanes are touched, so one greedy client cannot
 	// monopolise the lane pool. 0 disables per-client fairness.
 	PerClientLanes int
+	// PerClientRate bounds one client's request RATE, keyed exactly
+	// like PerClientLanes: each client owns a token bucket holding
+	// PerClientRate tokens that refills continuously over
+	// PerClientWindow, so up to PerClientRate requests are admitted in
+	// any sliding window and a burst above it is rejected with 429 and
+	// a Retry-After sized to the next token. 0 disables rate limiting.
+	PerClientRate int
+	// PerClientWindow is the refill window for PerClientRate; 0 means
+	// one second.
+	PerClientWindow time.Duration
 	// SearchTimeout is the per-search deadline; 0 means none beyond
 	// the client's own. Requests may ask for a SHORTER deadline via
 	// the timeout_ms field, never a longer one.
@@ -100,6 +110,9 @@ type serveHooks struct {
 	// the search. Tests use it to panic (isolation), block (overload)
 	// or coordinate cancellation.
 	preSearch func(query []byte)
+	// now replaces time.Now on the rate-limit path so tests can walk
+	// the token buckets through a window deterministically.
+	now func() time.Time
 }
 
 // Server is the serving daemon state. Create with New, mount Handler
@@ -115,6 +128,9 @@ type Server struct {
 
 	clientMu     sync.Mutex     // guards clientActive
 	clientActive map[string]int // client key → searches admitted or queued
+
+	rateMu      sync.Mutex             // guards rateBuckets
+	rateBuckets map[string]*rateBucket // client key → token bucket
 
 	draining atomic.Bool
 	drainCh  chan struct{} // closed when the drain starts
@@ -132,6 +148,7 @@ type Server struct {
 	nOK             atomic.Int64 // searches answered 200
 	nRejected       atomic.Int64 // 429s (queue full)
 	nClientRejected atomic.Int64 // 429s (one client over its cap)
+	nRateLimited    atomic.Int64 // 429s (one client over its rate)
 	nTimeouts       atomic.Int64 // 504s (deadline expired mid-search)
 	nCancelled      atomic.Int64 // client gone mid-search
 	nBadReq         atomic.Int64 // 400s
@@ -165,6 +182,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxQueryLen <= 0 {
 		cfg.MaxQueryLen = 1 << 20
 	}
+	if cfg.PerClientWindow <= 0 {
+		cfg.PerClientWindow = time.Second
+	}
 	switch {
 	case cfg.MaxHits == 0:
 		cfg.MaxHits = 1000
@@ -177,6 +197,7 @@ func New(cfg Config) (*Server, error) {
 		lanes:        make(chan struct{}, cfg.Lanes),
 		queueCap:     int64(cfg.QueueDepth),
 		clientActive: make(map[string]int),
+		rateBuckets:  make(map[string]*rateBucket),
 		drainCh:      make(chan struct{}),
 		started:      time.Now(),
 	}
@@ -290,6 +311,64 @@ func (s *Server) acquireClient(key string) (release func(), ok bool) {
 	}, true
 }
 
+// rateBucket is one client's token bucket: tokens refill continuously
+// at PerClientRate per PerClientWindow up to a capacity of
+// PerClientRate, so the bucket admits at most PerClientRate requests
+// in any sliding window while letting an idle client burst back up to
+// the full allowance.
+type rateBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateSweepSize bounds the bucket map: past this many clients, fully
+// refilled (idle) buckets are dropped before a new one is inserted. A
+// dropped bucket is indistinguishable from a fresh one, so eviction
+// never grants or steals tokens.
+const rateSweepSize = 4096
+
+func (s *Server) rateNow() time.Time {
+	if s.hooks.now != nil {
+		return s.hooks.now()
+	}
+	return time.Now()
+}
+
+// allowClient charges one request to the client's rate bucket. When
+// the bucket is empty it reports the wait until the next token — the
+// Retry-After hint — and the request is rejected without touching the
+// concurrency accounting or the lanes.
+func (s *Server) allowClient(key string) (wait time.Duration, ok bool) {
+	if s.cfg.PerClientRate <= 0 {
+		return 0, true
+	}
+	burst := float64(s.cfg.PerClientRate)
+	perToken := s.cfg.PerClientWindow / time.Duration(s.cfg.PerClientRate)
+	now := s.rateNow()
+	s.rateMu.Lock()
+	defer s.rateMu.Unlock()
+	b := s.rateBuckets[key]
+	if b == nil {
+		if len(s.rateBuckets) >= rateSweepSize {
+			for k, old := range s.rateBuckets {
+				if now.Sub(old.last) >= s.cfg.PerClientWindow {
+					delete(s.rateBuckets, k)
+				}
+			}
+		}
+		b = &rateBucket{tokens: burst, last: now}
+		s.rateBuckets[key] = b
+	} else {
+		b.tokens = min(burst, b.tokens+float64(now.Sub(b.last))/float64(perToken))
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return time.Duration((1 - b.tokens) * float64(perToken)), false
+	}
+	b.tokens--
+	return 0, true
+}
+
 // acquireLane admits one request: the fast path takes a free lane
 // token; otherwise the request joins the bounded wait queue until a
 // lane frees, the client gives up, or the drain starts. A full queue
@@ -365,7 +444,9 @@ type SearchResponse struct {
 func (s *Server) errorBody(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		if w.Header().Get("Retry-After") == "" { // a caller may have set a sharper hint
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
 	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
@@ -421,9 +502,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Per-client fairness first: one client at its cap is rejected
-	// without touching (or queueing for) the shared lanes.
-	releaseClient, ok := s.acquireClient(clientKey(r))
+	// Per-client fairness first: the rate bucket, then the concurrency
+	// cap — a client over either is rejected without touching (or
+	// queueing for) the shared lanes.
+	key := clientKey(r)
+	if wait, ok := s.allowClient(key); !ok {
+		s.nRateLimited.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(max(1, int((wait+time.Second-1)/time.Second))))
+		s.errorBody(w, http.StatusTooManyRequests,
+			fmt.Sprintf("client rate limit (%d per %s) reached", s.cfg.PerClientRate, s.cfg.PerClientWindow))
+		return
+	}
+	releaseClient, ok := s.acquireClient(key)
 	if !ok {
 		s.nClientRejected.Add(1)
 		s.errorBody(w, http.StatusTooManyRequests,
@@ -553,6 +643,7 @@ type StatsResponse struct {
 	OK             int64 `json:"ok"`
 	Rejected       int64 `json:"rejected"`
 	ClientRejected int64 `json:"client_rejected"`
+	RateLimited    int64 `json:"rate_limited"`
 	Timeouts       int64 `json:"timeouts"`
 	Cancelled      int64 `json:"cancelled"`
 	BadReq         int64 `json:"bad_requests"`
@@ -563,7 +654,7 @@ type StatsResponse struct {
 	SuppressedEmissions int64 `json:"suppressed_emissions"`
 
 	StoreMembers     int    `json:"store_members"`
-	StoreShards      int    `json:"store_shards"`
+	StoreShards      int    `json:"store_shards"` // scatter lanes per search (a parallelism knob, not a data partition)
 	StoreBytes       int    `json:"store_bytes"`
 	StoreGenerations int    `json:"store_generations"`
 	StoreTombstones  int    `json:"store_tombstones"`
@@ -591,6 +682,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		OK:             s.nOK.Load(),
 		Rejected:       s.nRejected.Load(),
 		ClientRejected: s.nClientRejected.Load(),
+		RateLimited:    s.nRateLimited.Load(),
 		Timeouts:       s.nTimeouts.Load(),
 		Cancelled:      s.nCancelled.Load(),
 		BadReq:         s.nBadReq.Load(),

@@ -12,6 +12,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -427,6 +428,66 @@ func TestServeCorruptReload(t *testing.T) {
 	}
 }
 
+// TestServeReloadStampSkip: on a directory-backed store the reload
+// job watches the MANIFEST's mutation stamp — an unchanged stamp skips
+// the reload entirely (the serving store pointer survives), and a
+// mutation published by another process (stamp advance) triggers a
+// real swap that serves the new member.
+func TestServeReloadStampSkip(t *testing.T) {
+	store := testStore(t, 4, 2000, 2, 0)
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := store.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv := testServer(t, Config{Store: store})
+	job := &ReloadJob{Server: srv, Path: dir, Every: time.Hour}
+	srv.AddJob(job)
+
+	// The serving store already carries the directory's stamp: the job
+	// must skip the load and keep the exact store pointer.
+	before := srv.Store()
+	for i := 0; i < 3; i++ {
+		if err := srv.RunJobOnce(t.Context(), "reload"); err != nil {
+			t.Fatalf("reload over an unchanged manifest failed: %v", err)
+		}
+		if srv.Store() != before {
+			t.Fatal("reload swapped the store although the manifest stamp was unchanged")
+		}
+	}
+
+	// The rebuild process publishes a mutation through its own handle
+	// on the same directory: the stamp advances, the next run reloads.
+	other, err := alae.LoadStoreFile(dir, alae.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := alae.SeqRecord{Name: "extra", Seq: bytes.Repeat([]byte("ACGT"), 50)}
+	if err := other.Append([]alae.SeqRecord{extra}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RunJobOnce(t.Context(), "reload"); err != nil {
+		t.Fatalf("reload after a published mutation failed: %v", err)
+	}
+	after := srv.Store()
+	if after == before {
+		t.Fatal("reload did not swap the store after the manifest stamp advanced")
+	}
+	if after.Sequences().Len() != before.Sequences().Len()+1 {
+		t.Fatalf("reloaded store has %d members, want %d", after.Sequences().Len(), before.Sequences().Len()+1)
+	}
+	if after.Stamp() != other.Stamp() {
+		t.Fatalf("reloaded store stamp %d, directory stamp %d", after.Stamp(), other.Stamp())
+	}
+
+	// And the swap settles: the next run skips again.
+	if err := srv.RunJobOnce(t.Context(), "reload"); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Store() != after {
+		t.Fatal("reload swapped the store again without a stamp change")
+	}
+}
+
 // TestServeJobPanicIsolated: a panicking job run is counted as a
 // failure, not a crash.
 func TestServeJobPanicIsolated(t *testing.T) {
@@ -598,6 +659,76 @@ func TestServePerClientCap(t *testing.T) {
 	srv.clientMu.Unlock()
 	if leaked != 0 {
 		t.Fatalf("client accounting map leaked %d entries", leaked)
+	}
+}
+
+// TestServePerClientRateLimit: a client burning through its token
+// bucket is rejected with 429 and a Retry-After hint, other clients
+// and the concurrency counters are untouched, and the bucket refills
+// with the (injected) clock — both gradually and back to a full burst.
+func TestServePerClientRateLimit(t *testing.T) {
+	srv := testServer(t, Config{Lanes: 4, PerClientRate: 3, PerClientWindow: time.Second})
+	clock := time.Now()
+	srv.hooks.now = func() time.Time { return clock }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	probe := string(srv.Store().SampleQuery(100))
+
+	// The full burst is admitted; the next request inside the window
+	// is rejected with the sharper next-token Retry-After hint.
+	for i := 0; i < 3; i++ {
+		if code, _ := postSearchAs(t, ts.URL, "burst", SearchRequest{Query: probe}); code != http.StatusOK {
+			t.Fatalf("request %d of the burst got %d, want 200", i, code)
+		}
+	}
+	code, hdr := postSearchAs(t, ts.URL, "burst", SearchRequest{Query: probe})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate request got %d, want 429", code)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("rate-limit 429 Retry-After = %q, want a positive integer", hdr.Get("Retry-After"))
+	}
+	if n := srv.nRateLimited.Load(); n != 1 {
+		t.Fatalf("rate_limited counter is %d, want 1", n)
+	}
+	if n := srv.nClientRejected.Load() + srv.nRejected.Load(); n != 0 {
+		t.Fatalf("rate rejection leaked into the concurrency counters (%d)", n)
+	}
+
+	// A different client has its own bucket.
+	if code, _ := postSearchAs(t, ts.URL, "other", SearchRequest{Query: probe}); code != http.StatusOK {
+		t.Fatalf("other client got %d while burst was limited", code)
+	}
+
+	// A third of the window refills exactly one token...
+	clock = clock.Add(time.Second / 3)
+	if code, _ := postSearchAs(t, ts.URL, "burst", SearchRequest{Query: probe}); code != http.StatusOK {
+		t.Fatalf("request after a one-token refill got %d, want 200", code)
+	}
+	if code, _ := postSearchAs(t, ts.URL, "burst", SearchRequest{Query: probe}); code != http.StatusTooManyRequests {
+		t.Fatalf("second request after a one-token refill got %d, want 429", code)
+	}
+
+	// ...and a full idle window restores the whole burst.
+	clock = clock.Add(2 * time.Second)
+	for i := 0; i < 3; i++ {
+		if code, _ := postSearchAs(t, ts.URL, "burst", SearchRequest{Query: probe}); code != http.StatusOK {
+			t.Fatalf("request %d after a full refill got %d, want 200", i, code)
+		}
+	}
+
+	// /stats reports the rejections.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.RateLimited != 2 {
+		t.Fatalf("/stats rate_limited = %d, want 2", sr.RateLimited)
 	}
 }
 

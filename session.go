@@ -126,6 +126,34 @@ func (ses *Session) searchThreshold(cx context.Context, query []byte, h int) (*R
 	}, nil
 }
 
+// searchCollect is the store's collector-resident search: one query at
+// a pinned threshold, dispatched across lanes cost-balanced family
+// slices of the shared index (core.Session.SearchLanes), with the hits
+// left IN the session's collector for the caller to stream (see
+// align.Collector.ForEach) instead of materialised into a sorted
+// Result.Hits slice. This is what makes the store's gather streaming:
+// no per-lane intermediate hit slice ever exists. Baseline algorithms
+// (cs == nil) have no collector; they fall back to searchThreshold and
+// return the materialised *Result as res instead.
+func (ses *Session) searchCollect(cx context.Context, query []byte, h, lanes int) (st Stats, res *Result, err error) {
+	if ses.closed {
+		return Stats{}, nil, fmt.Errorf("alae: Search on a closed Session")
+	}
+	if ses.cs == nil {
+		r, err := ses.searchThreshold(cx, query, h)
+		if err != nil {
+			return Stats{}, nil, err
+		}
+		return r.Stats, r, nil
+	}
+	ses.coll.Reset()
+	cst, err := ses.cs.SearchLanes(cx, query, ses.s, h, ses.coll, lanes)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	return statsFromCore(cst), nil, nil
+}
+
 // Close hands the session's pooled state back to the engine. The
 // session must not be used afterwards; Close is idempotent.
 func (ses *Session) Close() {

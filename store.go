@@ -15,17 +15,21 @@ import (
 // This file is the serving store: the paper's §2.2 database model
 // (concatenate the sequences T1..Tn, search one index, map hits back
 // to members) productionised as a first-class subsystem. A Store
-// partitions a named sequence collection into K byte-balanced shards,
-// builds one Index per shard, and serves searches by scatter-gather:
-// every shard is searched at the threshold of the whole database, the
-// per-shard hit tables are gathered in shard order, hits ending on
-// separator rows are rejected once at the gather (no caller-side
-// Locate loops), and every surviving hit is mapped to global
-// coordinates plus a member-level SeqHit view through the store's
-// sequence table. On top sits a result-level query cache: search
-// results are immutable per store state, so a repeated (query,
-// options) pair against an unmutated store is answered by one hash
-// probe.
+// builds ONE monolithic index per generation over the members'
+// separator-framed concatenation and serves searches by a shared-index
+// scatter-gather: the query's grams are resolved ONCE against each
+// generation's trie, the resolved fork families are dispatched across
+// K work lanes (contiguous family slices load-balanced by estimated
+// band cost — see core.Session.SearchLanes), every lane runs at the
+// threshold of the whole database, and the gather streams each
+// generation's collector table straight into per-member SeqHit buckets
+// — rejecting hits ending on separator rows and hits inside tombstoned
+// members — with no intermediate per-shard sorted hit slice. K is
+// therefore a parallelism knob, not a layout knob: CalculatedEntries
+// and the hit set are byte-identical for every K. On top sits a
+// result-level query cache: search results are immutable per store
+// state, so a repeated (query, options) pair against an unmutated
+// store is answered by one hash probe.
 //
 // The store is MUTABLE: Append, Delete and Compact (storegen.go) give
 // it generational LSM-style incremental maintenance, with every search
@@ -76,11 +80,14 @@ type StoreResult struct {
 
 // StoreOptions configures NewStore.
 type StoreOptions struct {
-	// Shards is K, the number of index shards the records are
-	// partitioned into (byte-balanced, contiguous in input order).
-	// 0 means 1; values above the record count are clamped. Appended
-	// generations get one shard each (they are small by design);
-	// compaction rebuilds merged generations at this K.
+	// Shards is K, the number of work lanes each search's resolved
+	// fork families are dispatched across per generation. It is a
+	// PARALLELISM knob, not a layout knob: the store always builds one
+	// monolithic index per generation, K slices that index's resolved
+	// work at search time, and the hit set and CalculatedEntries are
+	// byte-identical for every K. 0 means 1; when K ≤ 1 the
+	// engine-level SearchOptions.Parallelism governs the fan-out
+	// instead (the pre-refactor default).
 	Shards int
 	// QueryCacheSize is the capacity, in cached results, of the
 	// result-level query cache. 0 means the default (1024 results);
@@ -112,24 +119,17 @@ type Store struct {
 	mu    sync.Mutex
 	pools map[string]*sync.Pool // options fingerprint → *StoreSession pool
 
-	mutMu        sync.Mutex // serialises mutations and their persistence
-	dir          string     // backing directory; "" = memory-only
-	nextGenID    uint64
-	targetShards int // K for compaction-built generations
+	mutMu     sync.Mutex // serialises mutations and their persistence
+	dir       string     // backing directory; "" = memory-only
+	nextGenID uint64
+	k         int // K: family-slice lanes per generation search
 }
 
-// storeShard is one shard: an Index over the concatenation of a
-// contiguous run of members, plus the run's local directory.
-type storeShard struct {
-	ix   *Index
-	tab  *seq.Table // directory local to the shard's own text
-	base int        // generation-local index of the shard's first member
-}
-
-// NewStore partitions the records into byte-balanced shards and builds
-// one Index per shard (in parallel), as the store's first generation.
-// The records' sequences are copied into the shard texts; the inputs
-// are not retained.
+// NewStore builds one monolithic index over the records'
+// separator-framed concatenation as the store's first generation. The
+// records' sequences are copied into the generation text; the inputs
+// are not retained. opts.Shards only sets the search-time lane count —
+// see StoreOptions.
 func NewStore(records []SeqRecord, opts StoreOptions) (*Store, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("alae: NewStore needs at least one record")
@@ -137,7 +137,7 @@ func NewStore(records []SeqRecord, opts StoreOptions) (*Store, error) {
 	if err := validateRecords(records); err != nil {
 		return nil, err
 	}
-	g := buildGeneration(1, records, opts.Shards)
+	g := buildGeneration(1, records)
 	return newStoreFromGens([]*generation{g}, 1, opts)
 }
 
@@ -151,14 +151,7 @@ func newStoreFromGens(gens []*generation, stamp uint64, opts StoreOptions) (*Sto
 	st := &Store{
 		pools: make(map[string]*sync.Pool),
 		cache: newQueryCache(opts.QueryCacheSize),
-	}
-	st.targetShards = opts.Shards
-	if st.targetShards <= 0 {
-		// No explicit K: keep compactions at the widest generation's
-		// fan-out (1 for a store that has never been sharded).
-		for _, g := range gens {
-			st.targetShards = max(st.targetShards, len(g.shards))
-		}
+		k:     max(opts.Shards, 1),
 	}
 	for _, g := range gens {
 		if g.id >= st.nextGenID {
@@ -169,51 +162,17 @@ func newStoreFromGens(gens []*generation, stamp uint64, opts StoreOptions) (*Sto
 	return st, nil
 }
 
-// partitionRecords chooses contiguous byte-balanced shard boundaries:
-// cuts[s] is the first record of shard s, cuts[k] = len(lengths).
-// Greedy with a half-record overshoot rule — a record joins the
-// current shard while that lands the shard closer to the remaining
-// average — while always leaving at least one record for every
-// remaining shard.
-func partitionRecords(lengths []int, k int) []int {
-	cuts := make([]int, 1, k+1)
-	remaining := 0
-	for _, n := range lengths {
-		remaining += n
-	}
-	idx := 0
-	for s := 0; s < k; s++ {
-		target := remaining / (k - s)
-		maxEnd := len(lengths) - (k - s - 1)
-		end, acc := idx, 0
-		for end < maxEnd && (end == idx || acc+lengths[end]/2 <= target) {
-			acc += lengths[end]
-			end++
-		}
-		remaining -= acc
-		idx = end
-		cuts = append(cuts, end)
-	}
-	return cuts
-}
-
 // Sequences returns the store's global sequence directory: the LIVE
 // member names, lengths, and the global offsets hits are mapped
 // through. The returned table is an immutable snapshot of the current
 // store state; a mutation publishes a new one.
 func (st *Store) Sequences() *SeqTable { return st.currentView().seqs }
 
-// Shards returns the current total number of index shards across all
-// generations — the scatter fan-out of one search.
-func (st *Store) Shards() int { return st.currentView().lanes }
-
-// liveShard returns the shard and shard-local member index holding
-// live member g of view v.
-func (v *storeView) liveShard(g int) (*storeShard, int) {
-	gl := v.loc[g]
-	sh := v.gens[gl.gen].shardFor(gl.member)
-	return sh, gl.member - sh.base
-}
+// Shards returns K, the number of work lanes each search's resolved
+// fork families are dispatched across per generation (StoreOptions.
+// Shards, floor 1). A parallelism knob only: results are byte-
+// identical for every K, and the value is constant across mutations.
+func (st *Store) Shards() int { return st.k }
 
 // resolveThreshold derives the score threshold for a query of length m
 // exactly as a monolithic Index over the whole live concatenation
@@ -379,8 +338,8 @@ func (st *Store) ShedQueryCache(maxHits int64) (evicted int) {
 }
 
 // Align reconstructs the best alignment ending at a store hit, for
-// display. The traceback runs inside the hit's member shard. The hit
-// must come from a search against the CURRENT store state: after a
+// display. The traceback runs inside the hit's member generation. The
+// hit must come from a search against the CURRENT store state: after a
 // mutation, re-search rather than aligning stale hits (a renumbered
 // member is detected by the bounds check, a re-used index is not).
 func (st *Store) Align(query []byte, s Scheme, hit SeqHit) (Alignment, error) {
@@ -388,13 +347,14 @@ func (st *Store) Align(query []byte, s Scheme, hit SeqHit) (Alignment, error) {
 	if hit.Member < 0 || hit.Member >= len(v.loc) {
 		return Alignment{}, fmt.Errorf("alae: hit member %d is not a live member (store mutated since the search?)", hit.Member)
 	}
-	sh, lm := v.liveShard(hit.Member)
+	gl := v.loc[hit.Member]
+	g := v.gens[gl.gen]
 	local := Hit{
-		TEnd:  sh.tab.Start(lm) + hit.LocalTEnd,
+		TEnd:  g.tab.Start(gl.member) + hit.LocalTEnd,
 		QEnd:  hit.QEnd,
 		Score: hit.Score,
 	}
-	return sh.ix.Align(query, s, local)
+	return g.ix.Align(query, s, local)
 }
 
 // FormatAlignment renders an alignment produced by Store.Align for the
@@ -404,8 +364,8 @@ func (st *Store) FormatAlignment(a Alignment, hit SeqHit, query []byte, width in
 	if hit.Member < 0 || hit.Member >= len(v.loc) {
 		return ""
 	}
-	sh, _ := v.liveShard(hit.Member)
-	return sh.ix.FormatAlignment(a, query, width)
+	g := v.gens[v.loc[hit.Member].gen]
+	return g.ix.FormatAlignment(a, query, width)
 }
 
 // TopKSeq returns the k highest-scoring store hits (all when k ≤ 0),
@@ -451,7 +411,8 @@ func (st *Store) SampleQuery(n int) []byte {
 	if n <= 0 {
 		return nil
 	}
-	sh, lm := v.liveShard(best)
-	start := sh.tab.Start(lm)
-	return append([]byte(nil), sh.ix.Text()[start:start+n]...)
+	gl := v.loc[best]
+	g := v.gens[gl.gen]
+	start := g.tab.Start(gl.member)
+	return append([]byte(nil), g.ix.Text()[start:start+n]...)
 }

@@ -117,6 +117,7 @@ func TestStoreShardParity(t *testing.T) {
 			mono := NewIndex(col.Text())
 			wantThreshold := make([]int, len(wl.queries))
 			wantHits := make([][]SeqHit, len(wl.queries))
+			wantEntries := make([]int64, len(wl.queries))
 			for qi, query := range wl.queries {
 				want, err := mono.Search(query, tc.opts)
 				if err != nil {
@@ -124,11 +125,12 @@ func TestStoreShardParity(t *testing.T) {
 				}
 				wantThreshold[qi] = want.Threshold
 				wantHits[qi] = monolithicSeqHits(want, col.Table())
+				wantEntries[qi] = want.Stats.CalculatedEntries
 				if qi == 0 && len(wantHits[qi]) == 0 {
 					t.Fatal("vacuous workload: monolithic search found nothing")
 				}
 			}
-			for _, k := range []int{1, 2, 5} {
+			for _, k := range []int{1, 2, 4} {
 				st, err := NewStore(wl.records, StoreOptions{Shards: k})
 				if err != nil {
 					t.Fatal(err)
@@ -165,6 +167,15 @@ func TestStoreShardParity(t *testing.T) {
 							got.Stats.QueryCacheHits == 0 {
 							t.Fatalf("K=%d pass %d query %d: session entries %d, one-shot %d",
 								k, pass, qi, ses.Stats.CalculatedEntries, got.Stats.CalculatedEntries)
+						}
+						// The shared-index scatter's entry-parity gate: K only
+						// partitions the resolved work, so CalculatedEntries is
+						// byte-equal to the monolithic search for EVERY K — the
+						// old text-partitioned sharding redid ~1.7× the entries
+						// at K=4.
+						if ses.Stats.CalculatedEntries != wantEntries[qi] {
+							t.Fatalf("K=%d pass %d query %d: entries %d, monolithic %d",
+								k, pass, qi, ses.Stats.CalculatedEntries, wantEntries[qi])
 						}
 					}
 				}
@@ -302,8 +313,10 @@ func TestStoreManifestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Shards() != st.Shards() {
-		t.Fatalf("loaded %d shards, saved %d", loaded.Shards(), st.Shards())
+	// K is a runtime parallelism knob, never persisted: a load without
+	// StoreOptions.Shards serves at K=1 whatever the saver used.
+	if loaded.Shards() != 1 {
+		t.Fatalf("loaded %d lanes, want default 1", loaded.Shards())
 	}
 	if loaded.Sequences().Len() != st.Sequences().Len() {
 		t.Fatalf("loaded %d members, saved %d", loaded.Sequences().Len(), st.Sequences().Len())
@@ -552,44 +565,50 @@ func TestStoreSearchAll(t *testing.T) {
 	}
 }
 
-// TestPartitionRecords checks the byte-balancing cut rule directly:
-// contiguous cover, no empty shard, clamping, and rough balance on
-// uniform inputs.
-func TestPartitionRecords(t *testing.T) {
-	check := func(lengths []int, k int) []int {
-		t.Helper()
-		cuts := partitionRecords(lengths, k)
-		if len(cuts) != k+1 || cuts[0] != 0 || cuts[k] != len(lengths) {
-			t.Fatalf("cuts %v do not cover %d records in %d shards", cuts, len(lengths), k)
-		}
-		for s := 0; s < k; s++ {
-			if cuts[s+1] <= cuts[s] {
-				t.Fatalf("cuts %v leave shard %d empty", cuts, s)
-			}
-		}
-		return cuts
-	}
-	check([]int{5}, 1)
-	check([]int{1, 1, 1, 1, 1}, 5)
-	cuts := check([]int{100, 100, 100, 100, 100, 100, 100, 100}, 4)
-	for s := 0; s < 4; s++ {
-		if cuts[s+1]-cuts[s] != 2 {
-			t.Fatalf("uniform records unbalanced: %v", cuts)
-		}
-	}
-	// One giant record dominates: it must sit alone in a shard while
-	// every other shard still gets at least one record.
-	check([]int{10, 10_000, 10, 10}, 3)
-
+// TestStoreLaneKnob pins the post-refactor K semantics: Shards is a
+// parallelism knob over one monolithic index per generation, so it is
+// NOT clamped to the record count (K lanes of family slices exist for
+// any record count), it is constant across mutations, and a K far
+// above the workload's family count still answers correctly.
+func TestStoreLaneKnob(t *testing.T) {
 	if _, err := NewStore(nil, StoreOptions{}); err == nil {
 		t.Fatal("NewStore accepted zero records")
 	}
-	st, err := NewStore([]SeqRecord{{Name: "a", Seq: []byte("ACGT")}}, StoreOptions{Shards: 7})
+	seqBytes := []byte("ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT")
+	st, err := NewStore([]SeqRecord{{Name: "a", Seq: seqBytes}}, StoreOptions{Shards: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Shards() != 1 {
-		t.Fatalf("shards not clamped to record count: %d", st.Shards())
+	if st.Shards() != 7 {
+		t.Fatalf("Shards() = %d, want the lane knob 7 (no record-count clamp)", st.Shards())
+	}
+	if err := st.Append([]SeqRecord{{Name: "b", Seq: seqBytes}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards() != 7 {
+		t.Fatalf("Shards() changed across a mutation: %d", st.Shards())
+	}
+	ref, err := NewStore([]SeqRecord{{Name: "a", Seq: seqBytes}}, StoreOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Append([]SeqRecord{{Name: "b", Seq: seqBytes}}); err != nil {
+		t.Fatal(err)
+	}
+	query := seqBytes[:24]
+	got, err := st.Search(query, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Search(query, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seqHitsEqual(got.Hits, want.Hits) {
+		t.Fatalf("K=7 hits diverge from K=1 (%d vs %d)", len(got.Hits), len(want.Hits))
+	}
+	if got.Stats.CalculatedEntries != want.Stats.CalculatedEntries {
+		t.Fatalf("K=7 entries %d, K=1 entries %d", got.Stats.CalculatedEntries, want.Stats.CalculatedEntries)
 	}
 }
 
@@ -670,5 +689,48 @@ func TestStoreSearchAllStopsAfterError(t *testing.T) {
 	}
 	if started > 4 {
 		t.Fatalf("%d of %d queries were launched after the first error; cancellation is not stopping work", started, len(queries))
+	}
+}
+
+// TestStoreGatherAllocBound pins the streaming gather's shape: a warm
+// StoreSession search materialises ONE hit slice — the caller's
+// StoreResult.Hits — with no per-lane intermediate Result.Hits in
+// between. The per-lane collectors stream straight into the session's
+// retained member buckets, so the steady-state allocation count is a
+// small constant independent of how many hits the query produces.
+func TestStoreGatherAllocBound(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 5, 3000, 400, 714)
+	st, err := NewStore(wl.records, StoreOptions{QueryCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := st.OpenSession(SearchOptions{Threshold: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	query := wl.queries[0]
+	var hits int
+	for warm := 0; warm < 3; warm++ {
+		res, err := ss.Search(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits = len(res.Hits)
+	}
+	if hits == 0 {
+		t.Fatal("workload produced no hits; the test is vacuous")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := ss.Search(query); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: the StoreResult, its Hits backing array, and the handful
+	// of fixed-size boxes the scatter/gather plumbing needs. Anything
+	// scaling with hit count or lane count would blow far past this.
+	const budget = 8
+	if allocs > budget {
+		t.Fatalf("warm StoreSession.Search allocated %.1f objects per query (budget %d): the gather is materialising intermediates", allocs, budget)
 	}
 }

@@ -9,7 +9,6 @@ import (
 	"path/filepath"
 	"slices"
 	"strings"
-	"sync"
 
 	"repro/internal/seq"
 )
@@ -19,8 +18,9 @@ import (
 // frozen concatenation T = T1 # T2 # … # Tn; a serving deployment does
 // not — records arrive and retire continuously while a daemon keeps
 // the store resident for days. So a Store is now an ordered list of
-// immutable GENERATIONS, each a cohort of members with its own
-// byte-balanced shard indexes:
+// immutable GENERATIONS, each a cohort of members with ONE monolithic
+// index over its concatenation (shards are work partitions of that
+// index at search time, not separate texts — see storesession.go):
 //
 //   - Append builds a small fresh generation over just the new records
 //     (fast — a few MB of index, not the whole database) and adds it
@@ -77,24 +77,25 @@ func maskOf(s []byte) byteMask {
 }
 
 // generation is one immutable cohort of members: its own directory,
-// shard indexes and per-member byte masks, plus the tombstone flags.
-// Mutations never modify a generation in place — Delete publishes a
-// copy with new tombstone flags sharing everything else.
+// one index over its concatenation and per-member byte masks, plus the
+// tombstone flags. Mutations never modify a generation in place —
+// Delete publishes a copy with new tombstone flags sharing everything
+// else.
 type generation struct {
-	id     uint64
-	tab    *seq.Table // ALL the generation's members, tombstoned included
-	shards []storeShard
-	masks  []byteMask // per-member byte presence
-	dead   []bool     // tombstone flags; nil when none
-	ndead  int
+	id    uint64
+	tab   *seq.Table // ALL the generation's members, tombstoned included
+	ix    *Index     // one index over the generation's concatenation
+	masks []byteMask // per-member byte presence
+	dead  []bool     // tombstone flags; nil when none
+	ndead int
 }
 
 func (g *generation) isDead(m int) bool { return g.dead != nil && g.dead[m] }
 
 // withTombstones returns a copy of g carrying the given tombstone
-// flags, sharing the directory, shards and masks.
+// flags, sharing the directory, index and masks.
 func (g *generation) withTombstones(dead []bool, ndead int) *generation {
-	return &generation{id: g.id, tab: g.tab, shards: g.shards, masks: g.masks, dead: dead, ndead: ndead}
+	return &generation{id: g.id, tab: g.tab, ix: g.ix, masks: g.masks, dead: dead, ndead: ndead}
 }
 
 // liveBytes is the generation's contribution to the logical store:
@@ -109,65 +110,28 @@ func (g *generation) liveBytes() int {
 	return n
 }
 
-// shardFor returns the shard holding the generation's member m.
-func (g *generation) shardFor(m int) *storeShard {
-	lo, hi := 0, len(g.shards)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if g.shards[mid].base <= m {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return &g.shards[lo]
-}
-
-// memberBytes copies member m's sequence out of its shard's text
+// memberBytes copies member m's sequence out of the generation's text
 // (compaction rebuilds merged generations from these).
 func (g *generation) memberBytes(m int) []byte {
-	sh := g.shardFor(m)
-	start := sh.tab.Start(m - sh.base)
-	return append([]byte(nil), sh.ix.Text()[start:start+sh.tab.SeqLen(m-sh.base)]...)
+	start := g.tab.Start(m)
+	return append([]byte(nil), g.ix.Text()[start:start+g.tab.SeqLen(m)]...)
 }
 
-// buildGeneration partitions records into k byte-balanced shards and
-// builds one Index per shard in parallel — the same partitioner and
-// build path every store has used since the sharding refactor, now
-// scoped to one generation.
-func buildGeneration(id uint64, records []SeqRecord, k int) *generation {
-	if k <= 0 {
-		k = 1
-	}
-	if k > len(records) {
-		k = len(records)
-	}
-	names := make([]string, len(records))
-	lengths := make([]int, len(records))
+// buildGeneration builds ONE index over the records' separator-framed
+// concatenation. There is deliberately no shard count here any more:
+// shards are work partitions of this one index at search time
+// (family-slice lanes, storesession.go), so the on-disk and in-memory
+// layout is always the monolithic one the paper's §2.2 model assumes,
+// whatever parallelism later searches pick.
+func buildGeneration(id uint64, records []SeqRecord) *generation {
 	masks := make([]byteMask, len(records))
+	recs := make([]seq.Record, len(records))
 	for i, r := range records {
-		names[i], lengths[i] = r.Name, len(r.Seq)
 		masks[i] = maskOf(r.Seq)
+		recs[i] = seq.Record{Header: r.Name, Seq: r.Seq}
 	}
-	g := &generation{id: id, tab: seq.NewTable(names, lengths), masks: masks}
-	cuts := partitionRecords(lengths, k)
-	g.shards = make([]storeShard, k)
-	var wg sync.WaitGroup
-	for s := 0; s < k; s++ {
-		lo, hi := cuts[s], cuts[s+1]
-		recs := make([]seq.Record, hi-lo)
-		for i, r := range records[lo:hi] {
-			recs[i] = seq.Record{Header: r.Name, Seq: r.Seq}
-		}
-		wg.Add(1)
-		go func(s, lo int, recs []seq.Record) {
-			defer wg.Done()
-			col := seq.NewCollection(recs)
-			g.shards[s] = storeShard{ix: NewIndex(col.Text()), tab: col.Table(), base: lo}
-		}(s, lo, recs)
-	}
-	wg.Wait()
-	return g
+	col := seq.NewCollection(recs)
+	return &generation{id: id, tab: col.Table(), ix: NewIndex(col.Text()), masks: masks}
 }
 
 // genLoc places a live member: which generation, which member within
@@ -185,7 +149,6 @@ type storeView struct {
 	sigma int           // distinct bytes of the live concatenation
 	loc   []genLoc      // live member -> (generation, member within it)
 	live  [][]int       // per generation: member -> live index, or -1 when tombstoned
-	lanes int           // total shard count across generations
 }
 
 // buildView derives the live directory, alphabet and member mappings
@@ -210,7 +173,6 @@ func buildView(gens []*generation, stamp uint64) (*storeView, error) {
 			mask.or(g.masks[m])
 		}
 		v.live = append(v.live, liveIdx)
-		v.lanes += len(g.shards)
 	}
 	if len(names) == 0 {
 		return nil, fmt.Errorf("alae: store has no live members")
@@ -281,7 +243,7 @@ func (st *Store) Append(records []SeqRecord) error {
 	st.mutMu.Lock()
 	defer st.mutMu.Unlock()
 	cur := st.currentView()
-	g := buildGeneration(st.nextGenID, records, 1)
+	g := buildGeneration(st.nextGenID, records)
 	gens := append(slices.Clip(slices.Clone(cur.gens)), g)
 	next, err := buildView(gens, cur.stamp+1)
 	if err != nil {
@@ -405,7 +367,7 @@ func (st *Store) Compact() (CompactStats, error) {
 	}
 	var merged *generation
 	if len(recs) > 0 {
-		merged = buildGeneration(st.nextGenID, recs, st.targetShards)
+		merged = buildGeneration(st.nextGenID, recs)
 	}
 	// The merged generation takes the first victim's position, so the
 	// surviving live order is exactly the pre-compaction live order.
@@ -633,6 +595,17 @@ func readManifest(path string) (stamp uint64, gens []manifestGen, err error) {
 		return 0, nil, fmt.Errorf("alae: store manifest lists no generations")
 	}
 	return stamp, gens, nil
+}
+
+// StoreDirStamp reads the mutation stamp of a directory-backed store
+// from its manifest alone, without loading any generation index. A
+// serving daemon's reload job polls this: when the stamp matches the
+// store it is already serving, the (expensive) reload is skipped —
+// the manifest rename is the commit point of every mutation, so an
+// unchanged stamp means an unchanged store.
+func StoreDirStamp(dir string) (uint64, error) {
+	stamp, _, err := readManifest(filepath.Join(dir, manifestName))
+	return stamp, err
 }
 
 // loadStoreDir loads a directory-backed store: manifest, then each

@@ -382,6 +382,70 @@ func TestStoreMutateWhileSearching(t *testing.T) {
 	wg.Wait()
 }
 
+// TestStoreMutateWhileSearchAll races SearchAll batches — whose every
+// query scatters over the shared index through the family-slice lane
+// dispatch (Shards > 1) — against the full mutation lifecycle. The
+// batch contract under mutation: each result is a complete answer from
+// SOME published view (no errors, no torn hybrids), and the lane
+// dispatch never trips the race detector against Append/Delete/Compact
+// republishing the view underneath it.
+func TestStoreMutateWhileSearchAll(t *testing.T) {
+	wl := buildStoreWorkload(seq.DNA, 6, 1200, 200, 921)
+	st, err := NewStore(wl.records[:4], StoreOptions{Shards: 3, QueryCacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]byte, 4)
+	for i := range batch {
+		batch[i] = wl.queries[i%len(wl.queries)]
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				results, err := st.SearchAll(batch, SearchOptions{}, 2)
+				if err != nil {
+					t.Errorf("worker %d batch %d: %v", w, i, err)
+					return
+				}
+				for qi, res := range results {
+					if res == nil {
+						t.Errorf("worker %d batch %d: query %d has no result", w, i, qi)
+						return
+					}
+					for _, h := range res.Hits {
+						if h.Name == "" {
+							t.Errorf("worker %d: hit with empty member name", w)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 3; round++ {
+		if err := st.Append([]SeqRecord{wl.records[4], wl.records[5]}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Delete(wl.records[4].Name, wl.records[5].Name); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // TestStoreCompactionFoldsTail: past four generations, compaction must
 // fold the small-generation tail back down even with no tombstones.
 func TestStoreCompactionFoldsTail(t *testing.T) {

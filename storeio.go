@@ -13,18 +13,22 @@ import (
 )
 
 // Store persistence: a versioned manifest — generations, member names
-// and lengths, tombstone flags, shard boundaries — framing the
-// existing per-index serialization, so a saved store reloads with the
-// exact partition it was built with and every shard index round-trips
-// through the Index.Save format (including its own versioning and
-// rank-layout tags). Each shard payload is length-prefixed, which
-// keeps the indexes' internal buffered readers from consuming past
-// their own frame.
+// and lengths, tombstone flags — framing the existing per-index
+// serialization, so a saved store round-trips through the Index.Save
+// format (including its own versioning and rank-layout tags). Each
+// index payload is length-prefixed, which keeps the indexes' internal
+// buffered readers from consuming past their own frame.
 //
 // Version history:
-//   1 — single implicit generation, no tombstones (still readable).
+//   1 — single implicit generation, no tombstones, per-shard index
+//       payloads (still readable).
 //   2 — generational: mutation stamp, per-generation id and member
-//       flags (bit 0 = tombstoned).
+//       flags (bit 0 = tombstoned); per-shard index payloads.
+//   3 — shared-index scatter: ONE index payload per generation, no
+//       shard list. Shards became search-time work partitions, so the
+//       persisted layout is always the monolithic one; loading a v1/v2
+//       file still works by joining its shard texts and rebuilding one
+//       index per generation (a one-time migration cost paid at load).
 //
 // The same format also serves as the per-generation file of a
 // directory-backed store (storegen.go), where each generation is
@@ -35,7 +39,7 @@ import (
 var storeMagic = [8]byte{'A', 'L', 'A', 'E', 'S', 'T', 'O', 'R'}
 
 // storeVersion is the manifest format version this build writes.
-const storeVersion uint32 = 2
+const storeVersion uint32 = 3
 
 // sane upper bounds for manifest fields: a reload of hostile or
 // corrupt bytes must fail with a message, not an allocation storm.
@@ -153,22 +157,24 @@ func (c *countingTee) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Save serialises the store: the manifest followed by each shard's
-// index (text plus compressed suffix array). The format is versioned
-// and validated on load. Shard payloads STREAM to w in two passes — a
-// counting pre-pass derives each length prefix, then the serialization
-// runs again writing through — so saving never materialises a shard's
-// payload in memory (the old single-pass save buffered each payload
-// whole, roughly doubling peak memory on large stores).
+// Save serialises the store: the manifest followed by each
+// generation's index (text plus compressed suffix array). The format
+// is versioned and validated on load. Index payloads STREAM to w in
+// two passes — a counting pre-pass derives each length prefix, then
+// the serialization runs again writing through — so saving never
+// materialises a generation's payload in memory (the old single-pass
+// save buffered each payload whole, roughly doubling peak memory on
+// large stores).
 func (st *Store) Save(w io.Writer) error {
 	v := st.currentView()
 	return saveGenerations(w, v.gens, v.stamp)
 }
 
-// saveGenerations writes gens in the version-2 format. Index
-// serialization is deterministic, so the counting pre-pass's size is
-// exact; the tee's post-check turns any violation of that assumption
-// into a save error instead of a corrupt file.
+// saveGenerations writes gens in the version-3 format: one index
+// payload per generation, no shard list. Index serialization is
+// deterministic, so the counting pre-pass's size is exact; the tee's
+// post-check turns any violation of that assumption into a save error
+// instead of a corrupt file.
 func saveGenerations(w io.Writer, gens []*generation, stamp uint64) error {
 	bw := newByteWriter(w)
 	bw.bytes(storeMagic[:])
@@ -189,33 +195,27 @@ func saveGenerations(w io.Writer, gens []*generation, stamp uint64) error {
 			}
 			bw.u8(flags)
 		}
-		bw.u64(uint64(len(g.shards)))
-		for _, sh := range g.shards {
-			bw.u64(uint64(sh.tab.Len()))
-		}
 	}
 	if err := bw.flush(); err != nil {
 		return err
 	}
 	for _, g := range gens {
-		for s := range g.shards {
-			ix := g.shards[s].ix
-			var cnt countingSink
-			if err := ix.Save(&cnt); err != nil {
-				return err
-			}
-			var pfx [8]byte
-			binary.LittleEndian.PutUint64(pfx[:], uint64(cnt.n))
-			if _, err := w.Write(pfx[:]); err != nil {
-				return err
-			}
-			tee := countingTee{w: w}
-			if err := ix.Save(&tee); err != nil {
-				return err
-			}
-			if tee.n != cnt.n {
-				return fmt.Errorf("alae: saving store: shard payload measured %d bytes but wrote %d", cnt.n, tee.n)
-			}
+		ix := g.ix
+		var cnt countingSink
+		if err := ix.Save(&cnt); err != nil {
+			return err
+		}
+		var pfx [8]byte
+		binary.LittleEndian.PutUint64(pfx[:], uint64(cnt.n))
+		if _, err := w.Write(pfx[:]); err != nil {
+			return err
+		}
+		tee := countingTee{w: w}
+		if err := ix.Save(&tee); err != nil {
+			return err
+		}
+		if tee.n != cnt.n {
+			return fmt.Errorf("alae: saving store: generation payload measured %d bytes but wrote %d", cnt.n, tee.n)
 		}
 	}
 	return nil
@@ -306,11 +306,11 @@ func LoadStoreFile(path string, opts StoreOptions) (*Store, error) {
 	return LoadStore(f, opts)
 }
 
-// LoadStore reads a store written by Save (either format version). The
-// generation and shard partition comes from the manifest; opts.Shards
-// sets only the target shard count of FUTURE compactions (0 keeps the
-// widest loaded generation's), while opts.QueryCacheSize configures
-// the (runtime-only, never persisted) query cache of the loaded store.
+// LoadStore reads a store written by Save (any format version). The
+// generation list comes from the manifest; opts.Shards sets only the
+// loaded store's search-time lane count (it is a parallelism knob —
+// see StoreOptions — and is never persisted), while opts.QueryCacheSize
+// configures the (runtime-only, never persisted) query cache.
 func LoadStore(r io.Reader, opts StoreOptions) (*Store, error) {
 	gens, stamp, err := loadGenerations(r)
 	if err != nil {
@@ -320,18 +320,20 @@ func LoadStore(r io.Reader, opts StoreOptions) (*Store, error) {
 }
 
 // genManifest is one generation's parsed manifest block, pre-payload.
+// shardMembers is only set for legacy (version < 3) files, whose
+// payloads are per-shard; version-3 generations carry one payload.
 type genManifest struct {
 	id           uint64
 	names        []string
 	lengths      []int
 	dead         []bool // nil when no tombstones
 	ndead        int
-	shardMembers []int
+	shardMembers []int // legacy per-shard member counts; nil for v3
 }
 
 // loadGenerations parses Save's format: magic, version, the manifest
-// of every generation, then every generation's shard payloads in
-// order.
+// of every generation, then every generation's index payloads in
+// order (one per generation for v3, one per shard for v1/v2).
 func loadGenerations(r io.Reader) ([]*generation, uint64, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
@@ -345,8 +347,8 @@ func loadGenerations(r io.Reader) ([]*generation, uint64, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, 0, fmt.Errorf("alae: reading store version: %w", err)
 	}
-	if version != 1 && version != storeVersion {
-		return nil, 0, fmt.Errorf("alae: unsupported store version %d (this build reads versions 1 and %d)", version, storeVersion)
+	if version < 1 || version > storeVersion {
+		return nil, 0, fmt.Errorf("alae: unsupported store version %d (this build reads versions 1 through %d)", version, storeVersion)
 	}
 	u64 := func(what string, limit uint64) (uint64, error) {
 		var v uint64
@@ -439,28 +441,33 @@ func loadGenerations(r io.Reader) ([]*generation, uint64, error) {
 				}
 			}
 		}
-		shardCount, err := u64("shard count", maxStoreMembers)
-		if err != nil {
-			return nil, 0, err
-		}
-		if shardCount == 0 || shardCount > members {
-			return nil, 0, fmt.Errorf("alae: store generation %d has %d shards for %d members", gm.id, shardCount, members)
-		}
-		gm.shardMembers = make([]int, shardCount)
-		sum := 0
-		for s := range gm.shardMembers {
-			n, err := u64("shard member count", members)
+		if version < 3 {
+			// Legacy files partition each generation's text into shard
+			// payloads; the list is read (and validated) so the payload
+			// loop can reassemble the monolithic text.
+			shardCount, err := u64("shard count", maxStoreMembers)
 			if err != nil {
 				return nil, 0, err
 			}
-			if n == 0 {
-				return nil, 0, fmt.Errorf("alae: store shard %d is empty", s)
+			if shardCount == 0 || shardCount > members {
+				return nil, 0, fmt.Errorf("alae: store generation %d has %d shards for %d members", gm.id, shardCount, members)
 			}
-			gm.shardMembers[s] = int(n)
-			sum += int(n)
-		}
-		if sum != int(members) {
-			return nil, 0, fmt.Errorf("alae: store shard boundaries cover %d members, manifest has %d", sum, members)
+			gm.shardMembers = make([]int, shardCount)
+			sum := 0
+			for s := range gm.shardMembers {
+				n, err := u64("shard member count", members)
+				if err != nil {
+					return nil, 0, err
+				}
+				if n == 0 {
+					return nil, 0, fmt.Errorf("alae: store shard %d is empty", s)
+				}
+				gm.shardMembers[s] = int(n)
+				sum += int(n)
+			}
+			if sum != int(members) {
+				return nil, 0, fmt.Errorf("alae: store shard boundaries cover %d members, manifest has %d", sum, members)
+			}
 		}
 		manifests = append(manifests, gm)
 	}
@@ -475,8 +482,45 @@ func loadGenerations(r io.Reader) ([]*generation, uint64, error) {
 	return gens, stamp, nil
 }
 
-// loadGenPayloads reads and validates one generation's shard payloads
-// and assembles the generation.
+// readIndexPayload reads one length-prefixed index payload whose text
+// must be exactly textLen bytes. The manifest already says how long
+// the text is, so the payload frame gets a tight plausibility bound
+// (the index serialization is a small multiple of its text) instead of
+// a blanket huge one.
+func readIndexPayload(br *bufio.Reader, textLen int, what string) (*Index, error) {
+	maxPayload := 64*uint64(textLen) + (1 << 20)
+	var payloadLen uint64
+	if err := binary.Read(br, binary.LittleEndian, &payloadLen); err != nil {
+		return nil, fmt.Errorf("alae: reading store %s payload length: %w", what, err)
+	}
+	if payloadLen > maxPayload {
+		return nil, fmt.Errorf("alae: implausible store %s payload length %d", what, payloadLen)
+	}
+	// Grow the payload buffer as bytes actually arrive (CopyN reads
+	// in chunks) rather than trusting the declared length with one
+	// up-front allocation: a crafted header pointing at a short file
+	// fails with an EOF after consuming what exists.
+	var payload bytes.Buffer
+	if _, err := io.CopyN(&payload, br, int64(payloadLen)); err != nil {
+		return nil, fmt.Errorf("alae: reading store %s: %w", what, err)
+	}
+	ix, err := Load(bytes.NewReader(payload.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("alae: store %s: %w", what, err)
+	}
+	if ix.Len() != textLen {
+		return nil, fmt.Errorf("alae: store %s text length %d does not match manifest length %d",
+			what, ix.Len(), textLen)
+	}
+	return ix, nil
+}
+
+// loadGenPayloads reads and validates one generation's index payload —
+// or, for legacy v1/v2 files, its per-shard payloads, whose texts are
+// rejoined with the member separator and reindexed as one monolithic
+// index (shards are search-time work partitions now, not persisted
+// layout; the rebuild is the one-time migration cost of loading an old
+// file) — and assembles the generation.
 func loadGenPayloads(br *bufio.Reader, gm *genManifest) (*generation, error) {
 	g := &generation{
 		id:    gm.id,
@@ -485,52 +529,50 @@ func loadGenPayloads(br *bufio.Reader, gm *genManifest) (*generation, error) {
 		dead:  gm.dead,
 		ndead: gm.ndead,
 	}
-	g.shards = make([]storeShard, len(gm.shardMembers))
-	base := 0
-	for s := range g.shards {
-		lo, hi := base, base+gm.shardMembers[s]
-		tab := seq.NewTable(gm.names[lo:hi], gm.lengths[lo:hi])
-		// The manifest already says how long this shard's text is, so
-		// the payload frame gets a tight plausibility bound (the index
-		// serialization is a small multiple of its text) instead of a
-		// blanket huge one.
-		maxPayload := 64*uint64(tab.TotalLen()) + (1 << 20)
-		var payloadLen uint64
-		if err := binary.Read(br, binary.LittleEndian, &payloadLen); err != nil {
-			return nil, fmt.Errorf("alae: reading store shard payload length: %w", err)
-		}
-		if payloadLen > maxPayload {
-			return nil, fmt.Errorf("alae: implausible store shard payload length %d", payloadLen)
-		}
-		// Grow the payload buffer as bytes actually arrive (CopyN reads
-		// in chunks) rather than trusting the declared length with one
-		// up-front allocation: a crafted header pointing at a short file
-		// fails with an EOF after consuming what exists.
-		var payload bytes.Buffer
-		if _, err := io.CopyN(&payload, br, int64(payloadLen)); err != nil {
-			return nil, fmt.Errorf("alae: reading store shard %d: %w", s, err)
-		}
-		ix, err := Load(bytes.NewReader(payload.Bytes()))
+	if gm.shardMembers == nil {
+		ix, err := readIndexPayload(br, g.tab.TotalLen(), fmt.Sprintf("generation %d", gm.id))
 		if err != nil {
-			return nil, fmt.Errorf("alae: store shard %d: %w", s, err)
+			return nil, err
 		}
-		if ix.Len() != tab.TotalLen() {
-			return nil, fmt.Errorf("alae: store shard %d text length %d does not match manifest length %d",
-				s, ix.Len(), tab.TotalLen())
-		}
-		// Spot-check the separator layout the manifest promises, and
-		// recover each member's byte mask from its text slice (σ after a
-		// future delete needs per-member masks, not one global set).
-		text := ix.Text()
-		for m := 0; m < tab.Len(); m++ {
-			if m > 0 && text[tab.Start(m)-1] != seq.Separator {
-				return nil, fmt.Errorf("alae: store shard %d member %d is not separator-framed", s, m)
+		g.ix = ix
+	} else {
+		// Legacy layout: one payload per shard. Each shard index is
+		// loaded (validating its own frame), its text is taken, and the
+		// monolithic generation index is rebuilt over the rejoined
+		// concatenation — byte-identical to what building the
+		// generation from its records would have produced, because
+		// shard texts were themselves separator-framed member runs.
+		joined := make([]byte, 0, g.tab.TotalLen())
+		base := 0
+		for s, n := range gm.shardMembers {
+			lo, hi := base, base+n
+			tab := seq.NewTable(gm.names[lo:hi], gm.lengths[lo:hi])
+			ix, err := readIndexPayload(br, tab.TotalLen(), fmt.Sprintf("shard %d", s))
+			if err != nil {
+				return nil, err
 			}
-			start := tab.Start(m)
-			g.masks[lo+m] = maskOf(text[start : start+tab.SeqLen(m)])
+			if s > 0 {
+				joined = append(joined, seq.Separator)
+			}
+			joined = append(joined, ix.Text()...)
+			base = hi
 		}
-		g.shards[s] = storeShard{ix: ix, tab: tab, base: lo}
-		base = hi
+		if len(joined) != g.tab.TotalLen() {
+			return nil, fmt.Errorf("alae: store generation %d shards join to %d bytes, manifest says %d",
+				gm.id, len(joined), g.tab.TotalLen())
+		}
+		g.ix = NewIndex(joined)
+	}
+	// Spot-check the separator layout the manifest promises, and
+	// recover each member's byte mask from its text slice (σ after a
+	// future delete needs per-member masks, not one global set).
+	text := g.ix.Text()
+	for m := 0; m < g.tab.Len(); m++ {
+		if m > 0 && text[g.tab.Start(m)-1] != seq.Separator {
+			return nil, fmt.Errorf("alae: store generation %d member %d is not separator-framed", gm.id, m)
+		}
+		start := g.tab.Start(m)
+		g.masks[m] = maskOf(text[start : start+g.tab.SeqLen(m)])
 	}
 	return g, nil
 }

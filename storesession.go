@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -27,39 +28,49 @@ func validateStoreQuery(query []byte) error {
 }
 
 // storeLane is one scatter lane of a StoreSession: a Session over one
-// shard of one generation.
+// generation's monolithic index. The K-way parallelism WITHIN a lane
+// comes from the family-slice dispatch (core.Session.SearchLanes), not
+// from more lanes: the query's grams are resolved once per generation,
+// and the resolved families are cut into K cost-balanced slices.
 type storeLane struct {
-	gen   int // index into the bound view's generation list
-	shard int // index into that generation's shards
-	ix    *Index
-	sess  *Session
+	gen  int // index into the bound view's generation list
+	ix   *Index
+	sess *Session
 }
 
 // StoreSession is a reusable scatter-gather serving lane over a Store:
 // one search configuration answering query after query, holding one
-// Session per shard across every generation (each of which owns pooled
-// per-query state from the shard engine's session pool — see Session).
-// The session binds to the store view current at each search and
-// re-syncs itself after a mutation, reusing the lanes of every shard
-// that survived (mutations never modify an existing generation's
-// indexes, so surviving lanes stay valid). Like Session, a
-// StoreSession is NOT safe for concurrent use; concurrency comes from
-// many sessions over the shared store, which Store.Search manages
-// automatically through per-configuration pools.
+// Session per generation (each of which owns pooled per-query state
+// from the generation engine's session pool — see Session). The
+// session binds to the store view current at each search and re-syncs
+// itself after a mutation, reusing the lanes of every generation that
+// survived (mutations never modify an existing generation's index, so
+// surviving lanes stay valid). Like Session, a StoreSession is NOT
+// safe for concurrent use; concurrency comes from many sessions over
+// the shared store, which Store.Search manages automatically through
+// per-configuration pools.
 type StoreSession struct {
-	st     *Store
-	opts   SearchOptions
-	s      Scheme
-	view   *storeView  // the bound view; searches run against it
-	lanes  []storeLane // one per (generation, shard) of the bound view
-	ress   []*Result   // per-lane scatter results, reused
-	errs   []error     // per-lane scatter errors, reused
-	closed bool
+	st    *Store
+	opts  SearchOptions
+	s     Scheme
+	view  *storeView  // the bound view; searches run against it
+	lanes []storeLane // one per generation of the bound view
+	stats []Stats     // per-lane scatter stats, reused
+	ress  []*Result   // per-lane baseline fallback results, reused
+	errs  []error     // per-lane scatter errors, reused
+
+	// Streaming-gather state, reused across searches: one SeqHit
+	// bucket per live member of the bound view, plus the list of
+	// buckets the current gather touched (so resetting is O(touched),
+	// not O(members)).
+	buckets [][]SeqHit
+	touched []int
+	closed  bool
 }
 
 // OpenSession returns a scatter-gather session for one search
 // configuration. Configuration errors surface here (see
-// Index.OpenSession); one lane is opened per shard.
+// Index.OpenSession); one lane is opened per generation.
 func (st *Store) OpenSession(opts SearchOptions) (*StoreSession, error) {
 	s := opts.Scheme
 	if s == (Scheme{}) {
@@ -79,11 +90,11 @@ func (st *Store) OpenSession(opts SearchOptions) (*StoreSession, error) {
 }
 
 // syncView binds the session to the store's current view, opening and
-// closing lanes as the generation list demands. Lanes whose shard
+// closing lanes as the generation list demands. Lanes whose generation
 // index survived the mutation (the common case: appends add
 // generations, deletes only flip tombstones) are kept warm — matched
 // by Index identity — so pooled sessions pay only for genuinely new or
-// compacted-away shards. On error the session is left empty but
+// compacted-away generations. On error the session is left empty but
 // reusable (the next sync retries from scratch).
 func (ss *StoreSession) syncView() error {
 	v := ss.st.currentView()
@@ -94,50 +105,61 @@ func (ss *StoreSession) syncView() error {
 	for _, ln := range ss.lanes {
 		old[ln.ix] = ln.sess
 	}
-	lanes := make([]storeLane, 0, v.lanes)
+	lanes := make([]storeLane, 0, len(v.gens))
 	var err error
 	for gi, g := range v.gens {
-		for si := range g.shards {
-			ix := g.shards[si].ix
-			sess := old[ix]
-			if sess != nil {
-				delete(old, ix)
-			} else if sess, err = ix.OpenSession(ss.opts); err != nil {
-				break
-			}
-			lanes = append(lanes, storeLane{gen: gi, shard: si, ix: ix, sess: sess})
-		}
-		if err != nil {
+		ix := g.ix
+		sess := old[ix]
+		if sess != nil {
+			delete(old, ix)
+		} else if sess, err = ix.OpenSession(ss.opts); err != nil {
 			break
 		}
+		lanes = append(lanes, storeLane{gen: gi, ix: ix, sess: sess})
 	}
 	for _, sess := range old {
-		sess.Close() // shards compacted away (or error path below)
+		sess.Close() // generations compacted away (or error path below)
 	}
 	if err != nil {
 		for _, ln := range lanes {
 			ln.sess.Close()
 		}
-		ss.lanes, ss.view, ss.ress, ss.errs = nil, nil, nil, nil
+		ss.lanes, ss.view, ss.stats, ss.ress, ss.errs = nil, nil, nil, nil, nil
+		ss.buckets, ss.touched = nil, nil
 		return err
 	}
 	ss.lanes, ss.view = lanes, v
+	ss.stats = make([]Stats, len(lanes))
 	ss.ress = make([]*Result, len(lanes))
 	ss.errs = make([]error, len(lanes))
+	// The gather buckets are keyed by live member index, which a
+	// mutation renumbers; they are always empty between searches, so a
+	// resync only needs to fix their count.
+	if cap(ss.buckets) < len(v.loc) {
+		buckets := make([][]SeqHit, len(v.loc))
+		copy(buckets, ss.buckets)
+		ss.buckets = buckets
+	} else {
+		ss.buckets = ss.buckets[:len(v.loc)]
+	}
 	return nil
 }
 
-// Search scatter-gathers one query across the shards of every
-// generation. The threshold is resolved once against the WHOLE live
-// store (length and alphabet of the live virtual concatenation), every
-// shard searches at that same H in parallel, and the gather maps each
-// shard's hits into global coordinates — dropping hits that end on
-// separator rows or inside tombstoned members — in generation-then-
-// shard order, which is live-member (TEnd, QEnd) order. Results are
-// identical to a monolithic index over the live concatenation, hit for
-// hit, except for alignments that would cross a shard or generation
-// boundary's separator (the separator scores as a mismatch in the
-// monolithic text; it does not exist between shards).
+// Search scatter-gathers one query across the store's generations. The
+// threshold is resolved once against the WHOLE live store (length and
+// alphabet of the live virtual concatenation); each generation
+// resolves the query's grams ONCE against its monolithic index and
+// dispatches the resolved fork families across K cost-balanced lanes
+// at that same H; and the gather streams every generation's collector
+// table straight into per-member SeqHit buckets — dropping hits that
+// end on separator rows or inside tombstoned members — then emits the
+// buckets in live-member order, which is global (TEnd, QEnd) order.
+// Results are identical to a monolithic index over the live
+// concatenation, hit for hit and entry for entry, for EVERY K — K only
+// partitions the resolved work, never the text — except for alignments
+// that would cross a generation boundary's separator (the separator
+// scores as a mismatch in the monolithic text; it does not exist
+// between generations).
 //
 // StoreSession.Search does not consult the store's query cache — that
 // is Store.Search's job — so it is also the cache-bypass path.
@@ -146,13 +168,13 @@ func (ss *StoreSession) Search(query []byte) (*StoreResult, error) {
 }
 
 // SearchContext is Search under a context: the context is shared by
-// every shard lane of the scatter, so a deadline or cancellation
-// aborts ALL shards within their entry budgets and the context's own
-// error is returned (never a per-shard wrapping — a cancelled scatter
-// is the caller's doing, not any shard's). The session remains fully
-// reusable after a cancelled search, and re-syncs to the store's
-// current view first, so a session opened before a mutation searches
-// the post-mutation store.
+// every lane of the scatter, so a deadline or cancellation aborts ALL
+// lanes within their entry budgets and the context's own error is
+// returned (never a per-lane wrapping — a cancelled scatter is the
+// caller's doing, not any lane's). The session remains fully reusable
+// after a cancelled search, and re-syncs to the store's current view
+// first, so a session opened before a mutation searches the
+// post-mutation store.
 func (ss *StoreSession) SearchContext(cx context.Context, query []byte) (*StoreResult, error) {
 	if ss.closed {
 		return nil, fmt.Errorf("alae: Search on a closed StoreSession")
@@ -161,6 +183,45 @@ func (ss *StoreSession) SearchContext(cx context.Context, query []byte) (*StoreR
 		return nil, err
 	}
 	return ss.searchCurrent(cx, query)
+}
+
+// laneWorkers is the family-slice fan-out each generation search runs
+// at: the store's K when set above 1, else the engine-level
+// SearchOptions.Parallelism (which keeps the pre-refactor behaviour
+// for unsharded stores, including its 0 = NumCPU default).
+func (ss *StoreSession) laneWorkers() int {
+	if k := ss.st.k; k > 1 {
+		return k
+	}
+	return ss.opts.Parallelism
+}
+
+// bucketHit maps one collector hit into its per-member gather bucket,
+// returning 1 if it survived (0 for separator-row and tombstone
+// rejections). gi/g are the lane's generation.
+func (ss *StoreSession) bucketHit(v *storeView, g *generation, gi, tEnd, qEnd, score int) int {
+	lm, local, ok := g.tab.Locate(tEnd, tEnd+1)
+	if !ok {
+		return 0 // ends on a separator row: rejected here, at the gather
+	}
+	gm := v.live[gi][lm]
+	if gm < 0 {
+		return 0 // tombstoned member: deleted, awaiting compaction
+	}
+	if len(ss.buckets[gm]) == 0 {
+		ss.touched = append(ss.touched, gm)
+	}
+	ss.buckets[gm] = append(ss.buckets[gm], SeqHit{
+		Hit: Hit{
+			TEnd:  v.seqs.Start(gm) + local,
+			QEnd:  qEnd,
+			Score: score,
+		},
+		Member:    gm,
+		Name:      v.seqs.Name(gm),
+		LocalTEnd: local,
+	})
+	return 1
 }
 
 // searchCurrent runs the scatter-gather against the already-bound
@@ -178,83 +239,85 @@ func (ss *StoreSession) searchCurrent(cx context.Context, query []byte) (*StoreR
 	if err != nil {
 		return nil, err
 	}
-	// Scatter: every lane at the same pinned threshold, in parallel
-	// when there is more than one lane.
+	// Scatter: every generation lane at the same pinned threshold, in
+	// parallel when there is more than one generation. Each lane leaves
+	// its hits resident in its session's collector (searchCollect);
+	// baselines, which have no collector, fall back to a materialised
+	// per-lane Result.
+	lanes := ss.laneWorkers()
 	if len(ss.lanes) == 1 {
-		ss.ress[0], ss.errs[0] = ss.lanes[0].sess.searchThreshold(cx, query, h)
+		ss.stats[0], ss.ress[0], ss.errs[0] = ss.lanes[0].sess.searchCollect(cx, query, h, lanes)
 	} else {
 		var wg sync.WaitGroup
 		for k := range ss.lanes {
 			wg.Add(1)
 			go func(k int) {
 				defer wg.Done()
-				ss.ress[k], ss.errs[k] = ss.lanes[k].sess.searchThreshold(cx, query, h)
+				ss.stats[k], ss.ress[k], ss.errs[k] = ss.lanes[k].sess.searchCollect(cx, query, h, lanes)
 			}(k)
 		}
 		wg.Wait()
 	}
 	if err := cx.Err(); err != nil {
 		// The context died during the scatter: report ITS error, bare,
-		// whatever subset of shards happened to observe it. Partial
-		// results must not outlive the error path.
+		// whatever subset of lanes happened to observe it. Partial
+		// fallback results must not outlive the error path (collectors
+		// are session-owned and reset by the next search).
 		clear(ss.ress)
 		return nil, err
 	}
 	for k, err := range ss.errs {
 		if err != nil {
-			// Drop every lane's result before the session goes back to a
-			// pool: the gather below nils them as it goes, and the error
-			// path must not pin the successful lanes' hit tables either.
 			clear(ss.ress)
 			return nil, fmt.Errorf("alae: shard %d: %w", k, err)
 		}
 	}
-	// Gather: map in lane order. Generations hold contiguous runs of
-	// the live order, shards are contiguous within a generation, and
-	// each lane's hits arrive (TEnd, QEnd)-sorted, so appending
-	// preserves the global order a monolithic search over the live
-	// concatenation returns. Tombstoned members are dropped HERE: their
-	// bytes are still indexed until a compaction purges them, but no
-	// hit inside one survives the gather.
+	// Gather, streaming: each lane's collector table flows straight
+	// into per-member SeqHit buckets — no intermediate per-lane sorted
+	// hit slice is ever built. Tombstoned members are dropped HERE:
+	// their bytes are still indexed until a compaction purges them, but
+	// no hit inside one survives the gather. The buckets then emit in
+	// live-member order; member coordinate ranges ascend in that order,
+	// so after the per-bucket sort the output is exactly the global
+	// (TEnd, QEnd) order a monolithic search over the live
+	// concatenation returns.
 	out := &StoreResult{Threshold: h, Algorithm: ss.opts.Algorithm}
-	nhits := 0
-	for _, res := range ss.ress {
-		nhits += len(res.Hits)
-	}
-	out.Hits = make([]SeqHit, 0, nhits)
-	for k := range ss.ress {
+	total := 0
+	for k := range ss.lanes {
 		ln := &ss.lanes[k]
 		g := v.gens[ln.gen]
-		sh := &g.shards[ln.shard]
-		res := ss.ress[k]
-		for _, hh := range res.Hits {
-			lm, local, ok := sh.tab.Locate(hh.TEnd, hh.TEnd+1)
-			if !ok {
-				continue // ends on a separator row: rejected here, at the gather
+		if res := ss.ress[k]; res != nil {
+			for _, hh := range res.Hits {
+				total += ss.bucketHit(v, g, ln.gen, hh.TEnd, hh.QEnd, hh.Score)
 			}
-			gm := v.live[ln.gen][sh.base+lm]
-			if gm < 0 {
-				continue // tombstoned member: deleted, awaiting compaction
-			}
-			out.Hits = append(out.Hits, SeqHit{
-				Hit: Hit{
-					TEnd:  v.seqs.Start(gm) + local,
-					QEnd:  hh.QEnd,
-					Score: hh.Score,
-				},
-				Member:    gm,
-				Name:      v.seqs.Name(gm),
-				LocalTEnd: local,
+			ss.ress[k] = nil // do not pin fallback results past the gather
+		} else {
+			coll := ln.sess.coll
+			coll.ForEach(func(tEnd, qEnd, score int) {
+				total += ss.bucketHit(v, g, ln.gen, tEnd, qEnd, score)
 			})
 		}
-		out.Stats.add(res.Stats)
-		ss.ress[k] = nil // do not pin lane results past the gather
+		out.Stats.add(ss.stats[k])
 	}
+	slices.Sort(ss.touched) // bucket emission must follow live-member order
+	out.Hits = make([]SeqHit, 0, total)
+	for _, gm := range ss.touched {
+		b := ss.buckets[gm]
+		slices.SortFunc(b, func(a, c SeqHit) int {
+			if a.TEnd != c.TEnd {
+				return a.TEnd - c.TEnd
+			}
+			return a.QEnd - c.QEnd
+		})
+		out.Hits = append(out.Hits, b...)
+		ss.buckets[gm] = b[:0] // keep capacity warm, never pin hits
+	}
+	ss.touched = ss.touched[:0]
 	return out, nil
 }
 
-// Close closes every shard lane, handing their pooled state back to
-// the shard engines. Idempotent; the session must not be used after.
+// Close closes every generation lane, handing their pooled state back
+// to the engines. Idempotent; the session must not be used after.
 func (ss *StoreSession) Close() {
 	for _, ln := range ss.lanes {
 		ln.sess.Close()
@@ -299,10 +362,8 @@ func (st *Store) SearchAllContext(cx context.Context, queries [][]byte, opts Sea
 	}
 	if opts.Algorithm == ALAE || opts.Algorithm == ALAEHybrid {
 		for _, g := range st.currentView().gens {
-			for i := range g.shards {
-				if _, err := g.shards[i].ix.DominationIndexSize(s); err != nil {
-					return nil, err
-				}
+			if _, err := g.ix.DominationIndexSize(s); err != nil {
+				return nil, err
 			}
 		}
 	}
