@@ -137,10 +137,14 @@ type Stats struct {
 	// EmittedHits counts the occurrence-resolved (tEnd, qEnd) cells the
 	// ALAE engines forwarded to the result collector;
 	// SuppressedEmissions counts the duplicates the diagonal dominance
-	// filter dropped before the collector (provable no-ops, so hit sets
-	// are unaffected). Both are invariant under Parallelism.
+	// filter dropped before the collector; CopiedEmissions counts the
+	// cells the hybrid vertical phase recognised as already forwarded
+	// by an earlier branch of the same fork family and skipped (both
+	// are provable no-ops, so hit sets are unaffected). All three are
+	// invariant under Parallelism.
 	EmittedHits         int64
 	SuppressedEmissions int64
+	CopiedEmissions     int64
 }
 
 // add accumulates another search's counters into st — the gather step
@@ -160,6 +164,7 @@ func (st *Stats) add(o Stats) {
 	st.Seeds += o.Seeds
 	st.EmittedHits += o.EmittedHits
 	st.SuppressedEmissions += o.SuppressedEmissions
+	st.CopiedEmissions += o.CopiedEmissions
 }
 
 // Result is one search's outcome.
@@ -182,8 +187,9 @@ type engineKey struct {
 // Index is a searchable text. Building it costs O(n) time and memory;
 // afterwards any number of concurrent searches can run against it.
 type Index struct {
-	text []byte
-	trie *strie.Trie
+	text    []byte
+	trie    *strie.Trie
+	barrier byte // core.Options.BarrierByte for the ALAE engines; 0 = none
 
 	mu    sync.Mutex
 	alae  map[engineKey]*core.Engine
@@ -200,6 +206,21 @@ func NewIndex(text []byte) *Index {
 		trie: strie.New(text),
 		alae: make(map[engineKey]*core.Engine),
 	}
+}
+
+// newBarrierIndex is NewIndex with the ALAE engines' barrier byte set:
+// trie edges labelled barrier are never descended, so no reported
+// alignment can span an occurrence of that byte (core.Options,
+// BarrierByte). The store builds its generation indexes this way with
+// the member separator, making cross-member hits structurally
+// impossible for the exact engines; plain NewIndex stays barrier-free
+// so single-text indexes (and the paper-parity experiments over them)
+// are untouched. Callers must reject queries containing the byte — the
+// store's query validation does.
+func newBarrierIndex(text []byte, barrier byte) *Index {
+	ix := NewIndex(text)
+	ix.barrier = barrier
+	return ix
 }
 
 // Text returns the indexed text. Callers must not modify it.
@@ -248,6 +269,7 @@ func (ix *Index) alaeEngine(mode core.Mode, opts SearchOptions) (*core.Engine, e
 		DisableLengthFilter: opts.DisableLengthFilter,
 		DisableScoreFilter:  opts.DisableScoreFilter,
 		DisableDomination:   opts.DisableDomination,
+		BarrierByte:         ix.barrier,
 	})
 	ix.alae[key] = e
 	return e, nil

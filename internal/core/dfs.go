@@ -293,6 +293,7 @@ func (ctx *searchCtx) dfsWalk(root strie.Node) {
 	sigma := fm.Sigma()
 	mq := int32(len(ctx.query))
 	colBound := ctx.colBound
+	barrier := ctx.barrier
 	seeds := ws.seeds
 	var nodesVisited, ngrEntries int64
 	top := 0
@@ -312,6 +313,12 @@ func (ctx *searchCtx) dfsWalk(root strie.Node) {
 		}
 		k := fr.childIdx
 		fr.childIdx++
+		if k == barrier {
+			// Hard reset: a barrier-labelled edge is never descended, so
+			// no alignment path can span the barrier row (engine.go,
+			// Options.BarrierByte).
+			continue
+		}
 		lo, hi := int(fr.los[k]), int(fr.his[k])
 		if lo >= hi {
 			continue
@@ -452,6 +459,9 @@ func (ctx *searchCtx) dfsLinear(node strie.Node, forkStart, forkLen, bandStart, 
 			}
 			u, code = v, c
 			em.linRow, em.linDep = u.Lo, i
+		}
+		if code == ctx.barrier {
+			break // hard reset: the path may not span the barrier row
 		}
 		deltaRow := ctx.deltaRow(code)
 		seeds = seeds[:0]

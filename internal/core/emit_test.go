@@ -78,10 +78,12 @@ func TestEmitParitySuite(t *testing.T) {
 						t.Fatalf("mode %v workers %d: hits diverge from oracle", mode, workers)
 					}
 					if parSt.EmittedHits != seqSt.EmittedHits ||
-						parSt.SuppressedEmissions != seqSt.SuppressedEmissions {
-						t.Fatalf("mode %v workers %d: emission counters not scheduling-invariant: emitted %d/%d suppressed %d/%d",
+						parSt.SuppressedEmissions != seqSt.SuppressedEmissions ||
+						parSt.CopiedEmissions != seqSt.CopiedEmissions {
+						t.Fatalf("mode %v workers %d: emission counters not scheduling-invariant: emitted %d/%d suppressed %d/%d copied %d/%d",
 							mode, workers, parSt.EmittedHits, seqSt.EmittedHits,
-							parSt.SuppressedEmissions, seqSt.SuppressedEmissions)
+							parSt.SuppressedEmissions, seqSt.SuppressedEmissions,
+							parSt.CopiedEmissions, seqSt.CopiedEmissions)
 					}
 				}
 			}
@@ -89,6 +91,95 @@ func TestEmitParitySuite(t *testing.T) {
 	}
 	if suppressedTotal == 0 {
 		t.Error("dominance filter never fired across repeat-dense workloads; the filter is dead code")
+	}
+}
+
+// TestHybridEmitParity is the vertical-phase overhaul's acceptance
+// gate in miniature: on repeat-dense DNA and protein workloads the
+// hybrid engine's hit set is byte-identical to the DFS engine's, its
+// EmittedHits stays within 10% of DFS's (the watermark keeps re-walked
+// branches from re-forwarding their shared rows), and the copy path
+// actually fires (CopiedEmissions > 0 — branch-heavy repeats guarantee
+// shared prefixes).
+func TestHybridEmitParity(t *testing.T) {
+	for _, wl := range []struct {
+		name   string
+		alpha  *seq.Alphabet
+		scheme align.Scheme
+		seed   int64
+	}{
+		{"dna", seq.DNA, align.DefaultDNA, 71},
+		{"protein", seq.Protein, align.DefaultProtein, 72},
+	} {
+		t.Run(wl.name, func(t *testing.T) {
+			text, query := emitWorkload(wl.alpha, 6000, 200, wl.seed)
+			h := wl.scheme.MinThreshold() + 2
+
+			dfs := New(text, Options{Mode: ModeDFS})
+			dfsC := align.NewCollector()
+			dfsSt, err := dfs.Search(query, wl.scheme, h, dfsC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hyb := New(text, Options{Mode: ModeHybrid})
+			hybC := align.NewCollector()
+			hybSt, err := hyb.Search(query, wl.scheme, h, hybC)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !align.EqualHits(hybC.Hits(), dfsC.Hits()) {
+				t.Fatalf("hybrid hits diverge from DFS (%d vs %d)", hybC.Len(), dfsC.Len())
+			}
+			if dfsSt.EmittedHits == 0 {
+				t.Fatal("degenerate workload: DFS emitted nothing")
+			}
+			if lo, hi := dfsSt.EmittedHits*9/10, dfsSt.EmittedHits*11/10; hybSt.EmittedHits < lo || hybSt.EmittedHits > hi {
+				t.Fatalf("hybrid EmittedHits %d outside 10%% of DFS %d", hybSt.EmittedHits, dfsSt.EmittedHits)
+			}
+			if hybSt.CopiedEmissions == 0 {
+				t.Fatal("hybrid copy path never fired on a repeat-dense workload; the watermark is dead code")
+			}
+			if dfsSt.CopiedEmissions != 0 {
+				t.Fatalf("DFS reported %d CopiedEmissions; the counter is hybrid-only", dfsSt.CopiedEmissions)
+			}
+		})
+	}
+}
+
+// TestPropertyCopyReuseLossless is the copy path's safety property: for
+// any input, the hybrid engine with copy reuse produces exactly the hit
+// set of the engine without it, and the emission books balance — every
+// fan-out cell is forwarded, suppressed, or copied, never silently
+// dropped, so Emitted+Suppressed+Copied is invariant under the switch.
+func TestPropertyCopyReuseLossless(t *testing.T) {
+	s := align.DefaultDNA
+	f := func(in suppressionInput) bool {
+		h := s.MinThreshold() + int(in.HOff)
+		on := New(in.Text, Options{Mode: ModeHybrid})
+		cOn := align.NewCollector()
+		stOn, err := on.Search(in.Query, s, h, cOn)
+		if err != nil {
+			return false
+		}
+		off := New(in.Text, Options{Mode: ModeHybrid, DisableCopyReuse: true})
+		cOff := align.NewCollector()
+		stOff, err := off.Search(in.Query, s, h, cOff)
+		if err != nil {
+			return false
+		}
+		if stOff.CopiedEmissions != 0 {
+			return false
+		}
+		onTotal := stOn.EmittedHits + stOn.SuppressedEmissions + stOn.CopiedEmissions
+		offTotal := stOff.EmittedHits + stOff.SuppressedEmissions
+		if onTotal != offTotal {
+			return false
+		}
+		return align.EqualHits(cOn.Hits(), cOff.Hits())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
 	}
 }
 

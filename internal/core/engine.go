@@ -75,6 +75,24 @@ type Options struct {
 	// only drops provable collector no-ops — which the emission tests
 	// verify against this switch.
 	DisableEmitSuppression bool
+	// DisableCopyReuse turns the hybrid vertical phase's emitted
+	// watermark off, so gap regions recomputed across trie branches
+	// re-forward their shared-prefix rows instead of counting them as
+	// CopiedEmissions. The hit set is identical either way — copied
+	// rows are provable collector no-ops — which the copy-reuse
+	// property test verifies against this switch.
+	DisableCopyReuse bool
+	// BarrierByte, when non-zero, is a hard reset row in every band
+	// kernel: trie edges labelled with it are never descended, so no
+	// alignment path — diagonal or gap — spans an occurrence of the
+	// byte (equivalently, every DP cell on a barrier row is −∞ and
+	// vertical gaps may not cross it). Multi-member stores set it to
+	// their member separator so a hit can never bridge two members.
+	// Queries are the caller's responsibility: the q-gram resolution
+	// step matches text substrings wholesale, so callers must reject
+	// queries containing the byte (the store does) or barrier-crossing
+	// gram paths could slip past the edge skips.
+	BarrierByte byte
 }
 
 // Engine is an ALAE search engine over one indexed text. Searches are
@@ -196,6 +214,21 @@ func buildDeltaTableInto(dst []int32, letters, query []byte, s align.Scheme) []i
 	return delta
 }
 
+// barrierCode resolves Options.BarrierByte to its dense letter code in
+// the indexed text's alphabet, or -1 when no barrier is configured or
+// the byte never occurs in the text (then no trie edge can carry it).
+func barrierCode(letters []byte, b byte) int {
+	if b == 0 {
+		return -1
+	}
+	for k, ch := range letters {
+		if ch == b {
+			return k
+		}
+	}
+	return -1
+}
+
 // sizeInt32 returns dst resized to n elements, reallocating only when
 // the capacity is short.
 func sizeInt32(dst []int32, n int) []int32 {
@@ -222,6 +255,7 @@ type searchCtx struct {
 	dom      *domination.Index
 	gm       *gMatrix
 	mute     bool // suppress gap-region entry counting (hybrid oracles)
+	barrier  int  // dense code of Options.BarrierByte, or -1 (no barrier)
 
 	// Cancellation state (cancel.go). done is shared by every worker of
 	// one search; stopped and nextPoll are per-worker (each worker owns
@@ -308,6 +342,7 @@ func (ws *workspace) scrub() {
 	if ws.hs != nil {
 		ws.hs.ctx = nil
 		ws.hs.stage.Reset()
+		ws.hs.resetVerts()
 		if ws.hs.cpt != nil {
 			ws.hs.cpt.Reset(nil) // its p field held the query
 		}

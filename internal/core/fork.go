@@ -211,12 +211,13 @@ func (ctx *searchCtx) seedBandInto(l int, c, v int32, emit *emitCtx, out *bandPa
 	mq := int32(len(ctx.query))
 	open := int32(ctx.s.GapOpen + ctx.s.GapExtend)
 	ext := int32(ctx.s.GapExtend)
+	rowB := ctx.rowBound(l)
+	colBound := ctx.colBound
+	var boundary int64
 	gb := v + open
 	for j := c + 1; j <= mq && gb > 0; j++ {
-		if !ctx.mute {
-			ctx.st.EntriesBoundary++
-		}
-		if !ctx.minGainOK(gb, l, j) {
+		boundary++
+		if gb < rowB || gb < colBound[j-1] {
 			break
 		}
 		if int(gb) >= ctx.h {
@@ -224,6 +225,9 @@ func (ctx *searchCtx) seedBandInto(l int, c, v int32, emit *emitCtx, out *bandPa
 		}
 		out.push(gb, negInf)
 		gb += ext
+	}
+	if !ctx.mute {
+		ctx.st.EntriesBoundary += boundary
 	}
 	return out.len() - start
 }
@@ -270,6 +274,9 @@ func (ctx *searchCtx) advanceBandInto(inLo int32, inM, inGa []int32, deltaRow []
 	inHi := inLo + int32(len(inM)) - 1
 	start := out.len()
 	firstAlive, lastAlive := int32(-1), int32(-1)
+	rowB := ctx.rowBound(i)
+	colBound := ctx.colBound
+	var interior, boundary int64
 
 	gb := negInf
 	for j := inLo; j <= mq; j++ {
@@ -315,14 +322,12 @@ func (ctx *searchCtx) advanceBandInto(inLo int32, inM, inGa []int32, deltaRow []
 		// three recurrence inputs. Hybrid mode advances bands purely
 		// as liveness oracles and counts gap-region work in its
 		// vertical phase instead (ctx.mute).
-		if !ctx.mute {
-			if sources >= 3 {
-				ctx.st.EntriesInterior++
-			} else {
-				ctx.st.EntriesBoundary++
-			}
+		if sources >= 3 {
+			interior++
+		} else {
+			boundary++
 		}
-		alive := mv > 0 && ctx.minGainOK(mv, i, j)
+		alive := mv > 0 && mv >= rowB && mv >= colBound[j-1]
 		if alive {
 			if int(mv) >= ctx.h {
 				emit.emit(i, j, mv)
@@ -347,6 +352,10 @@ func (ctx *searchCtx) advanceBandInto(inLo int32, inM, inGa []int32, deltaRow []
 			ng = negInf
 		}
 		gb = ng
+	}
+	if !ctx.mute {
+		ctx.st.EntriesInterior += interior
+		ctx.st.EntriesBoundary += boundary
 	}
 	if firstAlive < 0 {
 		out.truncate(start)

@@ -41,11 +41,26 @@ import (
 
 // pendingFGOE is a fork that has left its no-gap diagonal and awaits
 // vertical gap-region computation.
+//
+// wm is the region's emitted watermark: every threshold cell at a row
+// ≤ wm has already been forwarded by an earlier sibling branch of the
+// descent. A gap-region cell (i, j) depends only on path rows ≤ i, so
+// when a region alive across a trie branch is recomputed per branch,
+// its rows within the still-shared path prefix reproduce the exact
+// cells — same scores, same columns, same occurrences — the previous
+// branch already emitted. The vertical phase skips those rows'
+// emissions (counting them as CopiedEmissions) instead of re-running
+// the occurrence fan-out, dominance filter and collector for provable
+// no-ops. descend raises the watermark of a level's pendings to the
+// level's depth after each fully-processed child edge; regions are
+// born with wm = 0.
 type pendingFGOE struct {
-	col0 int32 // fork identity: 0-based q-prefix position in P
-	row  int32 // FGOE row l
-	col  int32 // FGOE column c (1-based)
-	v    int32 // FGOE score (equal across a row group, Theorem 5)
+	col0   int32 // fork identity: 0-based q-prefix position in P
+	row    int32 // FGOE row l
+	col    int32 // FGOE column c (1-based)
+	v      int32 // FGOE score (equal across a row group, Theorem 5)
+	wm     int32 // emitted watermark: rows ≤ wm already forwarded
+	memoID int32 // slot in hybridState.memo holding the region's last pass
 }
 
 // hframe is one level of the hybrid descent: the fork lists the parent
@@ -96,16 +111,44 @@ type hybridState struct {
 	frames    []hframe     // per-depth descent frames, frames[d] ↔ depth q+d
 
 	cpt     *cptree.Tree // reusable common-prefix tree (Algorithm 2)
-	vm, vgb []int32      // vertical-phase cell arenas
-	vcols   []colData    // vertical-phase column headers
+	vm, vgb []int32      // vertical-phase cell arenas (per-family lifetime)
+	vcols   []colData    // vertical-phase column headers (per-family lifetime)
 	vstored []colsRange  // per-fork column runs of the current group
 
-	// stage buffers emitted cells as row runs; flushEmits resolves each
-	// run's row occurrences (occAt) and forwards through the dominance
-	// filter. Rows reference descent frames, so the stage is drained
-	// before any truncation of hs.nodes (end of every child-edge
-	// iteration in descend, end of hybridGram).
+	// memo[id] is region id's column run from its most recent vertical
+	// pass — the per-search region→columns memo. The arenas live for
+	// the whole fork family (reset in hybridGram, like the dominance
+	// table's epoch discipline), so a stored run stays addressable
+	// across verticals calls; when the region is recomputed on a later
+	// sibling branch, the rows it shares with the memoised pass — rows
+	// ≤ the emitted watermark — are loaded instead of recomputed
+	// (ReusedEntries), and only deeper rows run the recurrence.
+	memo []colsRange
+
+	// stage buffers the horizontal phase's emitted cells as row runs;
+	// flushEmits resolves each run's row occurrences (occAt) and
+	// forwards through the dominance filter. Rows reference descent
+	// frames, so the stage is drained before any truncation of
+	// hs.nodes (end of every child-edge iteration in descend, end of
+	// hybridGram).
 	stage align.RunStage
+
+	// The vertical phase emits column by column, so consecutive columns
+	// of a fork revisit the same rows with consecutive j: vrows[i] holds
+	// row i's open run and extends it by one append per cell. Runs
+	// flush — one occurrence resolution per row, one batched forwardRun
+	// per occurrence — on discontinuity and at the end of every
+	// verticals call, while the path (occAt) is still valid. vdirty
+	// lists the rows with staged cells, so a flush never scans vrows.
+	vrows  []vertRow
+	vdirty []int32
+}
+
+// vertRow is one matrix row's open emission run in the vertical phase:
+// scores for query columns j0, j0+1, ... .
+type vertRow struct {
+	j0     int32
+	scores []int32
 }
 
 // hybrid returns the workspace's hybrid state, arming it for ctx.
@@ -142,6 +185,9 @@ func (ctx *searchCtx) hybridGram(node strie.Node, gram []byte, cols []int32) {
 	}
 	f0 := hs.frame(0)
 	f0.reset()
+	hs.vm, hs.vgb = hs.vm[:0], hs.vgb[:0]
+	hs.vcols = hs.vcols[:0]
+	hs.memo = hs.memo[:0]
 
 	for len(ws.forks) < len(cols) {
 		ws.forks = append(ws.forks, fork{})
@@ -159,7 +205,7 @@ func (ctx *searchCtx) hybridGram(node strie.Node, gram []byte, cols []int32) {
 			f0.ngr = append(f0.ngr, *f)
 		case phaseGap, phaseDead:
 			p := pendingFGOE{col0: col0, row: f.fgoeAt, col: col0 + f.fgoeAt,
-				v: f.fgoeAt * int32(ctx.s.Match)}
+				v: f.fgoeAt * int32(ctx.s.Match), memoID: hs.newMemoID()}
 			if f.phase == phaseDead {
 				f0.dying = append(f0.dying, p)
 			} else {
@@ -190,9 +236,9 @@ func (hs *hybridState) occAt(i int) []int {
 	return fr.occ
 }
 
-// emitRow stages a hit at matrix row i, 1-based query column j. The
-// vertical phase emits column-wise (one-cell runs); the horizontal
-// NGR passes emit row-wise and batch into real runs.
+// emitRow stages a horizontal-phase hit at matrix row i, 1-based query
+// column j (NGR passes emit row-wise and batch into real runs; the
+// vertical phase goes through emitVert's per-row open runs instead).
 func (hs *hybridState) emitRow(i int, j int32, score int32) {
 	if !hs.stage.Stage(int32(i), j, score) {
 		hs.flushEmits()
@@ -216,6 +262,70 @@ func (hs *hybridState) flushEmits() {
 		}
 	}
 	hs.stage.Reset()
+}
+
+// emitVertCell routes one vertical-phase threshold cell at (row i,
+// 1-based column j). Rows at or below the region's emitted watermark
+// were already forwarded — with identical scores, columns and
+// occurrences — by an earlier sibling branch (see pendingFGOE.wm);
+// they count as copied emissions and skip the forward path entirely.
+func (hs *hybridState) emitVertCell(wm int32, i int, j, score int32) {
+	if int32(i) <= wm && !hs.ctx.e.opts.DisableCopyReuse {
+		hs.ctx.st.CopiedEmissions += int64(len(hs.occAt(i)))
+		return
+	}
+	hs.emitVert(i, j, score)
+}
+
+// emitVert stages one vertical-phase cell into its row's open run,
+// flushing the run first when j does not extend it.
+func (hs *hybridState) emitVert(i int, j, score int32) {
+	for len(hs.vrows) <= i {
+		hs.vrows = append(hs.vrows, vertRow{})
+	}
+	r := &hs.vrows[i]
+	if len(r.scores) > 0 {
+		if r.j0+int32(len(r.scores)) == j {
+			r.scores = append(r.scores, score)
+			return
+		}
+		hs.forwardVertRow(i, r)
+	} else {
+		hs.vdirty = append(hs.vdirty, int32(i))
+	}
+	r.j0 = j
+	r.scores = append(r.scores[:0], score)
+}
+
+// forwardVertRow fans row i's open run out over the row's occurrences
+// through the dominance filter. The caller owns the run bookkeeping.
+func (hs *hybridState) forwardVertRow(i int, r *vertRow) {
+	for _, t := range hs.occAt(i) {
+		hs.ctx.forwardRun(t+i-1, int(r.j0)-1, r.scores)
+	}
+}
+
+// flushVerts drains every dirty vertical-phase row. Called at the end
+// of each verticals pass, while hs.nodes still covers the emitted rows.
+func (hs *hybridState) flushVerts() {
+	for _, i := range hs.vdirty {
+		r := &hs.vrows[i]
+		if len(r.scores) > 0 {
+			hs.forwardVertRow(int(i), r)
+			r.scores = r.scores[:0]
+		}
+	}
+	hs.vdirty = hs.vdirty[:0]
+}
+
+// resetVerts abandons staged vertical-phase runs without forwarding
+// (cancelled searches discard their hits anyway; a pooled workspace
+// must not leak them into the next query).
+func (hs *hybridState) resetVerts() {
+	for _, i := range hs.vdirty {
+		hs.vrows[i].scores = hs.vrows[i].scores[:0]
+	}
+	hs.vdirty = hs.vdirty[:0]
 }
 
 // descend is the horizontal phase walk over the node at descent level
@@ -249,6 +359,12 @@ func (hs *hybridState) descend(level int, node strie.Node) {
 		if child.Lo >= child.Hi {
 			continue
 		}
+		if k == ctx.barrier {
+			// Hard reset: the barrier edge is never descended (and does
+			// not count as a live child, so a barrier-only node still
+			// finishes its regions through the leaf fallback below).
+			continue
+		}
 		descended = true
 		i := child.Depth
 		cf := hs.frame(level + 1)
@@ -269,7 +385,8 @@ func (hs *hybridState) descend(level int, node strie.Node) {
 				}
 				cf.ngr = append(cf.ngr, f)
 			case phaseGap:
-				p := pendingFGOE{col0: f.col0, row: int32(i), col: f.lo, v: f.score}
+				p := pendingFGOE{col0: f.col0, row: int32(i), col: f.lo,
+					v: f.score, memoID: hs.newMemoID()}
 				ctx.mute = true
 				mark := cf.slab.len()
 				n := ctx.seedBandInto(i, f.lo, f.score, nil, &cf.slab)
@@ -301,6 +418,17 @@ func (hs *hybridState) descend(level int, node strie.Node) {
 		}
 		if len(cf.ngr) > 0 || len(cf.bands) > 0 {
 			hs.descend(level+1, child)
+		}
+
+		// Every region in this level's pendings has now been fully
+		// emitted along this child edge (it either died on the edge or
+		// was carried down and finished deeper): the rows it shares
+		// with the next sibling's paths — rows ≤ this node's depth —
+		// need not be re-forwarded there. Raise the watermarks.
+		for bi := range fr.pendings {
+			if fr.pendings[bi].wm < int32(node.Depth) {
+				fr.pendings[bi].wm = int32(node.Depth)
+			}
 		}
 
 		// Drain before truncating: staged rows at this child's depth
@@ -340,11 +468,20 @@ func (hs *hybridState) verticals(depth int, pending []pendingFGOE) {
 		hs.verticalGroup(depth, pending[lo:hi])
 		lo = hi
 	}
+	hs.flushVerts()
+}
+
+// newMemoID allocates a region's memo slot for the current family.
+func (hs *hybridState) newMemoID() int32 {
+	hs.memo = append(hs.memo, colsRange{})
+	return int32(len(hs.memo) - 1)
 }
 
 // verticalGroup processes one same-FGOE-row group of forks in column
-// order with cross-fork column reuse. The group's stored columns live
-// in the vertical arenas, reset per group.
+// order with cross-fork column reuse. Stored columns append to the
+// per-family vertical arenas (kept live for the cross-branch memo);
+// the group-relative state — the common-prefix tree and the group's
+// column runs — resets per group.
 func (hs *hybridState) verticalGroup(depth int, group []pendingFGOE) {
 	ctx := hs.ctx
 	if hs.cpt == nil {
@@ -352,8 +489,6 @@ func (hs *hybridState) verticalGroup(depth int, group []pendingFGOE) {
 	} else {
 		hs.cpt.Reset(ctx.query)
 	}
-	hs.vm, hs.vgb = hs.vm[:0], hs.vgb[:0]
-	hs.vcols = hs.vcols[:0]
 	hs.vstored = hs.vstored[:0]
 	for w, p := range group {
 		if ctx.cancelled(0) {
@@ -381,13 +516,17 @@ func (hs *hybridState) verticalFork(depth int, p pendingFGOE, lcp, owner int) co
 
 	// Copy phase: Lemma 3 lets columns under the shared query prefix
 	// be taken verbatim from the owner fork (headers are copied, cells
-	// are shared).
+	// are shared). copied reports whether the fork's region was fully
+	// determined here (column past the query end, or dying where the
+	// owner died).
+	copied := false
 	if owner >= 0 {
 		own := hs.vstored[owner]
-		for d := 0; d < lcp && d < int(own.n); d++ {
+		for d := 0; d < lcp && d < int(own.n) && !copied; d++ {
 			j := p.col + int32(d)
 			if j > mq {
-				return colsRange{start: start, n: count()}
+				copied = true
+				break
 			}
 			src := hs.vcols[own.start+int32(d)]
 			hs.vcols = append(hs.vcols, src)
@@ -395,7 +534,7 @@ func (hs *hybridState) verticalFork(depth int, p pendingFGOE, lcp, owner int) co
 				if mv > negInf {
 					ctx.st.ReusedEntries++
 					if int(mv) >= ctx.h {
-						hs.emitRow(int(src.loRow)+k, j, mv)
+						hs.emitVertCell(p.wm, int(src.loRow)+k, j, mv)
 					}
 				}
 			}
@@ -403,12 +542,23 @@ func (hs *hybridState) verticalFork(depth int, p pendingFGOE, lcp, owner int) co
 		if int(own.n) < lcp && count() == own.n {
 			// The owner's region died within the shared prefix; ours
 			// dies at the same column (identical values).
-			return colsRange{start: start, n: count()}
+			copied = true
 		}
 	}
 
+	// Cross-branch memo: when the region was already computed on an
+	// earlier sibling branch, its stored columns supply every row the
+	// two paths share (rows ≤ the emitted watermark) verbatim; only
+	// deeper rows recompute.
+	var memo colsRange
+	useMemo := false
+	if !ctx.e.opts.DisableCopyReuse && p.wm >= p.row {
+		memo = hs.memo[p.memoID]
+		useMemo = memo.n > 0
+	}
+
 	// Compute phase: continue column by column until the region dies.
-	for d := int(count()); ; d++ {
+	for d := int(count()); !copied; d++ {
 		j := p.col + int32(d)
 		if j > mq {
 			break
@@ -421,41 +571,74 @@ func (hs *hybridState) verticalFork(depth int, p pendingFGOE, lcp, owner int) co
 		if d > 0 {
 			prev, hasPrev = hs.vcols[start+int32(d-1)], true
 		}
-		col, any := hs.computeColumn(depth, p, j, prev, hasPrev)
+		var src colData
+		hasSrc := false
+		if useMemo && int32(d) < memo.n {
+			src, hasSrc = hs.vcols[memo.start+int32(d)], true
+		}
+		col, any := hs.computeColumn(depth, p, j, prev, hasPrev, src, hasSrc)
 		if !any {
 			break
 		}
 		hs.vcols = append(hs.vcols, col)
 	}
-	return colsRange{start: start, n: count()}
+	out := colsRange{start: start, n: count()}
+	if !ctx.e.opts.DisableCopyReuse {
+		hs.memo[p.memoID] = out
+	}
+	return out
 }
 
 // computeColumn evaluates one gap-region column j for fork p over the
 // current path, appending its cells to the vertical arenas. prev is
-// column j−1 (hasPrev false for the FGOE column itself).
-func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev colData, hasPrev bool) (colData, bool) {
+// column j−1 (hasPrev false for the FGOE column itself). The cell loop
+// is branch-lean: the previous column is read through direct slice
+// views, cells append straight to the arenas, and Theorem 2 is the
+// same two-compare form the DFS sweep uses — for a fixed column the
+// bound is max(colBound[j−1], rowBound(i)), with rowBound linear in
+// the row.
+//
+// src (when hasSrc) is the same column from the region's memoised
+// previous pass: its cells at rows ≤ p.wm — the rows the two passes'
+// paths share — are loaded verbatim (a gap-region cell depends only on
+// path rows above it, so they are provably identical), the
+// vertical-gap carry is replayed over them, and the recurrence runs
+// only for the rows beyond the shared prefix.
+func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev colData, hasPrev bool, src colData, hasSrc bool) (colData, bool) {
 	ctx := hs.ctx
 	s := ctx.s
 	open := int32(s.GapOpen + s.GapExtend)
 	ext := int32(s.GapExtend)
 	delta, mCols := ctx.delta, int32(len(ctx.query))
 
-	prevAt := func(i int32) (m, gb int32) {
-		if !hasPrev {
-			return negInf, negInf
-		}
-		k := i - prev.loRow
-		if k < 0 || k >= prev.n {
-			return negInf, negInf
-		}
-		return hs.vm[prev.off+k], hs.vgb[prev.off+k]
+	// Direct views of column j−1 (empty when hasPrev is false, so every
+	// ranged read comes up negInf).
+	var prevM, prevGb []int32
+	prevLo := p.row
+	if hasPrev {
+		prevM = hs.vm[prev.off : prev.off+prev.n]
+		prevGb = hs.vgb[prev.off : prev.off+prev.n]
+		prevLo = prev.loRow
 	}
-	push := func(m, gb int32) {
-		hs.vm = append(hs.vm, m)
-		hs.vgb = append(hs.vgb, gb)
+	np := uint32(len(prevM))
+
+	// Theorem 2, column-constant part and the row-linear base:
+	// rowBound(i) = (h − Lmax·sa) + i·sa.
+	scoreFilter := !ctx.e.opts.DisableScoreFilter
+	var cb, rbBase, sa int32
+	if scoreFilter {
+		cb = ctx.colBound[j-1]
+		sa = int32(s.Match)
+		rbBase = int32(ctx.h - ctx.lmax*s.Match)
 	}
 
-	off := int32(len(hs.vm))
+	// Arena slices and cost counters live in locals for the duration of
+	// the cell loop; both are written back once on the way out.
+	vm, vgb := hs.vm, hs.vgb
+	pathCodes := hs.pathCodes
+	var interior, boundary, reused, copied int64
+
+	off := int32(len(vm))
 	loRow := p.row
 	firstAlive, lastAlive := int32(-1), int32(-1)
 	gaCarry := negInf
@@ -468,18 +651,65 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev col
 		maxRow = int32(ctx.lmax)
 	}
 
-	for i := p.row; i <= maxRow; i++ {
+	startRow := p.row
+	if hasSrc {
+		srcTop := src.loRow + src.n - 1
+		if srcTop > p.wm {
+			srcTop = p.wm
+		}
+		if src.loRow <= srcTop {
+			// Load the shared rows. Live cells count as reused entries
+			// and, at threshold, as copied emissions; the carry replay
+			// mirrors the recurrence's gaCarry update exactly.
+			loRow = src.loRow
+			firstAlive = src.loRow
+			srcM := vm[src.off : src.off+src.n]
+			srcGb := vgb[src.off : src.off+src.n]
+			for r := src.loRow; r <= srcTop; r++ {
+				mv, gbv := srcM[r-src.loRow], srcGb[r-src.loRow]
+				vm = append(vm, mv)
+				vgb = append(vgb, gbv)
+				if mv > negInf {
+					reused++
+					lastAlive = r
+					if int(mv) >= ctx.h {
+						copied += int64(len(hs.occAt(int(r))))
+					}
+				}
+				ng := negInf
+				if gaCarry > negInf {
+					ng = gaCarry + ext
+				}
+				if mv > negInf && mv+open > ng {
+					ng = mv + open
+				}
+				if ng <= 0 {
+					ng = negInf
+				}
+				gaCarry = ng
+			}
+			startRow = srcTop + 1
+		} else {
+			// The memoised run starts below the shared prefix: every
+			// shared row of this column is dead.
+			loRow = p.wm + 1
+			startRow = p.wm + 1
+		}
+	}
+
+	for i := startRow; i <= maxRow; i++ {
 		if i == p.row && !hasPrev {
 			// The FGOE cell itself: assigned from the horizontal
 			// phase, not recalculated.
-			push(p.v, negInf)
+			vm = append(vm, p.v)
+			vgb = append(vgb, negInf)
 			firstAlive, lastAlive = i, i
 			gaCarry = p.v + open
 			if gaCarry <= 0 {
 				gaCarry = negInf
 			}
 			if int(p.v) >= ctx.h {
-				hs.emitRow(int(i), j, p.v)
+				hs.emitVertCell(p.wm, int(i), j, p.v)
 			}
 			continue
 		}
@@ -488,25 +718,31 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev col
 		}
 		var diag, gbv int32 = negInf, negInf
 		sources := 0
-		if pm, _ := prevAt(i - 1); pm > negInf {
-			diag = pm + delta[int32(hs.pathCodes[i-1])*mCols+j-1]
-			sources++
+		if k := uint32(i - 1 - prevLo); k < np {
+			if pm := prevM[k]; pm > negInf {
+				diag = pm + delta[int32(pathCodes[i-1])*mCols+j-1]
+				sources++
+			}
 		}
-		if pm, pgb := prevAt(i); pm > negInf || pgb > negInf {
-			if pgb > negInf {
-				gbv = pgb + ext
+		if k := uint32(i - prevLo); k < np {
+			pm, pgb := prevM[k], prevGb[k]
+			if pm > negInf || pgb > negInf {
+				if pgb > negInf {
+					gbv = pgb + ext
+				}
+				if pm > negInf && pm+open > gbv {
+					gbv = pm + open
+				}
+				sources++
 			}
-			if pm > negInf && pm+open > gbv {
-				gbv = pm + open
-			}
-			sources++
 		}
 		if gaCarry > negInf {
 			sources++
 		}
 		if sources == 0 {
 			if firstAlive >= 0 {
-				push(negInf, negInf)
+				vm = append(vm, negInf)
+				vgb = append(vgb, negInf)
 			} else {
 				loRow = i + 1
 			}
@@ -520,23 +756,32 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev col
 			mv = gbv
 		}
 		if sources >= 3 {
-			ctx.st.EntriesInterior++
+			interior++
 		} else {
-			ctx.st.EntriesBoundary++
+			boundary++
 		}
-		alive := mv > 0 && ctx.minGainOK(mv, int(i), j)
+		alive := mv > 0
+		if alive && scoreFilter {
+			b := cb
+			if rb := rbBase + i*sa; rb > b {
+				b = rb
+			}
+			alive = mv >= b
+		}
 		if alive {
 			if int(mv) >= ctx.h {
-				hs.emitRow(int(i), j, mv)
+				hs.emitVertCell(p.wm, int(i), j, mv)
 			}
 			if firstAlive < 0 {
 				firstAlive = i
 				loRow = i
 			}
 			lastAlive = i
-			push(mv, gbv)
+			vm = append(vm, mv)
+			vgb = append(vgb, gbv)
 		} else if firstAlive >= 0 {
-			push(negInf, negInf)
+			vm = append(vm, negInf)
+			vgb = append(vgb, negInf)
 		} else {
 			loRow = i + 1
 		}
@@ -553,11 +798,15 @@ func (hs *hybridState) computeColumn(depth int, p pendingFGOE, j int32, prev col
 		}
 		gaCarry = ng
 	}
+	ctx.st.EntriesInterior += interior
+	ctx.st.EntriesBoundary += boundary
+	ctx.st.ReusedEntries += reused
+	ctx.st.CopiedEmissions += copied
 	if firstAlive < 0 {
-		hs.vm, hs.vgb = hs.vm[:off], hs.vgb[:off]
+		hs.vm, hs.vgb = vm[:off], vgb[:off]
 		return colData{}, false
 	}
 	n := lastAlive - loRow + 1
-	hs.vm, hs.vgb = hs.vm[:off+n], hs.vgb[:off+n]
+	hs.vm, hs.vgb = vm[:off+n], vgb[:off+n]
 	return colData{loRow: loRow, off: off, n: n}, true
 }

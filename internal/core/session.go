@@ -218,6 +218,7 @@ func (ses *Session) searchImpl(cx context.Context, query []byte, s align.Scheme,
 		colBound: ses.colBound,
 		dom:      dom,
 		gm:       gm,
+		barrier:  barrierCode(e.trie.Letters(), e.opts.BarrierByte),
 		done:     cx.Done(), // nil for background contexts: checkpoints are free
 	}
 	if workers <= 0 {

@@ -39,14 +39,19 @@ type Stats struct {
 	Q            int // the q-prefix length in force
 	Lmax         int // the length-filter bound in force
 
-	// Emission-path accounting (emit.go). EmittedHits counts the
-	// occurrence-resolved (tEnd, qEnd) cells forwarded to the
+	// Emission-path accounting (emit.go, hybrid.go). EmittedHits counts
+	// the occurrence-resolved (tEnd, qEnd) cells forwarded to the
 	// collector; SuppressedEmissions counts the cells the diagonal
-	// dominance filter dropped as provable collector no-ops. Their sum
-	// is the total emission fan-out, and both are invariant under
-	// parallel scheduling (the filter is re-armed per fork family).
+	// dominance filter dropped as provable collector no-ops;
+	// CopiedEmissions counts the cells the hybrid vertical phase
+	// skipped because an earlier sibling branch already forwarded the
+	// identical cell (the emitted watermark, hybrid.go). Their sum is
+	// the total emission fan-out, and all three are invariant under
+	// parallel scheduling (the dominance filter is re-armed and the
+	// watermark is path-structured per fork family).
 	EmittedHits         int64
 	SuppressedEmissions int64
+	CopiedEmissions     int64
 }
 
 // CalculatedEntries is the number of DP cells ALAE actually computed
@@ -93,6 +98,7 @@ func (st *Stats) Add(other Stats) {
 	st.NodesVisited += other.NodesVisited
 	st.EmittedHits += other.EmittedHits
 	st.SuppressedEmissions += other.SuppressedEmissions
+	st.CopiedEmissions += other.CopiedEmissions
 	if other.MaxDepth > st.MaxDepth {
 		st.MaxDepth = other.MaxDepth
 	}

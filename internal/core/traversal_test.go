@@ -238,6 +238,7 @@ func benchTraversalCtx(b testing.TB, n, runLen int, opts Options) (*searchCtx, [
 		delta:    buildDeltaTableInto(nil, e.trie.Letters(), query, s),
 		colBound: buildColBoundsInto(nil, len(query), h, s, false),
 		dom:      dom,
+		barrier:  -1,
 		ws:       ses.ws,
 	}
 	return ctx, fams

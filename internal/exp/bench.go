@@ -28,11 +28,13 @@ type BenchResult struct {
 	Hits    int     `json:"hits"`    // total result count, must be invariant across engines/runs
 
 	// Emission-path counters, recorded on the points that exercise the
-	// batched emit path. Both are scheduling-invariant (the dominance
+	// batched emit path. All are scheduling-invariant (the dominance
 	// table re-arms per fork family), so the p=1 and p=max emission
-	// points must report identical values.
+	// points must report identical values. Copied is the hybrid
+	// vertical phase's watermark skip count (zero for the DFS engine).
 	Emitted    int64 `json:"emitted,omitempty"`
 	Suppressed int64 `json:"suppressed,omitempty"`
+	Copied     int64 `json:"copied,omitempty"`
 }
 
 // BenchSuite is the JSON document RunBenchJSON emits.
@@ -329,7 +331,9 @@ func RunBenchJSON(w io.Writer, cfg Config, reps int) error {
 	// parallelism, entries across parallelism within the DFS engine
 	// (the hybrid accounts reused entries differently, so its entry
 	// count is recorded, not asserted). Emitted/suppressed counters
-	// must be scheduling-invariant: equal at p=1 and p=max.
+	// must be scheduling-invariant: equal at p=1 and p=max. The hybrid
+	// point additionally gates its vertical-phase overhaul: emitted
+	// within 10% of DFS and a live copy path (Copied > 0).
 	en := int(30_000 * cfg.Scale)
 	emq := int(300 * cfg.Scale)
 	ewl := ProteinEmissionWorkload(en, emq, queries, cfg.Seed)
@@ -366,6 +370,7 @@ func RunBenchJSON(w io.Writer, cfg Config, reps int) error {
 			best.Hits = meas.Hits
 			best.Emitted = meas.Stats.EmittedHits
 			best.Suppressed = meas.Stats.SuppressedEmissions
+			best.Copied = meas.Stats.CopiedEmissions
 		}
 		best.MsPerOp = float64(best.NsPerOp) / 1e6
 		switch tc.name {
@@ -384,6 +389,17 @@ func RunBenchJSON(w io.Writer, cfg Config, reps int) error {
 			if best.Hits != emitRef.Hits {
 				return fmt.Errorf("exp: %q produced hits=%d, want %d (hybrid emission is not exact)",
 					tc.name, best.Hits, emitRef.Hits)
+			}
+			// The vertical-phase watermark keeps re-walked branches from
+			// re-forwarding shared rows: emitted stays within 10% of the
+			// DFS engine's count (exactly equal on this workload in
+			// practice) and the copy path must actually fire.
+			if lo, hi := emitRef.Emitted*9/10, emitRef.Emitted*11/10; best.Emitted < lo || best.Emitted > hi {
+				return fmt.Errorf("exp: %q emitted %d outside 10%% of the DFS engine's %d",
+					tc.name, best.Emitted, emitRef.Emitted)
+			}
+			if best.Copied == 0 {
+				return fmt.Errorf("exp: %q reported zero CopiedEmissions on a branch-heavy workload; the copy path is dead", tc.name)
 			}
 		}
 		suite.Results = append(suite.Results, best)

@@ -179,5 +179,6 @@ func statsFromCore(st core.Stats) Stats {
 		GramCacheMisses:     st.GramCacheMisses,
 		EmittedHits:         st.EmittedHits,
 		SuppressedEmissions: st.SuppressedEmissions,
+		CopiedEmissions:     st.CopiedEmissions,
 	}
 }

@@ -114,7 +114,11 @@ func TestStoreShardParity(t *testing.T) {
 				recs[i] = seq.Record{Header: r.Name, Seq: r.Seq}
 			}
 			col := seq.NewCollection(recs)
-			mono := NewIndex(col.Text())
+			// The reference carries the same member-separator barrier the
+			// store's generation indexes do, so hit AND entry parity are
+			// exact (a barrier-free index would compute a handful of
+			// extra entries on paths that touch a separator edge).
+			mono := newBarrierIndex(col.Text(), seq.Separator)
 			wantThreshold := make([]int, len(wl.queries))
 			wantHits := make([][]SeqHit, len(wl.queries))
 			wantEntries := make([]int64, len(wl.queries))
@@ -233,10 +237,15 @@ func TestStoreSingleRecordMatchesIndex(t *testing.T) {
 	}
 }
 
-// TestStoreRejectsSeparatorEndingHits pins the gather-side rejection:
-// an alignment strong enough to stay above threshold while consuming
-// the separator produces separator-row hits in a monolithic index, and
-// the store must return every monolithic hit EXCEPT those.
+// TestStoreRejectsSeparatorEndingHits pins the member-boundary
+// contract from both sides. A barrier-FREE monolithic index over the
+// concatenation lets an alignment strong enough to stay above
+// threshold consume the separator: it reports hits ON the separator
+// row and bridging hits PAST it, inside the next member. The store's
+// generation indexes carry the separator as a hard barrier
+// (buildGeneration), so neither class can exist in a store result —
+// its hit set must equal the barrier-enabled monolithic reference,
+// which is the barrier-free set minus exactly those two classes.
 func TestStoreRejectsSeparatorEndingHits(t *testing.T) {
 	rng := rand.New(rand.NewSource(711))
 	letters := seq.DNA.Letters()
@@ -256,20 +265,38 @@ func TestStoreRejectsSeparatorEndingHits(t *testing.T) {
 
 	recs := []seq.Record{{Header: "a", Seq: a}, {Header: "b", Seq: b}}
 	col := seq.NewCollection(recs)
-	mono := NewIndex(col.Text())
-	want, err := mono.Search(query, opts)
+	free, err := NewIndex(col.Text()).Search(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := newBarrierIndex(col.Text(), seq.Separator).Search(query, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sepPos := col.Table().Start(1) - 1
-	onSeparator := 0
-	for _, h := range want.Hits {
-		if h.TEnd == sepPos {
+	onSeparator, bridging := 0, 0
+	for _, h := range free.Hits {
+		switch {
+		case h.TEnd == sepPos:
 			onSeparator++
+		case h.TEnd > sepPos:
+			// Above threshold within a handful of rows into member b:
+			// only an alignment carried over from a can score that.
+			bridging++
 		}
 	}
-	if onSeparator == 0 {
-		t.Fatal("workload failed to produce a separator-ending hit; the test is vacuous")
+	if onSeparator == 0 || bridging == 0 {
+		t.Fatalf("workload failed to produce boundary hits (%d on separator, %d bridging); the test is vacuous",
+			onSeparator, bridging)
+	}
+	for _, h := range want.Hits {
+		if h.TEnd >= sepPos {
+			t.Fatalf("barrier index reported a hit at text end %d, on or past the separator at %d", h.TEnd, sepPos)
+		}
+	}
+	if len(want.Hits) != len(free.Hits)-onSeparator-bridging {
+		t.Fatalf("barrier index returned %d hits; barrier-free %d with %d on the separator and %d bridging",
+			len(want.Hits), len(free.Hits), onSeparator, bridging)
 	}
 
 	st, err := NewStore([]SeqRecord{{Name: "a", Seq: a}, {Name: "b", Seq: b}}, StoreOptions{Shards: 1})
@@ -281,15 +308,108 @@ func TestStoreRejectsSeparatorEndingHits(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !seqHitsEqual(got.Hits, monolithicSeqHits(want, col.Table())) {
-		t.Fatal("store hits diverge from the separator-filtered monolithic set")
-	}
-	if len(got.Hits) != len(want.Hits)-onSeparator {
-		t.Fatalf("store returned %d hits; monolithic %d with %d on the separator",
-			len(got.Hits), len(want.Hits), onSeparator)
+		t.Fatal("store hits diverge from the barrier-enabled monolithic set")
 	}
 	for _, sh := range got.Hits {
 		if sh.LocalTEnd < 0 || sh.LocalTEnd >= st.Sequences().SeqLen(sh.Member) {
 			t.Fatalf("hit local end %d outside member %d (len %d)", sh.LocalTEnd, sh.Member, st.Sequences().SeqLen(sh.Member))
+		}
+	}
+}
+
+// TestStoreNoCrossMemberBridging is the separator hard-reset
+// regression: a store whose member EQUALS the query produces a
+// self-match score far above threshold, and before the barrier that
+// alignment could cross the member separator (one mismatch) and mint
+// tens of thousands of spurious ≥H end positions in whichever member
+// happened to FOLLOW it in its generation — so per-member hit sets
+// depended on Append grouping. With the separator a hard reset in the
+// band kernels, every layout of the same logical store must return the
+// same hits, whatever the generation grouping or lane count K.
+func TestStoreNoCrossMemberBridging(t *testing.T) {
+	rng := rand.New(rand.NewSource(715))
+	letters := seq.DNA.Letters()
+	randSeq := func(n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = letters[rng.Intn(4)]
+		}
+		return out
+	}
+	members := make([][]byte, 4)
+	for i := range members {
+		members[i] = randSeq(800)
+	}
+	query := append([]byte(nil), members[1]...) // member 1 IS the query
+	opts := SearchOptions{Threshold: 50}
+	recOf := func(i int) SeqRecord {
+		return SeqRecord{Name: fmt.Sprintf("m%d", i), Seq: members[i]}
+	}
+
+	// Vacuousness guard: without the barrier, the self-match really does
+	// bridge — a barrier-free monolithic index over m1#m2 reports end
+	// positions past the separator.
+	joined := append(append(append([]byte(nil), members[1]...), seq.Separator), members[2]...)
+	free, err := NewIndex(joined).Search(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridging := 0
+	for _, h := range free.Hits {
+		if h.TEnd >= len(members[1]) {
+			bridging++
+		}
+	}
+	if bridging == 0 {
+		t.Fatal("workload failed to bridge on a barrier-free index; the regression test is vacuous")
+	}
+
+	// The same logical store in four layouts: one generation at K=1 and
+	// K=2, and two multi-generation groupings that historically changed
+	// which member the self-match bled into.
+	var results []*StoreResult
+	var layouts []string
+	build := func(name string, groups [][]int, k int) {
+		recsOf := func(grp []int) []SeqRecord {
+			recs := make([]SeqRecord, len(grp))
+			for i, m := range grp {
+				recs[i] = recOf(m)
+			}
+			return recs
+		}
+		st, err := NewStore(recsOf(groups[0]), StoreOptions{Shards: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, grp := range groups[1:] { // each Append is its own generation
+			if err := st.Append(recsOf(grp)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := st.Search(query, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+		layouts = append(layouts, name)
+	}
+	build("one-gen-k1", [][]int{{0, 1, 2, 3}}, 1)
+	build("one-gen-k2", [][]int{{0, 1, 2, 3}}, 2)
+	build("m1-with-m2", [][]int{{0}, {1, 2}, {3}}, 1)
+	build("m1-ends-gen", [][]int{{0, 1}, {2, 3}}, 1)
+
+	if len(results[0].Hits) == 0 {
+		t.Fatal("self-match produced no hits")
+	}
+	for _, sh := range results[0].Hits {
+		if sh.Member != 1 {
+			t.Fatalf("hit in member %d (%s); only the self-matched member may hit", sh.Member, sh.Name)
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		if !seqHitsEqual(results[i].Hits, results[0].Hits) {
+			t.Fatalf("layout %s returns %d hits; layout %s returns %d — per-member hits depend on store layout",
+				layouts[i], len(results[i].Hits), layouts[0], len(results[0].Hits))
 		}
 	}
 }

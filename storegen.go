@@ -131,7 +131,12 @@ func buildGeneration(id uint64, records []SeqRecord) *generation {
 		recs[i] = seq.Record{Header: r.Name, Seq: r.Seq}
 	}
 	col := seq.NewCollection(recs)
-	return &generation{id: id, tab: col.Table(), ix: NewIndex(col.Text()), masks: masks}
+	// The generation index carries the member separator as a hard
+	// barrier: the exact engines never descend a separator edge, so no
+	// hit can bridge two members (the gather additionally rejects
+	// separator-row hits and, as a backstop, hits provably too long for
+	// their member — storesession.go).
+	return &generation{id: id, tab: col.Table(), ix: newBarrierIndex(col.Text(), seq.Separator), masks: masks}
 }
 
 // genLoc places a live member: which generation, which member within

@@ -534,6 +534,11 @@ func loadGenPayloads(br *bufio.Reader, gm *genManifest) (*generation, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The payload is the plain serialized index; the barrier is an
+		// engine option, not persisted state, so re-arm it here exactly
+		// as buildGeneration would have (engines build lazily at search
+		// time, after this).
+		ix.barrier = seq.Separator
 		g.ix = ix
 	} else {
 		// Legacy layout: one payload per shard. Each shard index is
@@ -561,7 +566,7 @@ func loadGenPayloads(br *bufio.Reader, gm *genManifest) (*generation, error) {
 			return nil, fmt.Errorf("alae: store generation %d shards join to %d bytes, manifest says %d",
 				gm.id, len(joined), g.tab.TotalLen())
 		}
-		g.ix = NewIndex(joined)
+		g.ix = newBarrierIndex(joined, seq.Separator)
 	}
 	// Spot-check the separator layout the manifest promises, and
 	// recover each member's byte mask from its text slice (σ after a

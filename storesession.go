@@ -152,8 +152,10 @@ func (ss *StoreSession) syncView() error {
 // dispatches the resolved fork families across K cost-balanced lanes
 // at that same H; and the gather streams every generation's collector
 // table straight into per-member SeqHit buckets — dropping hits that
-// end on separator rows or inside tombstoned members — then emits the
-// buckets in live-member order, which is global (TEnd, QEnd) order.
+// end on separator rows, inside tombstoned members, or whose score
+// proves the alignment crossed in from another member (bucketHit) —
+// then emits the buckets in live-member order, which is global
+// (TEnd, QEnd) order.
 // Results are identical to a monolithic index over the live
 // concatenation, hit for hit and entry for entry, for EVERY K — K only
 // partitions the resolved work, never the text — except for alignments
@@ -197,12 +199,23 @@ func (ss *StoreSession) laneWorkers() int {
 }
 
 // bucketHit maps one collector hit into its per-member gather bucket,
-// returning 1 if it survived (0 for separator-row and tombstone
-// rejections). gi/g are the lane's generation.
+// returning 1 if it survived (0 for separator-row, cross-member and
+// tombstone rejections). gi/g are the lane's generation.
 func (ss *StoreSession) bucketHit(v *storeView, g *generation, gi, tEnd, qEnd, score int) int {
 	lm, local, ok := g.tab.Locate(tEnd, tEnd+1)
 	if !ok {
 		return 0 // ends on a separator row: rejected here, at the gather
+	}
+	// Cross-member backstop: every aligned text row contributes at most
+	// sa, so an alignment scoring `score` spans at least ⌈score/sa⌉ text
+	// rows — if fewer rows fit between the member's start and the hit's
+	// end, the alignment provably started in an earlier member across a
+	// separator. The exact engines make such hits structurally
+	// impossible (the separator is a trie barrier, core.Options), so
+	// this only catches the baseline algorithms, which sweep the
+	// concatenation without the barrier.
+	if minLen := (score + ss.s.Match - 1) / ss.s.Match; local+1 < minLen {
+		return 0
 	}
 	gm := v.live[gi][lm]
 	if gm < 0 {
